@@ -1,0 +1,73 @@
+// Ablation: host-side batching (bulk PUT, the Dotori / KV-CSD approach of
+// Section 1) vs. BandSlim's fine-grained transfer, on a mixgraph-style
+// small-value stream. Host batching amortizes command round trips but (a)
+// the whole batch sits in volatile host memory until submission — a
+// data-loss window the paper calls out — and (b) the device pays per-record
+// unpack copies and indexing.
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/workloads.h"
+
+using namespace bandslim;
+using namespace bandslim::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv, /*default_ops=*/60000);
+  KvSsdOptions base = DefaultBenchOptions();
+  PrintPlatform("Ablation: host-side batching (bulk PUT) vs BandSlim", base,
+                args);
+
+  // Reference points: per-op adaptive and piggyback transfers.
+  for (auto method :
+       {driver::TransferMethod::kAdaptive, driver::TransferMethod::kPiggyback}) {
+    KvSsdOptions o = base;
+    o.driver.method = method;
+    auto ssd = KvSsd::Open(o).value();
+    auto spec = workload::MakeWorkloadM(args.ops);
+    auto r = workload::RunPutWorkload(*ssd, spec, driver::MethodName(method));
+    std::printf("%-18s | %9.1f us/op | %7.1f Kops/s | %8.3f GB | loss window: 0 ops\n",
+                driver::MethodName(method), r.MeanResponseUs(), r.KopsPerSec(),
+                ScaledGB(args, r.TrafficPerOpBytes()));
+  }
+
+  // Bulk PUT at several batch sizes.
+  for (std::size_t batch_size : {1u, 8u, 32u, 128u, 512u}) {
+    KvSsdOptions o = base;
+    auto ssd = KvSsd::Open(o).value();
+    auto spec = workload::MakeWorkloadM(args.ops);
+    spec.keys->Reset();
+    Xoshiro256 rng(spec.seed);
+    const auto start = ssd->clock().Now();
+    const KvSsdStats before = ssd->GetStats();
+    std::uint64_t sent = 0;
+    std::vector<driver::KvDriver::KvPair> batch;
+    while (sent < args.ops) {
+      batch.clear();
+      while (batch.size() < batch_size && sent + batch.size() < args.ops) {
+        const std::size_t size = spec.sizes->Next(rng);
+        batch.push_back({spec.keys->Next(), Bytes(size, 0xA5)});
+      }
+      if (!ssd->PutBatch(batch).ok()) {
+        std::printf("bulk(%zu): FAILED\n", batch_size);
+        return 1;
+      }
+      sent += batch.size();
+    }
+    const KvSsdStats delta = workload::StatsDelta(ssd->GetStats(), before);
+    const double per_op_us =
+        static_cast<double>(ssd->clock().Now() - start) /
+        static_cast<double>(args.ops) / 1000.0;
+    std::printf("bulk PUT, batch=%-4zu | %9.1f us/op | %7.1f Kops/s | %8.3f GB "
+                "| loss window: %zu ops\n",
+                batch_size, per_op_us, 1e3 / per_op_us,
+                ScaledGB(args, static_cast<double>(delta.pcie_h2d_bytes) /
+                                   static_cast<double>(args.ops)),
+                batch_size);
+  }
+  std::printf("\ntake-away: batching matches BandSlim's round-trip savings "
+              "only at large batches, which widen the power-failure loss "
+              "window; BandSlim gets the traffic cut per op, with none at "
+              "risk (Section 1's argument, quantified)\n");
+  return 0;
+}

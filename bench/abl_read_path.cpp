@@ -1,0 +1,57 @@
+// Ablation: the GET path. The paper evaluates the write path; this bench
+// characterizes read-side behaviour of the same stack: device-to-host PCIe
+// traffic per GET (page-unit PRP reads amplify small values too) and NAND
+// reads per GET under fine-grained (byte) vs block (4 KiB slot) value
+// addressing — fine-grained packing can make a value straddle NAND pages.
+#include "bench_util.h"
+#include "workload/value_gen.h"
+
+using namespace bandslim;
+using namespace bandslim::bench;
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv, /*default_ops=*/4000);
+  KvSsdOptions base = DefaultBenchOptions();
+  base.retain_payloads = false;
+  base.driver.method = driver::TransferMethod::kAdaptive;
+  PrintPlatform("Ablation: GET path amplification", base, args);
+
+  std::printf("\n%8s %9s | %14s %14s %12s %14s\n", "vsize", "policy",
+              "d2h B/get", "NAND rd/get", "resp (us)", "dataset pages");
+  for (std::size_t size : {32u, 512u, 3000u, 8192u}) {
+    for (auto policy :
+         {buffer::PackingPolicy::kBlock, buffer::PackingPolicy::kAll}) {
+      KvSsdOptions o = base;
+      o.buffer.policy = policy;
+      auto ssd = KvSsd::Open(o).value();
+      Bytes value(size, 0x5A);
+      for (std::uint64_t i = 0; i < args.ops; ++i) {
+        std::string key = "k" + std::to_string(i);
+        if (!ssd->Put(key, ByteSpan(value)).ok()) return 1;
+      }
+      if (!ssd->Flush().ok()) return 1;  // Push everything to NAND.
+      const KvSsdStats before = ssd->GetStats();
+      const auto t0 = ssd->clock().Now();
+      for (std::uint64_t i = 0; i < args.ops; ++i) {
+        std::string key = "k" + std::to_string(i);
+        if (!ssd->Get(key).ok()) return 1;
+      }
+      const auto dt = ssd->clock().Now() - t0;
+      const KvSsdStats after = ssd->GetStats();
+      const double ops = static_cast<double>(args.ops);
+      std::printf("%8s %9s | %14.1f %14.2f %12.1f %14llu\n", SizeLabel(size),
+                  buffer::PolicyName(policy),
+                  static_cast<double>(after.pcie_d2h_bytes -
+                                      before.pcie_d2h_bytes) / ops,
+                  static_cast<double>(after.nand_pages_read -
+                                      before.nand_pages_read) / ops,
+                  static_cast<double>(dt) / ops / 1000.0,
+                  static_cast<unsigned long long>(before.vlog_pages_flushed));
+    }
+  }
+  std::printf("\nexpectation: d2h traffic rounds up to 4 KiB pages (read-side "
+              "Problem #1); dense packing adds occasional extra NAND reads "
+              "for straddling values but far fewer total pages hold the "
+              "same data set\n");
+  return 0;
+}

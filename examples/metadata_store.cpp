@@ -1,0 +1,123 @@
+// metadata_store: a domain example motivated by the paper's introduction —
+// real KV workloads are dominated by tiny values (Meta reports production
+// values mostly under a hundred bytes). This models a filesystem metadata
+// service storing inode records (~80 B) and directory entries (~30 B) on a
+// KV-SSD, and contrasts the full BandSlim configuration against the
+// baseline NVMe KV-SSD on the same operation stream.
+//
+//   $ ./build/examples/metadata_store [num_files]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/kvssd.h"
+
+using namespace bandslim;
+
+namespace {
+
+// An inode record: fixed 80-byte binary attribute block.
+Bytes InodeRecord(std::uint64_t ino, Xoshiro256& rng) {
+  Bytes rec(80);
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    rec[i] = static_cast<std::uint8_t>(SplitMix64(ino + i) ^ rng());
+  }
+  return rec;
+}
+
+// A directory entry: "name -> ino", ~20-40 bytes.
+Bytes DirentRecord(std::uint64_t ino) {
+  std::string s = "file_" + std::to_string(ino) + ".dat:" + std::to_string(ino);
+  return Bytes(s.begin(), s.end());
+}
+
+struct Outcome {
+  KvSsdStats stats;
+  std::uint64_t ops = 0;
+};
+
+Outcome RunWorkload(KvSsd& ssd, std::uint64_t num_files) {
+  Xoshiro256 rng(2024);
+  Outcome out;
+  for (std::uint64_t ino = 1; ino <= num_files; ++ino) {
+    const std::string ino_key = "i:" + std::to_string(ino);
+    const std::string dir_key = "d:" + std::to_string(ino);
+    if (!ssd.Put(ino_key, ByteSpan(InodeRecord(ino, rng))).ok()) break;
+    if (!ssd.Put(dir_key, ByteSpan(DirentRecord(ino))).ok()) break;
+    out.ops += 2;
+    // 10% of files get a 2 KiB extended-attribute blob (the "occasional
+    // large value" the backfilling policy is designed around).
+    if (ino % 10 == 0) {
+      Bytes xattr(2048, static_cast<std::uint8_t>(ino));
+      if (!ssd.Put("x:" + std::to_string(ino), ByteSpan(xattr)).ok()) break;
+      ++out.ops;
+    }
+  }
+  out.stats = ssd.GetStats();
+  return out;
+}
+
+void Report(const char* name, const Outcome& o) {
+  std::printf("%-22s: %8.1f us/op | PCIe %8.2f MB | NAND pages %7llu | "
+              "memcpy %6.2f MB\n",
+              name,
+              static_cast<double>(o.stats.elapsed_ns) / 1e3 /
+                  static_cast<double>(o.ops),
+              static_cast<double>(o.stats.pcie_h2d_bytes) / 1e6,
+              static_cast<unsigned long long>(o.stats.nand_pages_programmed),
+              static_cast<double>(o.stats.device_memcpy_bytes) / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t num_files =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  std::printf("filesystem metadata store: %llu files "
+              "(inode 80 B + dirent ~30 B + 10%% xattr 2 KiB)\n\n",
+              static_cast<unsigned long long>(num_files));
+
+  KvSsdOptions baseline;
+  baseline.driver.method = driver::TransferMethod::kPrp;
+  baseline.buffer.policy = buffer::PackingPolicy::kBlock;
+  baseline.retain_payloads = false;
+
+  KvSsdOptions bandslim_cfg;
+  bandslim_cfg.driver.method = driver::TransferMethod::kAdaptive;
+  bandslim_cfg.buffer.policy = buffer::PackingPolicy::kSelectiveBackfill;
+  // Keep payloads so the sanity lookup below returns real bytes.
+  bandslim_cfg.retain_payloads = true;
+
+  auto base_dev = KvSsd::Open(baseline);
+  auto slim_dev = KvSsd::Open(bandslim_cfg);
+  if (!base_dev.ok() || !slim_dev.ok()) return 1;
+
+  const Outcome base = RunWorkload(*base_dev.value(), num_files);
+  const Outcome slim = RunWorkload(*slim_dev.value(), num_files);
+
+  Report("baseline KV-SSD", base);
+  Report("BandSlim KV-SSD", slim);
+
+  std::printf("\nBandSlim vs baseline on this metadata stream:\n");
+  std::printf("  PCIe traffic : -%.1f%%\n",
+              100.0 * (1.0 - static_cast<double>(slim.stats.pcie_h2d_bytes) /
+                                 static_cast<double>(base.stats.pcie_h2d_bytes)));
+  std::printf("  NAND writes  : -%.1f%%\n",
+              100.0 *
+                  (1.0 - static_cast<double>(slim.stats.nand_pages_programmed) /
+                             static_cast<double>(base.stats.nand_pages_programmed)));
+  std::printf("  mean latency : -%.1f%%\n",
+              100.0 * (1.0 - (static_cast<double>(slim.stats.elapsed_ns) /
+                              static_cast<double>(slim.ops)) /
+                                 (static_cast<double>(base.stats.elapsed_ns) /
+                                  static_cast<double>(base.ops))));
+
+  // Sanity: lookup a few records through the BandSlim device.
+  auto v = slim_dev.value()->Get("d:7");
+  if (v.ok()) {
+    std::printf("\nlookup d:7 -> %s\n", ToString(ByteSpan(v.value())).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: open a simulated BandSlim KV-SSD, write/read/scan/delete
+// key-value pairs, and inspect the traffic/NAND statistics the device kept.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "core/kvssd.h"
+
+using namespace bandslim;
+
+int main() {
+  // Default options: adaptive value transfer + selective packing with
+  // backfilling — the full BandSlim configuration.
+  KvSsdOptions options;
+  auto device = KvSsd::Open(options);
+  if (!device.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", device.status().ToString().c_str());
+    return 1;
+  }
+  KvSsd& ssd = *device.value();
+
+  // --- PUT a few user records (small values: the KV-SSD sweet spot) -------
+  if (!ssd.Put("user:1001", "alice,admin,2024-01-15").ok() ||
+      !ssd.Put("user:1002", "bob,editor,2024-02-20").ok() ||
+      !ssd.Put("user:1003", "carol,viewer,2024-03-08").ok()) {
+    std::fprintf(stderr, "put failed\n");
+    return 1;
+  }
+
+  // --- GET ----------------------------------------------------------------
+  auto value = ssd.Get("user:1002");
+  if (!value.ok()) {
+    std::fprintf(stderr, "get failed: %s\n", value.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("user:1002 -> %s\n", ToString(ByteSpan(value.value())).c_str());
+
+  // --- SEEK/NEXT range scan (iterator interface, after [22]) --------------
+  auto iter = ssd.Seek("user:");
+  if (!iter.ok()) return 1;
+  std::printf("\nall users:\n");
+  for (auto& it = iter.value(); it.Valid();) {
+    std::printf("  %s = %s\n", it.key().c_str(),
+                ToString(ByteSpan(it.value())).c_str());
+    if (!it.Next().ok()) break;
+  }
+
+  // --- DELETE ---------------------------------------------------------------
+  if (!ssd.Delete("user:1003").ok()) return 1;
+  std::printf("\nafter delete, user:1003 -> %s\n",
+              ssd.Get("user:1003").status().ToString().c_str());
+
+  // --- Durability + stats ----------------------------------------------------
+  if (!ssd.Flush().ok()) return 1;
+  const KvSsdStats stats = ssd.GetStats();
+  std::printf("\ndevice statistics:\n");
+  std::printf("  NVMe commands        : %llu\n",
+              static_cast<unsigned long long>(stats.commands_submitted));
+  std::printf("  PCIe host->device    : %llu B\n",
+              static_cast<unsigned long long>(stats.pcie_h2d_bytes));
+  std::printf("  NAND pages programmed: %llu\n",
+              static_cast<unsigned long long>(stats.nand_pages_programmed));
+  std::printf("  device memcpy        : %llu B\n",
+              static_cast<unsigned long long>(stats.device_memcpy_bytes));
+  std::printf("  virtual elapsed      : %.1f us\n", stats.elapsed_ns / 1e3);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// DMA Log Table (DLT), Section 3.3.3: a circular queue recording the
+// destination address and size of every page-unit DMA whose extent the
+// Write Pointer must not overwrite. The head always points at the oldest
+// unconsumed entry; the backfilling write pointer consults only that head,
+// keeping the check O(1).
+//
+// The paper stores each destination compactly as (logical NAND page number,
+// memory-page offset) — (26+2) bits for a 1 TB / 16 KiB-page device instead
+// of a 40-bit byte address. EncodeCompact/DecodeCompact implement that
+// encoding (destinations are always 4 KiB aligned, so the low 12 bits are
+// zero by construction); the queue itself keeps decoded addresses for
+// simulation convenience.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandslim::buffer {
+
+struct DltEntry {
+  std::uint64_t dest_addr = 0;  // Byte address in vLog logical space; 4K aligned.
+  std::uint64_t size = 0;       // Bytes actually occupied by the DMA'd value.
+
+  std::uint64_t end() const { return dest_addr + size; }
+};
+
+class DmaLogTable {
+ public:
+  explicit DmaLogTable(std::size_t capacity) : ring_(capacity) {}
+
+  bool Empty() const { return count_ == 0; }
+  bool Full() const { return count_ == ring_.size(); }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+  // Appends an extent; returns false when the table is full (the caller must
+  // consume the oldest entry first).
+  bool Push(std::uint64_t dest_addr, std::uint64_t size) {
+    if (Full()) return false;
+    ring_[(head_ + count_) % ring_.size()] = {dest_addr, size};
+    ++count_;
+    return true;
+  }
+
+  // Oldest unconsumed entry, or nullptr when empty.
+  const DltEntry* Oldest() const {
+    return Empty() ? nullptr : &ring_[head_];
+  }
+
+  void ConsumeOldest() {
+    if (Empty()) return;
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+  }
+
+  // Compact (logical NAND page number, memory-page offset) encoding.
+  static std::uint32_t EncodeCompact(std::uint64_t dest_addr) {
+    const std::uint64_t lpn = dest_addr / kNandPageSize;
+    const std::uint64_t slot = (dest_addr % kNandPageSize) / kMemPageSize;
+    return static_cast<std::uint32_t>((lpn << 2) | slot);
+  }
+  static std::uint64_t DecodeCompact(std::uint32_t compact) {
+    const std::uint64_t lpn = compact >> 2;
+    const std::uint64_t slot = compact & 0x3;
+    return lpn * kNandPageSize + slot * kMemPageSize;
+  }
+
+ private:
+  std::vector<DltEntry> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace bandslim::buffer

@@ -1,0 +1,311 @@
+#include "buffer/page_buffer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace bandslim::buffer {
+
+const char* PolicyName(PackingPolicy policy) {
+  switch (policy) {
+    case PackingPolicy::kBlock: return "Block";
+    case PackingPolicy::kAll: return "All";
+    case PackingPolicy::kSelective: return "Select";
+    case PackingPolicy::kSelectiveBackfill: return "Backfill";
+  }
+  return "?";
+}
+
+NandPageBuffer::NandPageBuffer(const BufferConfig& config,
+                               sim::VirtualClock* clock,
+                               const sim::CostModel* cost,
+                               stats::MetricsRegistry* metrics, FlushFn flush)
+    : config_(config),
+      clock_(clock),
+      cost_(cost),
+      flush_(std::move(flush)),
+      dlt_(config.dlt_entries),
+      memcpy_bytes_counter_(metrics->GetCounter("buffer.memcpy_bytes")),
+      flushed_pages_counter_(metrics->GetCounter("buffer.flushed_pages")),
+      wasted_bytes_counter_(metrics->GetCounter("buffer.wasted_bytes")) {
+  assert(config_.num_entries >= 2 && "window must hold at least two entries");
+  base_lpn_ = config_.initial_lpn;
+  wp_ = base_lpn_ * kNandPageSize;
+  dma_frontier_ = wp_;
+}
+
+void NandPageBuffer::ChargeMemcpy(std::uint64_t bytes) {
+  clock_->Advance(cost_->MemcpyCost(bytes));
+  memcpy_bytes_ += bytes;
+  memcpy_bytes_counter_->Add(bytes);
+}
+
+void NandPageBuffer::CopyIn(std::uint64_t addr, ByteSpan src) {
+  std::size_t off = 0;
+  while (off < src.size()) {
+    const std::uint64_t a = addr + off;
+    const std::size_t idx = static_cast<std::size_t>(a / kNandPageSize - base_lpn_);
+    const std::size_t within = a % kNandPageSize;
+    const std::size_t n = std::min(kNandPageSize - within, src.size() - off);
+    assert(idx < entries_.size());
+    std::memcpy(entries_[idx].data.data() + within, src.data() + off, n);
+    off += n;
+  }
+}
+
+void NandPageBuffer::CopyOut(std::uint64_t addr, MutByteSpan dst) const {
+  std::size_t off = 0;
+  while (off < dst.size()) {
+    const std::uint64_t a = addr + off;
+    const std::size_t idx = static_cast<std::size_t>(a / kNandPageSize - base_lpn_);
+    const std::size_t within = a % kNandPageSize;
+    const std::size_t n = std::min(kNandPageSize - within, dst.size() - off);
+    assert(idx < entries_.size());
+    std::memcpy(dst.data() + off, entries_[idx].data.data() + within, n);
+    off += n;
+  }
+}
+
+void NandPageBuffer::AddUsed(std::uint64_t addr, std::uint64_t size) {
+  std::uint64_t off = 0;
+  while (off < size) {
+    const std::uint64_t a = addr + off;
+    const std::size_t idx = static_cast<std::size_t>(a / kNandPageSize - base_lpn_);
+    const std::uint64_t within = a % kNandPageSize;
+    const std::uint64_t n = std::min<std::uint64_t>(kNandPageSize - within, size - off);
+    assert(idx < entries_.size());
+    entries_[idx].used += static_cast<std::uint32_t>(n);
+    assert(entries_[idx].used <= kNandPageSize);
+    off += n;
+  }
+}
+
+Status NandPageBuffer::EnsureCoverage(std::uint64_t end_addr) {
+  const std::uint64_t needed_pages = CeilDiv(end_addr, kNandPageSize);
+  while (base_lpn_ + entries_.size() < needed_pages) {
+    entries_.push_back(Entry{Bytes(kNandPageSize, 0), 0});
+  }
+  while (entries_.size() > config_.num_entries) {
+    BANDSLIM_RETURN_IF_ERROR(ForceFlushFront());
+  }
+  return Status::Ok();
+}
+
+Status NandPageBuffer::FlushFront() {
+  assert(!entries_.empty());
+  Entry& e = entries_.front();
+  BANDSLIM_RETURN_IF_ERROR(flush_(base_lpn_, ByteSpan(e.data), e.used));
+  wasted_bytes_ += kNandPageSize - e.used;
+  wasted_bytes_counter_->Add(kNandPageSize - e.used);
+  ++flushed_pages_;
+  flushed_pages_counter_->Increment();
+  entries_.pop_front();
+  ++base_lpn_;
+  return Status::Ok();
+}
+
+Status NandPageBuffer::ForceFlushFront() {
+  assert(!entries_.empty());
+  const std::uint64_t end = EntryEndAddr(0);
+  // Any DMA extent starting inside the victim entry can no longer be
+  // backfilled around: consume it and advance the WP past it.
+  while (!dlt_.Empty() && dlt_.Oldest()->dest_addr < end) {
+    wp_ = std::max(wp_, dlt_.Oldest()->end());
+    dlt_.ConsumeOldest();
+  }
+  wp_ = std::max(wp_, end);
+  dma_frontier_ = std::max(dma_frontier_, wp_);
+  return FlushFront();
+}
+
+Status NandPageBuffer::FlushCompleted() {
+  while (!entries_.empty() && wp_ >= EntryEndAddr(0)) {
+    BANDSLIM_RETURN_IF_ERROR(FlushFront());
+  }
+  return Status::Ok();
+}
+
+void NandPageBuffer::LeapOverExtents(std::uint64_t size) {
+  // Section 3.3.3: if WP + value size would cross the oldest unconsumed
+  // extent, leap to the address right after that extent and re-check.
+  while (!dlt_.Empty()) {
+    const DltEntry* oldest = dlt_.Oldest();
+    if (wp_ + size > oldest->dest_addr) {
+      wp_ = std::max(wp_, oldest->end());
+      dlt_.ConsumeOldest();
+    } else {
+      break;
+    }
+  }
+}
+
+Result<std::uint64_t> NandPageBuffer::PackPiggybacked(ByteSpan value) {
+  assert(!value.empty());
+  const std::uint64_t size = value.size();
+  if (size >= (config_.num_entries - 1) * kNandPageSize) {
+    return Status::InvalidArgument("value larger than the buffer window");
+  }
+  std::uint64_t dest = 0;
+  std::uint64_t consume = 0;
+  // Window pressure during EnsureCoverage can advance the WP; recompute the
+  // placement until it is stable.
+  for (;;) {
+    if (config_.policy == PackingPolicy::kSelectiveBackfill) {
+      LeapOverExtents(size);
+    }
+    if (config_.policy == PackingPolicy::kBlock) {
+      dest = RoundUpPow2(wp_, kMemPageSize);
+      consume = RoundUpPow2(size, kMemPageSize);
+    } else {
+      dest = wp_;
+      consume = size;
+    }
+    const std::uint64_t wp_before = wp_;
+    BANDSLIM_RETURN_IF_ERROR(EnsureCoverage(dest + consume));
+    if (wp_ == wp_before) break;
+  }
+  CopyIn(dest, value);
+  AddUsed(dest, size);
+  // Extracting piggybacked fragments into the buffer is a device-CPU copy
+  // under every policy (Section 3.3.1).
+  ChargeMemcpy(size);
+  wp_ = dest + consume;
+  BANDSLIM_RETURN_IF_ERROR(FlushCompleted());
+  return dest;
+}
+
+Result<NandPageBuffer::DmaReservation> NandPageBuffer::ReserveDma(
+    std::uint64_t prp_bytes, std::uint64_t total_size) {
+  assert(prp_bytes > 0 && IsAlignedPow2(prp_bytes, kMemPageSize));
+  assert(total_size > 0);
+  if (std::max(prp_bytes, total_size) >=
+      (config_.num_entries - 1) * kNandPageSize) {
+    return Status::InvalidArgument("value larger than the buffer window");
+  }
+  DmaReservation r;
+  r.prp_bytes = prp_bytes;
+  r.total_size = total_size;
+  for (;;) {
+    std::uint64_t place_base = wp_;
+    if (config_.policy == PackingPolicy::kSelectiveBackfill) {
+      // DMA extents stack after the last pending extent; the WP lags behind,
+      // backfilling the gaps.
+      place_base = std::max(wp_, dma_frontier_);
+    }
+    r.dest_addr = RoundUpPow2(place_base, kMemPageSize);
+    const std::uint64_t end =
+        r.dest_addr + std::max(prp_bytes, total_size);
+    const std::uint64_t wp_before = wp_;
+    const std::uint64_t frontier_before = dma_frontier_;
+    BANDSLIM_RETURN_IF_ERROR(EnsureCoverage(end));
+    if (wp_ == wp_before && dma_frontier_ == frontier_before) break;
+  }
+  return r;
+}
+
+MutByteSpan NandPageBuffer::DmaPageSlice(const DmaReservation& r,
+                                         std::uint64_t byte_offset) {
+  assert(IsAlignedPow2(byte_offset, kMemPageSize));
+  assert(byte_offset < r.prp_bytes);
+  const std::uint64_t addr = r.dest_addr + byte_offset;
+  const std::size_t idx = static_cast<std::size_t>(addr / kNandPageSize - base_lpn_);
+  const std::size_t within = addr % kNandPageSize;
+  assert(idx < entries_.size());
+  return {entries_[idx].data.data() + within, kMemPageSize};
+}
+
+Status NandPageBuffer::AppendTrailing(const DmaReservation& r,
+                                      std::uint64_t offset, ByteSpan fragment) {
+  if (offset + fragment.size() > r.total_size) {
+    return Status::InvalidArgument("trailing fragment beyond reserved extent");
+  }
+  CopyIn(r.dest_addr + offset, fragment);
+  ChargeMemcpy(fragment.size());
+  return Status::Ok();
+}
+
+Result<std::uint64_t> NandPageBuffer::CommitDma(const DmaReservation& r) {
+  std::uint64_t final_addr = r.dest_addr;
+  switch (config_.policy) {
+    case PackingPolicy::kBlock:
+      AddUsed(r.dest_addr, r.total_size);
+      wp_ = r.dest_addr + RoundUpPow2(r.total_size, kMemPageSize);
+      break;
+    case PackingPolicy::kAll:
+      if (r.dest_addr == wp_) {
+        // WP happened to be page-aligned: the DMA landed in place and the
+        // memory copy is skipped (Section 3.3.1).
+        AddUsed(wp_, r.total_size);
+        wp_ += r.total_size;
+      } else {
+        Bytes tmp(r.total_size);
+        CopyOut(r.dest_addr, MutByteSpan(tmp));
+        CopyIn(wp_, ByteSpan(tmp));
+        ChargeMemcpy(r.total_size);
+        AddUsed(wp_, r.total_size);
+        final_addr = wp_;
+        wp_ += r.total_size;
+      }
+      break;
+    case PackingPolicy::kSelective:
+      AddUsed(r.dest_addr, r.total_size);
+      wp_ = r.dest_addr + r.total_size;
+      break;
+    case PackingPolicy::kSelectiveBackfill:
+      AddUsed(r.dest_addr, r.total_size);
+      if (dlt_.Full()) {
+        // Capacity-capped DLT (Section 3.3.3): retire the oldest extent,
+        // abandoning whatever gap remains before it.
+        wp_ = std::max(wp_, dlt_.Oldest()->end());
+        dlt_.ConsumeOldest();
+        ++dlt_forced_evictions_;
+      }
+      dlt_.Push(r.dest_addr, r.total_size);
+      break;
+  }
+  dma_frontier_ = std::max(dma_frontier_, r.dest_addr + r.total_size);
+  BANDSLIM_RETURN_IF_ERROR(FlushCompleted());
+  return final_addr;
+}
+
+bool NandPageBuffer::Contains(std::uint64_t addr, std::uint64_t size) const {
+  const std::uint64_t lo = window_base_addr();
+  const std::uint64_t hi = (base_lpn_ + entries_.size()) * kNandPageSize;
+  return addr >= lo && addr + size <= hi;
+}
+
+Status NandPageBuffer::ReadRange(std::uint64_t addr, MutByteSpan out) const {
+  if (!Contains(addr, out.size())) {
+    return Status::InvalidArgument("range not resident in buffer window");
+  }
+  CopyOut(addr, out);
+  return Status::Ok();
+}
+
+Status NandPageBuffer::FlushAll() {
+  while (!dlt_.Empty()) {
+    wp_ = std::max(wp_, dlt_.Oldest()->end());
+    dlt_.ConsumeOldest();
+  }
+  wp_ = std::max(wp_, dma_frontier_);
+  // Flush up to the last entry holding payload; trailing untouched entries
+  // are simply dropped (they were never written).
+  std::size_t last_used = entries_.size();
+  for (std::size_t i = entries_.size(); i > 0; --i) {
+    if (entries_[i - 1].used > 0) {
+      last_used = i;
+      break;
+    }
+    last_used = i - 1;
+  }
+  for (std::size_t i = 0; i < last_used; ++i) {
+    BANDSLIM_RETURN_IF_ERROR(FlushFront());
+  }
+  entries_.clear();
+  base_lpn_ = CeilDiv(std::max(wp_, base_lpn_ * kNandPageSize), kNandPageSize);
+  wp_ = base_lpn_ * kNandPageSize;
+  dma_frontier_ = wp_;
+  return Status::Ok();
+}
+
+}  // namespace bandslim::buffer

@@ -1,0 +1,170 @@
+// The in-device NAND page buffer (Sections 2.2 and 3.3). A sliding window
+// of 16 KiB buffer entries over the tail of the vLog's logical NAND page
+// space, held in (battery-backed) device DRAM. Incoming values are placed
+// into the window according to the active packing policy; entries are
+// written to NAND (through the flush callback) once the Write Pointer has
+// passed them, or earlier under window pressure.
+//
+// Packing policies (Figure 7):
+//  * kBlock             — the baseline: every payload consumes whole 4 KiB
+//                         memory-page slots, as block-interface SSDs pack.
+//  * kAll               — KAML-style All Packing: everything is memcpy'd to
+//                         the Write Pointer, byte-dense (copies cost time).
+//  * kSelective         — piggybacked values pack at the WP; DMA'd values
+//                         stay where the page-aligned DMA dropped them and
+//                         the WP moves past (alignment gap is lost).
+//  * kSelectiveBackfill — like kSelective, but the WP does NOT move past a
+//                         DMA extent: the extent is recorded in the DMA Log
+//                         Table and later piggybacked values backfill the
+//                         gap, the WP leaping over each extent when the
+//                         next value no longer fits before it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "buffer/dma_log_table.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "stats/metrics.h"
+
+namespace bandslim::buffer {
+
+enum class PackingPolicy {
+  kBlock = 0,
+  kAll = 1,
+  kSelective = 2,
+  kSelectiveBackfill = 3,
+};
+
+const char* PolicyName(PackingPolicy policy);
+
+struct BufferConfig {
+  PackingPolicy policy = PackingPolicy::kSelectiveBackfill;
+  std::size_t num_entries = 512;  // 512 x 16 KiB = 8 MiB window.
+  std::size_t dlt_entries = 512;  // Capped to the entry count (Sec 3.3.3).
+  // Logical NAND page the window starts at (used when reassembling a device
+  // after a power cycle: the vLog tail resumes at the checkpointed page).
+  std::uint64_t initial_lpn = 0;
+};
+
+// Flush callback: persist one logical NAND page. `used_bytes` is the number
+// of payload bytes actually packed into the page (for waste accounting).
+using FlushFn =
+    std::function<Status(std::uint64_t lpn, ByteSpan page, std::uint32_t used_bytes)>;
+
+class NandPageBuffer {
+ public:
+  NandPageBuffer(const BufferConfig& config, sim::VirtualClock* clock,
+                 const sim::CostModel* cost, stats::MetricsRegistry* metrics,
+                 FlushFn flush);
+
+  PackingPolicy policy() const { return config_.policy; }
+
+  // ---- Write path ---------------------------------------------------------
+
+  // Packs a fully reassembled piggybacked value (device memcpy is charged).
+  // Returns the byte address of the value in vLog logical space.
+  Result<std::uint64_t> PackPiggybacked(ByteSpan value);
+
+  // Reserves a landing zone for a page-unit DMA of `prp_bytes` (a multiple
+  // of 4 KiB) belonging to a value of `total_size` bytes (> prp_bytes - 4 KiB;
+  // hybrid transfers append trailing bytes beyond the DMA'd pages).
+  struct DmaReservation {
+    std::uint64_t dest_addr = 0;  // 4 KiB aligned.
+    std::uint64_t prp_bytes = 0;
+    std::uint64_t total_size = 0;
+  };
+  Result<DmaReservation> ReserveDma(std::uint64_t prp_bytes,
+                                    std::uint64_t total_size);
+
+  // 4 KiB-page sink for the DMA engine: returns the in-window span for the
+  // page at dest_addr + byte_offset. Pages never straddle buffer entries
+  // (both are 4 KiB-aligned).
+  MutByteSpan DmaPageSlice(const DmaReservation& r, std::uint64_t byte_offset);
+
+  // Appends hybrid trailing bytes at dest + offset (device memcpy charged).
+  Status AppendTrailing(const DmaReservation& r, std::uint64_t offset,
+                        ByteSpan fragment);
+
+  // Applies the packing policy to the completed arrival and returns the
+  // final byte address of the value (All Packing may move it to the WP).
+  Result<std::uint64_t> CommitDma(const DmaReservation& r);
+
+  // ---- Read path ----------------------------------------------------------
+
+  // Whether [addr, addr+size) is still resident in the window (not flushed).
+  bool Contains(std::uint64_t addr, std::uint64_t size) const;
+  // First byte address still resident; everything below went to NAND.
+  std::uint64_t window_base_addr() const { return base_lpn_ * kNandPageSize; }
+  Status ReadRange(std::uint64_t addr, MutByteSpan out) const;
+
+  // ---- Maintenance --------------------------------------------------------
+
+  // Drains every entry to NAND (consuming pending DLT extents); the window
+  // restarts at the next NAND page boundary.
+  Status FlushAll();
+
+  // ---- Introspection ------------------------------------------------------
+  std::uint64_t wp() const { return wp_; }
+  std::uint64_t dma_frontier() const { return dma_frontier_; }
+  std::uint64_t flushed_pages() const { return flushed_pages_; }
+  std::uint64_t wasted_bytes() const { return wasted_bytes_; }
+  std::uint64_t memcpy_bytes() const { return memcpy_bytes_; }
+  std::uint64_t dlt_forced_evictions() const { return dlt_forced_evictions_; }
+  const DmaLogTable& dlt() const { return dlt_; }
+
+ private:
+  struct Entry {
+    Bytes data;
+    std::uint32_t used = 0;
+  };
+
+  std::uint64_t EntryEndAddr(std::size_t index) const {
+    return (base_lpn_ + index + 1) * kNandPageSize;
+  }
+  // Grows the window to cover [*, end_addr), force-flushing the front when
+  // the entry cap is exceeded.
+  Status EnsureCoverage(std::uint64_t end_addr);
+  // Flushes the front entry regardless of fill level (window pressure),
+  // consuming any DLT extents that start inside it and advancing the WP.
+  Status ForceFlushFront();
+  // Flushes every leading entry the WP has fully passed.
+  Status FlushCompleted();
+  Status FlushFront();
+
+  // Scatter/gather between the logical byte range and window entries.
+  void CopyIn(std::uint64_t addr, ByteSpan src);
+  void CopyOut(std::uint64_t addr, MutByteSpan dst) const;
+  void AddUsed(std::uint64_t addr, std::uint64_t size);
+  void ChargeMemcpy(std::uint64_t bytes);
+
+  // Backfilling helper: leaps the WP over DLT extents until `size` bytes fit
+  // before the oldest pending extent (Section 3.3.3).
+  void LeapOverExtents(std::uint64_t size);
+
+  BufferConfig config_;
+  sim::VirtualClock* clock_;
+  const sim::CostModel* cost_;
+  FlushFn flush_;
+
+  std::deque<Entry> entries_;
+  std::uint64_t base_lpn_ = 0;   // Logical NAND page of entries_.front().
+  std::uint64_t wp_ = 0;         // Write Pointer (byte address).
+  std::uint64_t dma_frontier_ = 0;  // End of the last placed DMA extent.
+  DmaLogTable dlt_;
+
+  std::uint64_t flushed_pages_ = 0;
+  std::uint64_t wasted_bytes_ = 0;
+  std::uint64_t memcpy_bytes_ = 0;
+  std::uint64_t dlt_forced_evictions_ = 0;
+
+  stats::Counter* memcpy_bytes_counter_;
+  stats::Counter* flushed_pages_counter_;
+  stats::Counter* wasted_bytes_counter_;
+};
+
+}  // namespace bandslim::buffer

@@ -1,0 +1,122 @@
+// Lightweight Status / Result types used across the library. Modeled after
+// the usual absl/leveldb conventions without external dependencies.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bandslim {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kOutOfSpace,
+  kIoError,
+  kCorruption,
+  kUnsupported,
+  kResourceExhausted,
+};
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m = "not found") {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status OutOfSpace(std::string m) {
+    return {StatusCode::kOutOfSpace, std::move(m)};
+  }
+  static Status IoError(std::string m) {
+    return {StatusCode::kIoError, std::move(m)};
+  }
+  static Status Corruption(std::string m) {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status Unsupported(std::string m) {
+    return {StatusCode::kUnsupported, std::move(m)};
+  }
+  static Status ResourceExhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfSpace: return "OutOfSpace";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kCorruption: return "Corruption";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {                 // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace bandslim
+
+// Propagates a non-OK Status from an expression, leveldb-style.
+#define BANDSLIM_RETURN_IF_ERROR(expr)                \
+  do {                                                \
+    ::bandslim::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                        \
+  } while (0)

@@ -1,0 +1,120 @@
+// BandSlim Key-Value Controller (Section 3.1): the device-side firmware.
+// It fetches NVMe key-value commands, reassembles piggybacked value
+// fragments (FIFO per queue, Section 3.3.1), triggers page-unit DMA for
+// PRP-described payloads, packs values into the NAND page buffer under the
+// configured policy, and maintains the in-device LSM-tree with fine-grained
+// value addressing over the vLog.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "buffer/page_buffer.h"
+#include "common/status.h"
+#include "dma/dma_engine.h"
+#include "lsm/lsm_tree.h"
+#include "nvme/transport.h"
+#include "vlog/vlog.h"
+
+namespace bandslim::controller {
+
+struct ControllerConfig {
+  // When false, the persistence path (vLog append, LSM insert, NAND I/O) is
+  // skipped entirely — the paper disables NAND I/O to isolate transfer
+  // effects (Section 4.2). Reads are unsupported in this mode.
+  bool nand_io_enabled = true;
+  // vLog GC segment length, in logical NAND pages.
+  std::uint64_t gc_segment_pages = 64;
+  // Cost-benefit victim selection: how many candidate segments (starting at
+  // the cleaning cursor) to score by dead-byte ratio before collecting.
+  std::uint64_t gc_scan_segments = 8;
+};
+
+class KvController : public nvme::DeviceHandler {
+ public:
+  KvController(sim::VirtualClock* clock, const sim::CostModel* cost,
+               stats::MetricsRegistry* metrics, dma::DmaEngine* dma,
+               vlog::VLog* vlog, lsm::LsmTree* lsm, ControllerConfig config);
+
+  nvme::CqEntry Handle(const nvme::NvmeCommand& cmd,
+                       std::uint16_t queue_id) override;
+
+  // Relocates live values out of the oldest flushed vLog segment and trims
+  // it (key-value-separated log cleaning; extension beyond the paper).
+  // Returns the number of values relocated.
+  Result<std::uint64_t> CollectVlogSegment();
+
+  std::uint64_t values_written() const { return values_written_; }
+  std::uint64_t value_bytes_written() const { return value_bytes_written_; }
+  std::uint64_t vlog_gc_runs() const { return vlog_gc_runs_; }
+
+ private:
+  struct PendingWrite {
+    Bytes key;
+    std::uint32_t value_size = 0;
+    // Piggyback reassembly staging (holds only the piggybacked bytes).
+    Bytes staged;
+    std::uint64_t piggy_received = 0;
+    // Hybrid transfers: the landed DMA extent awaiting trailing bytes.
+    bool has_dma = false;
+    buffer::NandPageBuffer::DmaReservation reservation;
+  };
+
+  nvme::CqEntry HandleWrite(const nvme::NvmeCommand& cmd,
+                            std::uint16_t queue_id);
+  nvme::CqEntry HandleBulkWrite(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleTransfer(const nvme::NvmeCommand& cmd,
+                               std::uint16_t queue_id);
+  nvme::CqEntry HandleRead(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleDelete(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleExists(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleIterSeek(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleIterNext(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleIterNextBatch(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleIterClose(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleFlush();
+
+  // Completes a reassembled/landed write: pack, index, account.
+  nvme::CqEntry FinishWrite(PendingWrite&& op);
+  nvme::CqEntry Fail(nvme::CqStatus status, std::uint16_t queue_id);
+
+  std::uint64_t VlogTailCookie() const;
+
+  sim::VirtualClock* clock_;
+  const sim::CostModel* cost_;
+  dma::DmaEngine* dma_;
+  vlog::VLog* vlog_;
+  lsm::LsmTree* lsm_;
+  ControllerConfig config_;
+
+  // Fragment reassembly state, keyed by submission queue: the piggyback
+  // stream is FIFO within a queue (Section 3.3.1), and queues interleave.
+  std::unordered_map<std::uint16_t, PendingWrite> pending_;
+  Bytes nand_off_scratch_;  // DMA landing zone when persistence is disabled.
+  Bytes bulk_staging_;      // Unpack area for host-side-batched payloads.
+
+  std::unordered_map<std::uint32_t, std::unique_ptr<lsm::LsmTree::Iterator>>
+      iterators_;
+  std::uint32_t next_iterator_id_ = 1;
+
+  std::uint64_t vlog_gc_cursor_lpn_ = 0;
+  std::set<std::uint64_t> collected_segments_;  // Starts already cleaned.
+  // Cleaned segments whose physical trim waits for the next checkpoint —
+  // the last durable manifest may still point into them.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pending_vlog_trims_;
+  std::uint64_t vlog_gc_runs_ = 0;
+
+  std::uint64_t values_written_ = 0;
+  std::uint64_t value_bytes_written_ = 0;
+
+  stats::Counter* writes_counter_;
+  stats::Counter* write_bytes_counter_;
+  stats::Counter* reads_counter_;
+  stats::Counter* read_memcpy_bytes_;
+  stats::Counter* gc_relocated_values_;
+};
+
+}  // namespace bandslim::controller

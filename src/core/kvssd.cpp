@@ -1,0 +1,127 @@
+#include "core/kvssd.h"
+
+namespace bandslim {
+
+KvSsd::KvSsd(const KvSsdOptions& options) : options_(options) {
+  transport_ = std::make_unique<nvme::NvmeTransport>(
+      &clock_, &options_.cost, &link_, &metrics_, options_.queue_depth,
+      options_.num_queues);
+  dma_ = std::make_unique<dma::DmaEngine>(&clock_, &options_.cost, &link_,
+                                          &host_memory_, &metrics_,
+                                          options_.dma);
+  nand_ = std::make_unique<nand::NandFlash>(options_.geometry, &clock_,
+                                            &options_.cost, &metrics_);
+  ftl_ = std::make_unique<ftl::PageFtl>(nand_.get(), &metrics_, options_.ftl);
+  AssembleDevice(options_.buffer.initial_lpn);
+  driver_ = std::make_unique<driver::KvDriver>(transport_.get(), &host_memory_,
+                                               options_.driver);
+}
+
+KvSsd::~KvSsd() = default;
+
+void KvSsd::AssembleDevice(std::uint64_t vlog_start_lpn) {
+  buffer::BufferConfig buf = options_.buffer;
+  buf.initial_lpn = vlog_start_lpn;
+  vlog_ = std::make_unique<vlog::VLog>(ftl_.get(), &clock_, &options_.cost,
+                                       &metrics_, buf,
+                                       options_.retain_payloads);
+  lsm_ = std::make_unique<lsm::LsmTree>(ftl_.get(), &metrics_, options_.lsm);
+  controller_ = std::make_unique<controller::KvController>(
+      &clock_, &options_.cost, &metrics_, dma_.get(), vlog_.get(), lsm_.get(),
+      options_.controller);
+  transport_->AttachDevice(controller_.get());
+}
+
+Result<std::unique_ptr<KvSsd>> KvSsd::Open(const KvSsdOptions& options) {
+  if (options.geometry.total_pages() == 0) {
+    return Status::InvalidArgument("empty NAND geometry");
+  }
+  if (options.buffer.num_entries < 2) {
+    return Status::InvalidArgument("buffer needs at least two entries");
+  }
+  return std::unique_ptr<KvSsd>(new KvSsd(options));
+}
+
+Result<driver::KvDriver*> KvSsd::CreateQueueDriver(
+    std::uint16_t queue_id, driver::DriverConfig config) {
+  if (queue_id >= options_.num_queues) {
+    return Status::InvalidArgument("queue id beyond num_queues");
+  }
+  config.queue_id = queue_id;
+  extra_drivers_.push_back(std::make_unique<driver::KvDriver>(
+      transport_.get(), &host_memory_, config));
+  return extra_drivers_.back().get();
+}
+
+Status KvSsd::Put(std::string_view key, ByteSpan value) {
+  return driver_->Put(key, value);
+}
+
+Status KvSsd::Put(std::string_view key, std::string_view value) {
+  return driver_->Put(
+      key, ByteSpan(reinterpret_cast<const std::uint8_t*>(value.data()),
+                    value.size()));
+}
+
+Status KvSsd::PutBatch(const std::vector<driver::KvDriver::KvPair>& batch) {
+  return driver_->PutBatch(batch);
+}
+
+Result<Bytes> KvSsd::Get(std::string_view key) { return driver_->Get(key); }
+
+Status KvSsd::Delete(std::string_view key) { return driver_->Delete(key); }
+
+Result<std::uint32_t> KvSsd::Exists(std::string_view key) {
+  return driver_->Exists(key);
+}
+
+Status KvSsd::Flush() { return driver_->Flush(); }
+
+Result<driver::KvDriver::Iterator> KvSsd::Seek(std::string_view from) {
+  return driver_->Seek(from);
+}
+
+Result<std::uint64_t> KvSsd::CollectVlogGarbage() {
+  return controller_->CollectVlogSegment();
+}
+
+Status KvSsd::PowerCycle() {
+  // Device DRAM contents vanish; NAND and the FTL map are the durable state
+  // (a real FTL persists its map through its own journal — out of scope).
+  AssembleDevice(/*vlog_start_lpn=*/0);
+  auto cookie = lsm_->Restore();
+  if (!cookie.ok()) return cookie.status();
+  // Restart the vLog tail after the checkpointed page.
+  AssembleDevice(cookie.value());
+  auto again = lsm_->Restore();
+  if (!again.ok()) return again.status();
+  return Status::Ok();
+}
+
+KvSsdStats KvSsd::GetStats() const {
+  KvSsdStats s;
+  s.elapsed_ns = clock_.Now();
+  s.commands_submitted = transport_->commands_submitted();
+  s.pcie_h2d_bytes = link_.HostToDeviceBytes();
+  s.pcie_d2h_bytes = link_.DeviceToHostBytes();
+  s.mmio_bytes = link_.MmioBytes();
+  s.dma_h2d_bytes = link_.BytesOf(pcie::TrafficClass::kDmaData,
+                                  pcie::Direction::kHostToDevice);
+  s.nand_pages_programmed = nand_->pages_programmed();
+  s.nand_pages_read = nand_->pages_read();
+  s.nand_blocks_erased = nand_->blocks_erased();
+  s.vlog_pages_flushed = vlog_->flushed_pages();
+  s.lsm_pages_programmed = metrics_.CounterValue("ftl.programs.lsm");
+  s.gc_pages_programmed = metrics_.CounterValue("ftl.programs.gc");
+  s.device_memcpy_bytes = metrics_.CounterValue("buffer.memcpy_bytes") +
+                          metrics_.CounterValue("controller.read_memcpy_bytes");
+  s.buffer_wasted_bytes = vlog_->buffer().wasted_bytes();
+  s.dlt_forced_evictions = vlog_->buffer().dlt_forced_evictions();
+  s.values_written = controller_->values_written();
+  s.value_bytes_written = controller_->value_bytes_written();
+  s.lsm_compactions = lsm_->compactions_run();
+  s.memtable_flushes = lsm_->memtable_flushes();
+  return s;
+}
+
+}  // namespace bandslim

@@ -1,0 +1,146 @@
+// bandslim::KvSsd — the public API. Opening a device assembles the whole
+// simulated stack of Figure 5(a):
+//
+//   host:   KvDriver ── NvmeTransport (SQ/CQ + doorbells over PcieLink)
+//   device: KvController ── DmaEngine
+//                        ── NandPageBuffer (packing policies + DLT) ── vLog
+//                        ── LsmTree (MemTable / SSTables)           ── FTL ── NAND
+//
+// All timing is virtual (sim::VirtualClock); all PCIe/NAND activity is
+// accounted; a run is deterministic for a given option set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "buffer/page_buffer.h"
+#include "common/status.h"
+#include "controller/controller.h"
+#include "dma/dma_engine.h"
+#include "driver/driver.h"
+#include "ftl/ftl.h"
+#include "lsm/lsm_tree.h"
+#include "nand/geometry.h"
+#include "nand/nand_flash.h"
+#include "nvme/host_memory.h"
+#include "nvme/transport.h"
+#include "pcie/link.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "stats/metrics.h"
+#include "vlog/vlog.h"
+
+namespace bandslim {
+
+struct KvSsdOptions {
+  driver::DriverConfig driver;
+  buffer::BufferConfig buffer;
+  lsm::LsmConfig lsm;
+  nand::NandGeometry geometry;
+  ftl::FtlConfig ftl;
+  sim::CostModel cost;
+  dma::DmaConfig dma;
+  controller::ControllerConfig controller;
+  // Keep value payloads in the NAND model so GET returns real bytes. Turn
+  // off for multi-GiB write-only benches (reads then return zeros).
+  bool retain_payloads = true;
+  std::uint16_t queue_depth = 64;
+  // NVMe submission/completion queue pairs. The built-in driver binds to
+  // queue 0; CreateQueueDriver() attaches further drivers to other queues.
+  std::uint16_t num_queues = 1;
+};
+
+// Counter snapshot covering the quantities the paper's figures report.
+struct KvSsdStats {
+  sim::Nanoseconds elapsed_ns = 0;
+  std::uint64_t commands_submitted = 0;
+  // PCIe (Figures 3, 8, 9, 10c, 10d).
+  std::uint64_t pcie_h2d_bytes = 0;
+  std::uint64_t pcie_d2h_bytes = 0;
+  std::uint64_t mmio_bytes = 0;
+  std::uint64_t dma_h2d_bytes = 0;
+  // NAND (Figures 4, 11, 12c).
+  std::uint64_t nand_pages_programmed = 0;
+  std::uint64_t nand_pages_read = 0;
+  std::uint64_t nand_blocks_erased = 0;
+  std::uint64_t vlog_pages_flushed = 0;
+  std::uint64_t lsm_pages_programmed = 0;
+  std::uint64_t gc_pages_programmed = 0;
+  // Device packing (Figure 12d).
+  std::uint64_t device_memcpy_bytes = 0;
+  std::uint64_t buffer_wasted_bytes = 0;
+  std::uint64_t dlt_forced_evictions = 0;
+  // KVS-level.
+  std::uint64_t values_written = 0;
+  std::uint64_t value_bytes_written = 0;
+  std::uint64_t lsm_compactions = 0;
+  std::uint64_t memtable_flushes = 0;
+};
+
+class KvSsd {
+ public:
+  static Result<std::unique_ptr<KvSsd>> Open(const KvSsdOptions& options = {});
+  ~KvSsd();
+
+  KvSsd(const KvSsd&) = delete;
+  KvSsd& operator=(const KvSsd&) = delete;
+
+  // --- KV API --------------------------------------------------------------
+  Status Put(std::string_view key, ByteSpan value);
+  Status Put(std::string_view key, std::string_view value);
+  // Host-side batching comparator (Dotori/KV-CSD style, Section 1).
+  Status PutBatch(const std::vector<driver::KvDriver::KvPair>& batch);
+  Result<Bytes> Get(std::string_view key);
+  Status Delete(std::string_view key);
+  Result<std::uint32_t> Exists(std::string_view key);
+  // Drains the NAND page buffer and checkpoints the LSM-tree manifest.
+  Status Flush();
+  Result<driver::KvDriver::Iterator> Seek(std::string_view from);
+
+  // --- Maintenance / fault injection ---------------------------------------
+  // Relocates live values out of the oldest vLog segment (log cleaning).
+  Result<std::uint64_t> CollectVlogGarbage();
+  // Simulates power loss and firmware reboot: device DRAM state (MemTable,
+  // window bookkeeping) is discarded and rebuilt from the last checkpoint
+  // (Flush()). Data PUT after the last Flush is lost by contract.
+  Status PowerCycle();
+
+  // --- Introspection --------------------------------------------------------
+  KvSsdStats GetStats() const;
+  const sim::VirtualClock& clock() const { return clock_; }
+  const pcie::PcieLink& link() const { return link_; }
+  const stats::MetricsRegistry& metrics() const { return metrics_; }
+  const nand::NandFlash& nand() const { return *nand_; }
+  const ftl::PageFtl& ftl() const { return *ftl_; }
+  const buffer::NandPageBuffer& page_buffer() const { return vlog_->buffer(); }
+  const lsm::LsmTree& lsm() const { return *lsm_; }
+  const KvSsdOptions& options() const { return options_; }
+  driver::KvDriver& raw_driver() { return *driver_; }
+
+  // Attaches an additional host driver bound to `queue_id` (must be
+  // < options().num_queues). Lives as long as the device.
+  Result<driver::KvDriver*> CreateQueueDriver(std::uint16_t queue_id,
+                                              driver::DriverConfig config = {});
+
+ private:
+  explicit KvSsd(const KvSsdOptions& options);
+  void AssembleDevice(std::uint64_t vlog_start_lpn);
+
+  KvSsdOptions options_;
+  stats::MetricsRegistry metrics_;
+  sim::VirtualClock clock_;
+  pcie::PcieLink link_;
+  nvme::HostMemory host_memory_;
+  std::unique_ptr<nvme::NvmeTransport> transport_;
+  std::unique_ptr<dma::DmaEngine> dma_;
+  std::unique_ptr<nand::NandFlash> nand_;
+  std::unique_ptr<ftl::PageFtl> ftl_;
+  std::unique_ptr<vlog::VLog> vlog_;
+  std::unique_ptr<lsm::LsmTree> lsm_;
+  std::unique_ptr<controller::KvController> controller_;
+  std::unique_ptr<driver::KvDriver> driver_;
+  std::vector<std::unique_ptr<driver::KvDriver>> extra_drivers_;
+};
+
+}  // namespace bandslim

@@ -1,0 +1,81 @@
+#include "dma/dma_engine.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bandslim::dma {
+
+DmaEngine::DmaEngine(sim::VirtualClock* clock, const sim::CostModel* cost,
+                     pcie::PcieLink* link, nvme::HostMemory* host,
+                     stats::MetricsRegistry* metrics, DmaConfig config)
+    : clock_(clock),
+      cost_(cost),
+      link_(link),
+      host_(host),
+      config_(config),
+      dma_bytes_(metrics->GetCounter("dma.bytes")),
+      dma_transfers_(metrics->GetCounter("dma.transfers")) {}
+
+Status DmaEngine::CheckAlignment(std::uint64_t device_addr,
+                                 std::uint64_t bytes) const {
+  if (!config_.require_page_alignment) return Status::Ok();
+  if (!IsAlignedPow2(device_addr, kMemPageSize)) {
+    return Status::InvalidArgument("DMA device address not page-aligned");
+  }
+  if (!IsAlignedPow2(bytes, kMemPageSize)) {
+    return Status::InvalidArgument("DMA size not page-aligned");
+  }
+  return Status::Ok();
+}
+
+Status DmaEngine::HostToDevice(const nvme::PrpList& prp,
+                               std::uint64_t device_addr,
+                               const PageSink& sink) {
+  const std::uint64_t bytes = prp.DmaBytes();
+  BANDSLIM_RETURN_IF_ERROR(CheckAlignment(device_addr, bytes));
+  std::size_t off = 0;
+  for (nvme::PageId id : prp.pages()) {
+    ByteSpan src = host_->PageData(id);
+    if (src.empty()) return Status::InvalidArgument("PRP names unallocated page");
+    MutByteSpan dest = sink(off);
+    if (dest.size() < kMemPageSize) {
+      return Status::InvalidArgument("DMA destination page too small");
+    }
+    std::memcpy(dest.data(), src.data(), kMemPageSize);
+    off += kMemPageSize;
+  }
+  link_->Record(pcie::TrafficClass::kDmaData, pcie::Direction::kHostToDevice,
+                bytes);
+  clock_->Advance(cost_->DmaCost(bytes));
+  dma_bytes_->Add(bytes);
+  dma_transfers_->Increment();
+  ++transfers_;
+  return Status::Ok();
+}
+
+Status DmaEngine::DeviceToHost(ByteSpan src, std::uint64_t device_addr,
+                               const nvme::PrpList& prp) {
+  const std::uint64_t bytes = CeilDiv(src.size(), kMemPageSize) * kMemPageSize;
+  BANDSLIM_RETURN_IF_ERROR(CheckAlignment(device_addr, bytes));
+  if (prp.DmaBytes() < bytes) {
+    return Status::InvalidArgument("PRP receive buffer smaller than transfer");
+  }
+  std::size_t off = 0;
+  for (nvme::PageId id : prp.pages()) {
+    if (off >= src.size()) break;
+    MutByteSpan dst = host_->PageData(id);
+    if (dst.empty()) return Status::InvalidArgument("PRP names unallocated page");
+    const std::size_t n = std::min(kMemPageSize, src.size() - off);
+    std::memcpy(dst.data(), src.data() + off, n);
+    off += n;
+  }
+  link_->Record(pcie::TrafficClass::kDmaData, pcie::Direction::kDeviceToHost,
+                bytes);
+  clock_->Advance(cost_->DmaCost(bytes));
+  dma_bytes_->Add(bytes);
+  dma_transfers_->Increment();
+  ++transfers_;
+  return Status::Ok();
+}
+
+}  // namespace bandslim::dma

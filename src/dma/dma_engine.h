@@ -1,0 +1,66 @@
+// In-device DMA engine model. Mirrors the restriction of the Cosmos+
+// engine (and others, Section 2.5): transfer sizes and *device-side*
+// destination addresses must be aligned to the 4 KiB memory page. This
+// restriction is what forces the Selective Packing design — large values
+// cannot be DMA'd to an arbitrary byte offset in the NAND page buffer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "nvme/host_memory.h"
+#include "nvme/prp.h"
+#include "pcie/link.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "stats/metrics.h"
+
+namespace bandslim::dma {
+
+struct DmaConfig {
+  // When true (the testbed default), device addresses and sizes must be
+  // 4 KiB aligned. Disable to model a byte-granular engine (ablation).
+  bool require_page_alignment = true;
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(sim::VirtualClock* clock, const sim::CostModel* cost,
+            pcie::PcieLink* link, nvme::HostMemory* host,
+            stats::MetricsRegistry* metrics, DmaConfig config = {});
+
+  // Destination resolver: returns the 4 KiB device-memory span for the page
+  // at `byte_offset` within the transfer. Device buffers expose 16 KiB
+  // entries; 4 KiB pages never straddle them, so per-page spans suffice.
+  using PageSink = std::function<MutByteSpan(std::uint64_t byte_offset)>;
+
+  // Page-unit DMA from host memory into device memory. `device_addr` is the
+  // logical device address of the destination (alignment is validated
+  // against it); whole pages always move — prp.DmaBytes() bytes — which is
+  // the amplification of Problem #1.
+  Status HostToDevice(const nvme::PrpList& prp, std::uint64_t device_addr,
+                      const PageSink& sink);
+
+  // Page-unit DMA from device memory into the host pages described by `prp`.
+  // Moves ceil(src.size() / 4K) whole pages of traffic.
+  Status DeviceToHost(ByteSpan src, std::uint64_t device_addr,
+                      const nvme::PrpList& prp);
+
+  std::uint64_t transfers() const { return transfers_; }
+
+ private:
+  Status CheckAlignment(std::uint64_t device_addr, std::uint64_t bytes) const;
+
+  sim::VirtualClock* clock_;
+  const sim::CostModel* cost_;
+  pcie::PcieLink* link_;
+  nvme::HostMemory* host_;
+  DmaConfig config_;
+  std::uint64_t transfers_ = 0;
+  stats::Counter* dma_bytes_;
+  stats::Counter* dma_transfers_;
+};
+
+}  // namespace bandslim::dma

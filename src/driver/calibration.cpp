@@ -1,0 +1,78 @@
+#include "driver/calibration.h"
+
+#include <array>
+#include <string>
+
+namespace bandslim::driver {
+namespace {
+
+// Average virtual nanoseconds per PUT of `value_size` bytes on a fresh
+// scratch device using `method`.
+Result<double> MeasurePutNs(const KvSsdOptions& base, TransferMethod method,
+                            std::uint32_t value_size, std::uint64_t ops) {
+  KvSsdOptions options = base;
+  options.driver.method = method;
+  options.controller.nand_io_enabled = false;  // Isolate the transfer path.
+  auto device = KvSsd::Open(options);
+  if (!device.ok()) return device.status();
+  KvSsd& ssd = *device.value();
+
+  Bytes value(value_size, 0xA5);
+  const auto start = ssd.clock().Now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    std::string key = "k" + std::to_string(i % 997);
+    key.resize(8, '0');
+    BANDSLIM_RETURN_IF_ERROR(ssd.Put(key, ByteSpan(value)));
+  }
+  return static_cast<double>(ssd.clock().Now() - start) /
+         static_cast<double>(ops);
+}
+
+}  // namespace
+
+Result<Thresholds> CalibrateThresholds(const KvSsdOptions& base_options,
+                                       const CalibrationConfig& config) {
+  Thresholds out;
+
+  // --- threshold1: first size where piggybacking loses to PRP -------------
+  // Power-of-two sweep from 4 B, matching the paper's exploratory runs
+  // ("various value sizes ranging from 4 bytes to 8 KB", Section 3.2).
+  constexpr std::array<std::uint32_t, 12> kSizes = {
+      4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+  out.threshold1 = kSizes.back();
+  for (std::uint32_t size : kSizes) {
+    auto piggy = MeasurePutNs(base_options, TransferMethod::kPiggyback, size,
+                              config.ops_per_point);
+    if (!piggy.ok()) return piggy.status();
+    auto prp = MeasurePutNs(base_options, TransferMethod::kPrp, size,
+                            config.ops_per_point);
+    if (!prp.ok()) return prp.status();
+    if (piggy.value() > prp.value()) {
+      out.threshold1 = size;
+      break;
+    }
+  }
+
+  // --- threshold2: largest remainder where hybrid still beats PRP ----------
+  constexpr std::array<std::uint32_t, 10> kRemainders = {
+      4, 8, 16, 32, 56, 64, 128, 256, 512, 1024};
+  out.threshold2 = 0;
+  for (std::uint32_t rem : kRemainders) {
+    const std::uint32_t size = static_cast<std::uint32_t>(kMemPageSize) + rem;
+    auto hybrid = MeasurePutNs(base_options, TransferMethod::kHybrid, size,
+                               config.ops_per_point);
+    if (!hybrid.ok()) return hybrid.status();
+    auto prp = MeasurePutNs(base_options, TransferMethod::kPrp, size,
+                            config.ops_per_point);
+    if (!prp.ok()) return prp.status();
+    if (hybrid.value() <= prp.value()) {
+      out.threshold2 = rem;
+    } else {
+      break;
+    }
+  }
+  if (out.threshold2 == 0) out.threshold2 = 4;
+  return out;
+}
+
+}  // namespace bandslim::driver

@@ -1,0 +1,30 @@
+// The exploratory threshold-calibration benchmark BandSlim ships
+// (Section 4.1): sweeps value sizes over scratch devices with NAND I/O
+// disabled, measures per-method transfer response times on the virtual
+// clock, and derives the two adaptive-transfer thresholds:
+//   threshold1 — the size at which piggybacking stops beating PRP transfer;
+//   threshold2 — the largest sub-page remainder for which a hybrid transfer
+//                still beats a pure PRP transfer.
+#pragma once
+
+#include <cstdint>
+
+#include "core/kvssd.h"
+
+namespace bandslim::driver {
+
+struct Thresholds {
+  std::uint32_t threshold1 = 0;
+  std::uint32_t threshold2 = 0;
+};
+
+struct CalibrationConfig {
+  std::uint64_t ops_per_point = 64;
+};
+
+// Runs the sweep with the cost model / geometry from `base_options`
+// (transfer method and NAND settings are overridden internally).
+Result<Thresholds> CalibrateThresholds(const KvSsdOptions& base_options,
+                                       const CalibrationConfig& config = {});
+
+}  // namespace bandslim::driver

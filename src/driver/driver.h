@@ -1,0 +1,141 @@
+// BandSlim Key-Value Driver (Sections 3.1-3.2): the host-side half. It
+// turns PUT/GET/DELETE/SEEK/NEXT into NVMe key-value commands and picks a
+// value-transfer method per request:
+//   * kPrp       — the baseline: the value rides in host memory pages named
+//                  by a PRP list; whole 4 KiB pages DMA to the device.
+//   * kPiggyback — the value is inlined into the write command (35 B) plus
+//                  trailing transfer commands (56 B each).
+//   * kHybrid    — floor(size/4K) pages go via page-unit DMA, the sub-page
+//                  remainder rides piggybacked transfer commands.
+//   * kAdaptive  — threshold-reactive choice among the three (Section 3.2):
+//                  piggyback for size <= alpha*threshold1; hybrid when the
+//                  sub-page remainder <= beta*threshold2; PRP otherwise.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "nvme/host_memory.h"
+#include "nvme/transport.h"
+
+namespace bandslim::driver {
+
+enum class TransferMethod { kPrp, kPiggyback, kHybrid, kAdaptive };
+
+const char* MethodName(TransferMethod method);
+
+struct DriverConfig {
+  TransferMethod method = TransferMethod::kAdaptive;
+  std::uint32_t threshold1 = 128;  // Piggyback/DMA crossover (bytes).
+  std::uint32_t threshold2 = 56;   // Hybrid-remainder crossover (bytes).
+  double alpha = 1.0;              // >1 favors piggyback (traffic priority).
+  double beta = 1.0;               // >1 favors hybrid (traffic priority).
+  // Extension: submit all commands of one value as a single pipelined batch
+  // (one doorbell) instead of the paper's serialized one-at-a-time
+  // passthrough. Moves the piggyback/DMA crossover up (see
+  // bench/abl_pipelining).
+  bool pipelined_submission = false;
+  // Submission/completion queue pair this driver binds to. Fragment streams
+  // are FIFO per queue (Section 3.3.1); independent drivers on different
+  // queues may interleave at command granularity.
+  std::uint16_t queue_id = 0;
+};
+
+class KvDriver {
+ public:
+  KvDriver(nvme::NvmeTransport* transport, nvme::HostMemory* host,
+           DriverConfig config = {});
+
+  // Which transfer path a value of `size` bytes takes (exposed for tests
+  // and the calibration benchmark).
+  enum class Decision { kPiggyback, kPrp, kHybrid };
+  Decision Decide(std::uint64_t size) const;
+
+  Status Put(std::string_view key, ByteSpan value);
+
+  // Host-side batching (bulk PUT), the approach of Dotori / KV-CSD that the
+  // paper contrasts in Section 1: packs all records into one PRP payload
+  // and a single command. Cheaper in round trips, but the device must
+  // unpack and index every record, and the whole batch sits in volatile
+  // host memory until submitted (the data-loss window the paper criticizes).
+  struct KvPair {
+    std::string key;
+    Bytes value;
+  };
+  Status PutBatch(const std::vector<KvPair>& batch);
+
+  Result<Bytes> Get(std::string_view key);
+  Status Delete(std::string_view key);
+  // Returns the value size if present.
+  Result<std::uint32_t> Exists(std::string_view key);
+  // Drains device buffers and checkpoints the device LSM-tree.
+  Status Flush();
+
+  // Host-side range-scan handle (SEEK/NEXT, after [22]). Records are
+  // fetched in device-filled batches (kKvIterNextBatch) and dispensed
+  // locally, so a scan costs ~one NVMe command per 32 KiB of records.
+  class Iterator {
+   public:
+    ~Iterator();
+    Iterator(Iterator&&) noexcept;
+    Iterator& operator=(Iterator&&) noexcept;
+    Iterator(const Iterator&) = delete;
+    Iterator& operator=(const Iterator&) = delete;
+
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return key_; }
+    const Bytes& value() const { return value_; }
+    // Advances to the following record; invalidates at end.
+    Status Next();
+    void Close();
+
+   private:
+    friend class KvDriver;
+    Iterator(KvDriver* driver, std::uint32_t handle)
+        : driver_(driver), handle_(handle) {}
+    // Pulls the next batch of records from the device.
+    Status FetchBatch();
+
+    KvDriver* driver_;
+    std::uint32_t handle_;
+    bool valid_ = false;
+    bool exhausted_ = false;
+    std::string key_;
+    Bytes value_;
+    std::deque<std::pair<std::string, Bytes>> pending_;
+  };
+  // Positions at the first key >= `from` and fetches it.
+  Result<Iterator> Seek(std::string_view from);
+
+  std::uint64_t puts_issued() const { return puts_issued_; }
+
+ private:
+  Status PutPiggyback(std::string_view key, ByteSpan value);
+  Status PutPrp(std::string_view key, ByteSpan value);
+  Status PutHybrid(std::string_view key, ByteSpan value);
+  nvme::NvmeCommand MakeWriteCommand(std::string_view key,
+                                     std::uint32_t value_size) const;
+  static void AppendTrailingCommands(ByteSpan rest,
+                                     std::vector<nvme::NvmeCommand>* out);
+  Status SendTrailing(ByteSpan rest);
+  // Submits head + trailing as one pipelined batch.
+  Status SendPipelined(nvme::NvmeCommand head, ByteSpan rest);
+  static Status StatusFromCq(const nvme::CqEntry& cqe);
+  // Issues a PRP-read style command, growing the receive buffer on
+  // kBufferTooSmall. On success `payload` holds `result` bytes.
+  Result<std::uint32_t> SubmitRead(nvme::NvmeCommand cmd, Bytes* payload,
+                                   std::size_t initial_pages = 1);
+
+  nvme::NvmeTransport* transport_;
+  nvme::HostMemory* host_;
+  DriverConfig config_;
+  std::uint64_t puts_issued_ = 0;
+};
+
+}  // namespace bandslim::driver

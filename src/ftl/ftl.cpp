@@ -1,0 +1,198 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/random.h"
+
+namespace bandslim::ftl {
+
+PageFtl::PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
+                 FtlConfig config)
+    : nand_(nand),
+      config_(config),
+      rmap_(nand->geometry().total_pages(), kUnmapped),
+      valid_pages_(nand->geometry().total_blocks(), 0),
+      block_full_(nand->geometry().total_blocks(), false),
+      bad_(nand->geometry().total_blocks(), false),
+      gc_relocations_(metrics->GetCounter("ftl.gc_relocated_pages")) {
+  const std::uint64_t blocks = nand->geometry().total_blocks();
+  if (config_.bad_block_rate > 0.0) {
+    Xoshiro256 rng(config_.bad_block_seed);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      if (rng.NextDouble() < config_.bad_block_rate) {
+        bad_[b] = true;
+        ++bad_block_count_;
+      }
+    }
+  }
+  free_blocks_.reserve(blocks);
+  // Pop from the back; filling lowest-numbered blocks first keeps runs
+  // reproducible and easy to inspect.
+  for (std::uint64_t b = blocks; b > 0; --b) {
+    if (!bad_[b - 1]) free_blocks_.push_back(b - 1);
+  }
+  stream_programs_[0] = metrics->GetCounter("ftl.programs.vlog");
+  stream_programs_[1] = metrics->GetCounter("ftl.programs.lsm");
+  stream_programs_[2] = metrics->GetCounter("ftl.programs.gc");
+}
+
+void PageFtl::Invalidate(std::uint64_t ppn) {
+  if (rmap_[ppn] == kUnmapped) return;
+  rmap_[ppn] = kUnmapped;
+  const std::uint64_t block = nand_->geometry().BlockOf(ppn);
+  assert(valid_pages_[block] > 0);
+  --valid_pages_[block];
+}
+
+Result<std::uint64_t> PageFtl::AllocatePage(Stream stream) {
+  ActiveBlock& active = active_[static_cast<int>(stream)];
+  const auto& geom = nand_->geometry();
+  if (active.block == kUnmapped || active.next_page == geom.pages_per_block) {
+    if (active.block != kUnmapped) block_full_[active.block] = true;
+    // GC only when allocating for foreground streams; the GC stream draws
+    // from the reserve directly to avoid re-entry.
+    if (stream != Stream::kGc) {
+      BANDSLIM_RETURN_IF_ERROR(MaybeCollect());
+    }
+    if (free_blocks_.empty()) {
+      return Status::OutOfSpace("no free NAND blocks");
+    }
+    active.block = free_blocks_.back();
+    free_blocks_.pop_back();
+    active.next_page = 0;
+  }
+  return geom.PageIndex(active.block, active.next_page++);
+}
+
+Status PageFtl::MaybeCollect() {
+  while (free_blocks_.size() < config_.gc_low_watermark) {
+    BANDSLIM_RETURN_IF_ERROR(CollectOneBlock());
+  }
+  return Status::Ok();
+}
+
+Status PageFtl::RelocateValidPages(std::uint64_t block) {
+  const auto& geom = nand_->geometry();
+  Bytes tmp(geom.page_size);
+  const std::uint64_t first = geom.PageIndex(block, 0);
+  for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+    const std::uint64_t ppn = first + p;
+    const std::uint64_t lpn = rmap_[ppn];
+    if (lpn == kUnmapped) continue;
+    BANDSLIM_RETURN_IF_ERROR(nand_->Read(ppn, MutByteSpan(tmp)));
+    const bool retain = nand_->HasRetainedData(ppn);
+    auto dest = AllocatePage(Stream::kGc);
+    if (!dest.ok()) return dest.status();
+    const std::uint64_t new_ppn = dest.value();
+    BANDSLIM_RETURN_IF_ERROR(nand_->Program(new_ppn, ByteSpan(tmp), retain));
+    rmap_[ppn] = kUnmapped;
+    rmap_[new_ppn] = lpn;
+    map_[lpn] = new_ppn;
+    ++valid_pages_[geom.BlockOf(new_ppn)];
+    --valid_pages_[block];
+    ++gc_relocated_pages_;
+    gc_relocations_->Increment();
+    stream_programs_[static_cast<int>(Stream::kGc)]->Increment();
+  }
+  assert(valid_pages_[block] == 0);
+  return Status::Ok();
+}
+
+bool PageFtl::IsActive(std::uint64_t block) const {
+  for (const ActiveBlock& a : active_) {
+    if (a.block == block) return true;
+  }
+  return false;
+}
+
+Status PageFtl::CollectOneBlock() {
+  const auto& geom = nand_->geometry();
+  // Victim selection: greedy on valid pages, optionally penalizing worn
+  // blocks (static wear leveling, FtlConfig::wear_weight).
+  std::uint32_t min_erase = ~0u;
+  if (config_.wear_weight > 0.0) {
+    for (std::uint64_t b = 0; b < geom.total_blocks(); ++b) {
+      if (!bad_[b]) min_erase = std::min(min_erase, nand_->EraseCount(b));
+    }
+  }
+  std::uint64_t victim = kUnmapped;
+  double best_score = 1e300;
+  for (std::uint64_t b = 0; b < geom.total_blocks(); ++b) {
+    if (!block_full_[b] || bad_[b]) continue;
+    if (valid_pages_[b] >= geom.pages_per_block) continue;  // Nothing to gain.
+    double score = static_cast<double>(valid_pages_[b]);
+    if (config_.wear_weight > 0.0) {
+      score += config_.wear_weight *
+               static_cast<double>(nand_->EraseCount(b) - min_erase);
+    }
+    if (score < best_score) {
+      best_score = score;
+      victim = b;
+    }
+  }
+  if (victim == kUnmapped) {
+    return Status::OutOfSpace("GC found no reclaimable block");
+  }
+
+  BANDSLIM_RETURN_IF_ERROR(RelocateValidPages(victim));
+  BANDSLIM_RETURN_IF_ERROR(nand_->Erase(victim));
+  block_full_[victim] = false;
+  free_blocks_.push_back(victim);
+  ++gc_runs_;
+  return Status::Ok();
+}
+
+Status PageFtl::MarkBad(std::uint64_t block) {
+  if (block >= nand_->geometry().total_blocks()) {
+    return Status::InvalidArgument("block out of range");
+  }
+  if (bad_[block]) return Status::Ok();
+  if (IsActive(block)) {
+    return Status::InvalidArgument("cannot mark a stream-active block bad");
+  }
+  BANDSLIM_RETURN_IF_ERROR(RelocateValidPages(block));
+  bad_[block] = true;
+  ++bad_block_count_;
+  block_full_[block] = false;
+  // Drop it from the free pool if it was free.
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (*it == block) {
+      free_blocks_.erase(it);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status PageFtl::Write(std::uint64_t lpn, ByteSpan data, Stream stream,
+                      bool retain) {
+  auto ppn = AllocatePage(stream);
+  if (!ppn.ok()) return ppn.status();
+  BANDSLIM_RETURN_IF_ERROR(nand_->Program(ppn.value(), data, retain));
+  auto it = map_.find(lpn);
+  if (it != map_.end()) Invalidate(it->second);
+  map_[lpn] = ppn.value();
+  rmap_[ppn.value()] = lpn;
+  ++valid_pages_[nand_->geometry().BlockOf(ppn.value())];
+  stream_programs_[static_cast<int>(stream)]->Increment();
+  return Status::Ok();
+}
+
+Status PageFtl::Read(std::uint64_t lpn, MutByteSpan out) {
+  auto it = map_.find(lpn);
+  if (it == map_.end()) {
+    return Status::NotFound("unmapped logical NAND page");
+  }
+  return nand_->Read(it->second, out);
+}
+
+Status PageFtl::Trim(std::uint64_t lpn) {
+  auto it = map_.find(lpn);
+  if (it == map_.end()) return Status::Ok();
+  Invalidate(it->second);
+  map_.erase(it);
+  return Status::Ok();
+}
+
+}  // namespace bandslim::ftl

@@ -1,0 +1,101 @@
+// Page-mapped Flash Translation Layer. The vLog and the LSM-tree address
+// *logical* NAND pages (Section 2.1: "it fills logical NAND pages which are
+// mapped to physical NAND pages by the FTL"); this FTL provides the mapping
+// with out-of-place updates, per-stream active blocks (vLog appends, LSM
+// SSTables and GC relocations go to separate blocks), and greedy garbage
+// collection over fully-programmed blocks.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "nand/nand_flash.h"
+#include "stats/metrics.h"
+
+namespace bandslim::ftl {
+
+enum class Stream : int {
+  kVlog = 0,  // Value-log page appends.
+  kLsm = 1,   // SSTable / manifest pages.
+  kGc = 2,    // Relocations during garbage collection.
+};
+inline constexpr int kNumStreams = 3;
+
+struct FtlConfig {
+  // GC starts when the free-block pool drops to this many blocks.
+  std::uint32_t gc_low_watermark = 4;
+  // Wear-aware victim selection: score = valid_pages + wear_weight *
+  // (erase_count - min_erase_count). 0 = pure greedy; >0 spreads erases.
+  double wear_weight = 0.0;
+  // Fraction of blocks factory-marked bad (excluded from allocation).
+  double bad_block_rate = 0.0;
+  std::uint64_t bad_block_seed = 0xBADB10C;
+};
+
+class PageFtl {
+ public:
+  PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
+          FtlConfig config = {});
+
+  // Writes one logical page (out-of-place; remaps if already mapped).
+  Status Write(std::uint64_t lpn, ByteSpan data, Stream stream, bool retain);
+
+  Status Read(std::uint64_t lpn, MutByteSpan out);
+
+  bool IsMapped(std::uint64_t lpn) const { return map_.contains(lpn); }
+
+  // Drops the mapping; the physical page becomes garbage for GC.
+  Status Trim(std::uint64_t lpn);
+
+  std::uint64_t free_blocks() const { return free_blocks_.size(); }
+  std::uint64_t gc_relocated_pages() const { return gc_relocated_pages_; }
+  std::uint64_t gc_runs() const { return gc_runs_; }
+  std::uint64_t mapped_pages() const { return map_.size(); }
+  std::uint64_t bad_blocks() const { return bad_block_count_; }
+  bool IsBad(std::uint64_t block) const { return bad_[block]; }
+
+  // Grown bad block (fault injection): relocates any valid pages, then
+  // permanently excludes the block. Rejected for stream-active blocks.
+  Status MarkBad(std::uint64_t block);
+
+ private:
+  static constexpr std::uint64_t kUnmapped = ~0ULL;
+
+  struct ActiveBlock {
+    std::uint64_t block = kUnmapped;
+    std::uint32_t next_page = 0;
+  };
+
+  // Returns the next free physical page for `stream`, running GC if the
+  // free pool is low. Fails with kOutOfSpace when GC cannot reclaim.
+  Result<std::uint64_t> AllocatePage(Stream stream);
+  Status MaybeCollect();
+  Status CollectOneBlock();
+  // Moves every valid page of `block` to the GC stream's active block.
+  Status RelocateValidPages(std::uint64_t block);
+  bool IsActive(std::uint64_t block) const;
+  void Invalidate(std::uint64_t ppn);
+
+  nand::NandFlash* nand_;
+  FtlConfig config_;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;  // lpn -> ppn.
+  std::vector<std::uint64_t> rmap_;                       // ppn -> lpn.
+  std::vector<std::uint32_t> valid_pages_;                // Per block.
+  std::vector<bool> block_full_;                          // Per block.
+  std::vector<bool> bad_;                                 // Per block.
+  std::vector<std::uint64_t> free_blocks_;
+  ActiveBlock active_[kNumStreams];
+  std::uint64_t bad_block_count_ = 0;
+
+  std::uint64_t gc_relocated_pages_ = 0;
+  std::uint64_t gc_runs_ = 0;
+
+  stats::Counter* stream_programs_[kNumStreams];
+  stats::Counter* gc_relocations_;
+};
+
+}  // namespace bandslim::ftl

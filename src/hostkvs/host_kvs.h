@@ -1,0 +1,67 @@
+// Host-side key-value store (Figure 1a): the conventional stack the paper
+// motivates against. A WiscKey-style design — in-host-memory index mapping
+// keys to a value log stored as a "file" on a block-interface SSD — driven
+// through a modeled kernel path: every operation pays user/kernel crossing
+// and filesystem + block-layer costs before the NVMe round trip, and all
+// media I/O happens in whole 4 KiB blocks.
+//
+// Durability modes:
+//  * fsync_each_put = true  — every PUT rewrites the vLog tail block
+//    (durability parity with a KV-SSD PUT); exhibits the block-granular
+//    write amplification the paper's Problem #1/#2 generalize.
+//  * fsync_each_put = false — page-cache buffering: the tail block is
+//    written once full; fast, but PUTs since the last flush are volatile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "blockdev/block_ssd.h"
+#include "common/status.h"
+#include "lsm/memtable.h"
+
+namespace bandslim::hostkvs {
+
+struct HostKvsConfig {
+  bool fsync_each_put = true;
+};
+
+class HostKvs {
+ public:
+  HostKvs(blockdev::BlockSsd* ssd, sim::VirtualClock* clock,
+          const sim::CostModel* cost, stats::MetricsRegistry* metrics,
+          HostKvsConfig config = {});
+
+  Status Put(std::string_view key, ByteSpan value);
+  Result<Bytes> Get(std::string_view key);
+  Status Delete(std::string_view key);
+  // Writes out the buffered tail and the index snapshot, then flushes the
+  // device cache (fsync + fdatasync of the index file).
+  Status Flush();
+
+  std::uint64_t puts_issued() const { return puts_issued_; }
+  std::uint64_t vlog_bytes() const { return vlog_tail_; }
+
+ private:
+  // Models entering the kernel and traversing VFS/FS/block layers once.
+  void ChargeKernelPath();
+  // Writes the dirty tail block(s) of the vLog file to the device.
+  Status SyncTail();
+
+  blockdev::BlockSsd* ssd_;
+  sim::VirtualClock* clock_;
+  const sim::CostModel* cost_;
+  HostKvsConfig config_;
+
+  lsm::MemTable index_;       // Key -> (vLog offset, size); host RAM.
+  std::uint64_t vlog_tail_ = 0;       // Append offset (bytes).
+  std::uint64_t synced_until_ = 0;    // All bytes below are on the device.
+  Bytes staging_;                     // Page-cache image of the tail block.
+
+  std::uint64_t puts_issued_ = 0;
+  stats::Counter* kernel_crossings_;
+  stats::Counter* block_ios_;
+};
+
+}  // namespace bandslim::hostkvs

@@ -1,0 +1,50 @@
+#include "lsm/bloom.h"
+
+#include "common/random.h"
+
+namespace bandslim::lsm {
+
+BloomFilter::BloomFilter(std::size_t expected_keys) {
+  std::size_t bits = expected_keys * kBitsPerKey;
+  if (bits < 64) bits = 64;
+  bits_.assign((bits + 7) / 8, 0);
+}
+
+std::uint64_t BloomFilter::HashKey(std::string_view key) {
+  // FNV-1a folded through SplitMix64 for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return SplitMix64(h);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  if (bits_.empty()) return;
+  const std::uint64_t h = HashKey(key);
+  const std::uint64_t nbits = bits_.size() * 8;
+  std::uint64_t a = h;
+  const std::uint64_t b = (h >> 32) | (h << 32);
+  for (int i = 0; i < kNumProbes; ++i) {
+    const std::uint64_t bit = a % nbits;
+    bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    a += b;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  if (bits_.empty()) return true;  // No filter -> must check the table.
+  const std::uint64_t h = HashKey(key);
+  const std::uint64_t nbits = bits_.size() * 8;
+  std::uint64_t a = h;
+  const std::uint64_t b = (h >> 32) | (h << 32);
+  for (int i = 0; i < kNumProbes; ++i) {
+    const std::uint64_t bit = a % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+    a += b;
+  }
+  return true;
+}
+
+}  // namespace bandslim::lsm

@@ -1,0 +1,41 @@
+// Bloom filter for SSTable key membership. Filters live in device DRAM
+// alongside the table metadata (as PinK keeps its meta resident), so a GET
+// for an absent key skips the NAND reads of loading the table. Double
+// hashing over a 64-bit mix gives k probe positions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandslim::lsm {
+
+class BloomFilter {
+ public:
+  // ~10 bits/key, k = 7: <1 % false-positive rate.
+  static constexpr std::size_t kBitsPerKey = 10;
+  static constexpr int kNumProbes = 7;
+
+  BloomFilter() = default;
+
+  // Builds a filter sized for `expected_keys`.
+  explicit BloomFilter(std::size_t expected_keys);
+  // Reconstructs from serialized bits.
+  explicit BloomFilter(Bytes bits) : bits_(std::move(bits)) {}
+
+  void Add(std::string_view key);
+  // False negatives never happen; false positives at the configured rate.
+  bool MayContain(std::string_view key) const;
+
+  const Bytes& bits() const { return bits_; }
+  bool empty() const { return bits_.empty(); }
+
+ private:
+  static std::uint64_t HashKey(std::string_view key);
+  Bytes bits_;
+};
+
+}  // namespace bandslim::lsm

@@ -1,0 +1,68 @@
+#include "lsm/compaction.h"
+
+#include <queue>
+
+namespace bandslim::lsm {
+
+std::vector<SSTableEntry> MergeRuns(
+    const std::vector<const std::vector<SSTableEntry>*>& runs,
+    bool drop_tombstones) {
+  // Heap element: (key, run priority, index within run). Lower priority
+  // number = newer run = wins on equal keys.
+  struct Cursor {
+    std::size_t run;
+    std::size_t index;
+  };
+  auto key_of = [&](const Cursor& c) -> const std::string& {
+    return (*runs[c.run])[c.index].key;
+  };
+  auto greater = [&](const Cursor& a, const Cursor& b) {
+    const std::string& ka = key_of(a);
+    const std::string& kb = key_of(b);
+    if (ka != kb) return ka > kb;
+    return a.run > b.run;  // Newer run (smaller index) pops first.
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(greater);
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r]->empty()) heap.push({r, 0});
+  }
+
+  std::vector<SSTableEntry> merged;
+  std::string last_key;
+  bool have_last = false;
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    const SSTableEntry& e = (*runs[c.run])[c.index];
+    if (!have_last || e.key != last_key) {
+      if (!(drop_tombstones && e.ref.tombstone)) merged.push_back(e);
+      last_key = e.key;
+      have_last = true;
+    }
+    if (c.index + 1 < runs[c.run]->size()) {
+      heap.push({c.run, c.index + 1});
+    }
+  }
+  return merged;
+}
+
+std::vector<std::vector<SSTableEntry>> SplitRun(std::vector<SSTableEntry> merged,
+                                                std::uint64_t target_bytes) {
+  std::vector<std::vector<SSTableEntry>> out;
+  std::vector<SSTableEntry> current;
+  std::uint64_t bytes = 0;
+  for (SSTableEntry& e : merged) {
+    const std::uint64_t sz = EncodedEntrySize(e);
+    if (!current.empty() && bytes + sz > target_bytes) {
+      out.push_back(std::move(current));
+      current.clear();
+      bytes = 0;
+    }
+    bytes += sz;
+    current.push_back(std::move(e));
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace bandslim::lsm

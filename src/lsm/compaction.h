@@ -1,0 +1,25 @@
+// Merge machinery for LSM compaction. Runs are merged with newest-first
+// precedence; shadowed entries are dropped and tombstones are elided only
+// when merging into the bottom-most populated level (no older data can be
+// resurrected). Thanks to key-value separation only references move —
+// values stay put in the vLog (Section 2.1).
+#pragma once
+
+#include <vector>
+
+#include "lsm/sstable.h"
+
+namespace bandslim::lsm {
+
+// `runs` are sorted entry vectors ordered newest first; each run has unique
+// keys. Returns the merged, sorted, deduplicated run.
+std::vector<SSTableEntry> MergeRuns(
+    const std::vector<const std::vector<SSTableEntry>*>& runs,
+    bool drop_tombstones);
+
+// Splits a merged run into output tables of at most `target_bytes` of
+// serialized size each (entries are never split).
+std::vector<std::vector<SSTableEntry>> SplitRun(
+    std::vector<SSTableEntry> merged, std::uint64_t target_bytes);
+
+}  // namespace bandslim::lsm

@@ -1,0 +1,144 @@
+// The in-device LSM-tree with key-value separation (Sections 2.1, 3.4):
+// a skiplist MemTable over (key -> vLog reference) entries, flushed to
+// leveled SSTables stored on NAND through the FTL. Compactions merge
+// reference entries only — values stay in the vLog — but their NAND I/O is
+// real and shows up in the write-amplification figures (Section 2.4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ftl/ftl.h"
+#include "lsm/compaction.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "stats/metrics.h"
+
+namespace bandslim::lsm {
+
+// Logical-page namespace partitions (the FTL maps a flat logical space;
+// the vLog owns low page numbers).
+inline constexpr std::uint64_t kLsmLpnBase = 1ULL << 40;
+inline constexpr std::uint64_t kManifestLpn = 1ULL << 41;
+
+struct LsmConfig {
+  std::size_t memtable_limit_bytes = 1 << 20;
+  int l0_compaction_trigger = 4;
+  std::uint64_t level_base_bytes = 4ULL << 20;  // L1 target size.
+  double level_size_ratio = 10.0;
+  std::uint64_t sstable_target_bytes = 1ULL << 20;
+  int max_levels = 7;
+  std::uint64_t seed = 0x5eed;
+  // Device-DRAM cache of decoded SSTable pages serving point lookups.
+  std::size_t page_cache_pages = 128;
+};
+
+class LsmTree {
+ public:
+  LsmTree(ftl::PageFtl* ftl, stats::MetricsRegistry* metrics,
+          LsmConfig config = {});
+
+  Status Put(const std::string& key, const ValueRef& ref);
+  Status Delete(const std::string& key);
+  // NotFound covers both absent and tombstoned keys.
+  Result<ValueRef> Get(const std::string& key);
+
+  // Flushes the MemTable to an L0 SSTable (no-op when empty) and runs any
+  // due compactions.
+  Status FlushMemTable();
+
+  // Persists the manifest (level layout + allocation cursors + an opaque
+  // caller cookie, used for the vLog tail) after flushing the MemTable.
+  Status Checkpoint(std::uint64_t cookie);
+  // Rebuilds the level layout from the manifest; returns the cookie.
+  Result<std::uint64_t> Restore();
+
+  // Snapshot iterator over live entries in key order (tombstones and
+  // shadowed versions elided) — the device side of SEEK/NEXT.
+  class Iterator {
+   public:
+    bool Valid() const { return pos_ < entries_.size(); }
+    const std::string& key() const { return entries_[pos_].key; }
+    const ValueRef& ref() const { return entries_[pos_].ref; }
+    void Next() { ++pos_; }
+    void Seek(const std::string& target);
+
+   private:
+    friend class LsmTree;
+    std::vector<SSTableEntry> entries_;
+    std::size_t pos_ = 0;
+  };
+  Result<std::unique_ptr<Iterator>> NewIterator();
+
+  // Visits every live entry (vLog GC liveness scan).
+  Status ForEachLive(
+      const std::function<void(const std::string&, const ValueRef&)>& fn);
+
+  // --- introspection ---------------------------------------------------
+  std::size_t memtable_entries() const { return mem_.entry_count(); }
+  std::size_t memtable_bytes() const { return mem_.approximate_bytes(); }
+  int level_count() const { return static_cast<int>(levels_.size()); }
+  std::size_t TableCount(int level) const { return levels_[static_cast<std::size_t>(level)].size(); }
+  std::uint64_t LevelBytes(int level) const;
+  std::uint64_t compactions_run() const { return compactions_run_; }
+  std::uint64_t memtable_flushes() const { return memtable_flushes_; }
+
+ private:
+  struct Table {
+    SSTableMeta meta;
+    // Whole-table cache: present for freshly written tables (still in
+    // DRAM) and for compaction inputs; point lookups otherwise go through
+    // the page cache.
+    std::shared_ptr<const std::vector<SSTableEntry>> cache;
+  };
+
+  Result<std::shared_ptr<const std::vector<SSTableEntry>>> Load(Table& table);
+  // Point lookup within one table: bloom -> fence keys -> one page read
+  // (served from the page cache when possible). nullptr = not in table.
+  Result<const ValueRef*> FindInTable(Table& table, const std::string& key,
+                                      ValueRef* storage);
+  Result<std::shared_ptr<const std::vector<SSTableEntry>>> LoadPage(
+      const SSTableMeta& meta, std::uint32_t page_index);
+  void InvalidatePages(const SSTableMeta& meta);
+  // Physically trims pages of dropped tables. Deferred until the next
+  // Checkpoint(): the last durable manifest may still reference them, and
+  // trimming earlier would break power-cycle recovery.
+  Status TrimPendingDrops();
+  Status MaybeCompact();
+  Status CompactL0();
+  Status CompactLevel(int level);
+  // Merges `runs` (newest first) into `target_level`, replacing the tables
+  // listed in `consumed` (level, index pairs sorted for removal).
+  Status WriteMerged(std::vector<SSTableEntry> merged, int target_level);
+  bool TargetIsBottomMost(int target_level) const;
+  Status DropTable(const Table& table);
+  std::uint64_t TargetBytes(int level) const;
+
+  ftl::PageFtl* ftl_;
+  LsmConfig config_;
+  MemTable mem_;
+  std::vector<std::vector<Table>> levels_;  // levels_[0]: oldest..newest runs.
+  // Tables removed from the live set whose pages await the next checkpoint.
+  std::vector<SSTableMeta> pending_drops_;
+  // Decoded-page cache (FIFO eviction), keyed by logical page number.
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<SSTableEntry>>>
+      page_cache_;
+  std::deque<std::uint64_t> page_cache_fifo_;
+  std::uint64_t next_table_id_ = 1;
+  std::uint64_t next_lpn_ = kLsmLpnBase;
+  std::uint64_t compactions_run_ = 0;
+  std::uint64_t memtable_flushes_ = 0;
+
+  stats::Counter* compaction_counter_;
+  stats::Counter* flush_counter_;
+  stats::Counter* bloom_skip_counter_;
+};
+
+}  // namespace bandslim::lsm

@@ -1,0 +1,73 @@
+#include "lsm/memtable.h"
+
+namespace bandslim::lsm {
+
+MemTable::MemTable(std::uint64_t seed) : rng_(seed) {
+  head_ = std::make_unique<Node>();
+  head_->next.assign(kMaxHeight, nullptr);
+}
+
+int MemTable::RandomHeight() {
+  // Geometric heights with p = 1/4, as in LevelDB.
+  int height = 1;
+  while (height < kMaxHeight && rng_.Below(4) == 0) ++height;
+  return height;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(const std::string& key,
+                                             Node** prev) const {
+  Node* node = head_.get();
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key < key) {
+      node = node->next[level];
+    }
+    if (prev != nullptr) prev[level] = node;
+  }
+  return node->next[0];
+}
+
+void MemTable::Put(const std::string& key, const ValueRef& ref) {
+  Node* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; ++i) prev[i] = head_.get();
+  Node* found = FindGreaterOrEqual(key, prev);
+  if (found != nullptr && found->key == key) {
+    found->ref = ref;
+    return;
+  }
+  const int height = RandomHeight();
+  if (height > height_) height_ = height;
+  auto node = std::make_unique<Node>();
+  node->key = key;
+  node->ref = ref;
+  node->next.assign(static_cast<std::size_t>(height), nullptr);
+  for (int level = 0; level < height; ++level) {
+    node->next[static_cast<std::size_t>(level)] =
+        prev[level]->next[static_cast<std::size_t>(level)];
+    prev[level]->next[static_cast<std::size_t>(level)] = node.get();
+  }
+  ++count_;
+  approx_bytes_ += key.size() + sizeof(ValueRef) +
+                   static_cast<std::size_t>(height) * sizeof(Node*) +
+                   sizeof(Node);
+  arena_.push_back(std::move(node));
+}
+
+const ValueRef* MemTable::Get(const std::string& key) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node != nullptr && node->key == key) return &node->ref;
+  return nullptr;
+}
+
+void MemTable::Clear() {
+  arena_.clear();
+  head_->next.assign(kMaxHeight, nullptr);
+  height_ = 1;
+  count_ = 0;
+  approx_bytes_ = 0;
+}
+
+MemTable::Iterator MemTable::Seek(const std::string& from) const {
+  return Iterator(FindGreaterOrEqual(from, nullptr));
+}
+
+}  // namespace bandslim::lsm

@@ -1,0 +1,82 @@
+// MemTable: the in-memory component of the device LSM-tree (Figure 2),
+// mapping keys to vLog value references. Implemented as a classic skiplist
+// with deterministic (seeded) tower heights so runs reproduce exactly.
+// Entries are (key -> address, size) — values themselves live in the vLog;
+// this is the key-value separation the paper builds on (Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "vlog/address.h"
+
+namespace bandslim::lsm {
+
+struct ValueRef {
+  vlog::VlogAddr addr = 0;
+  std::uint32_t size = 0;
+  bool tombstone = false;
+};
+
+class MemTable {
+ private:
+  struct Node {
+    std::string key;
+    ValueRef ref;
+    std::vector<Node*> next;  // Tower of forward pointers.
+  };
+
+ public:
+  explicit MemTable(std::uint64_t seed = 0x5eed);
+
+  // Inserts or overwrites.
+  void Put(const std::string& key, const ValueRef& ref);
+  void Delete(const std::string& key) { Put(key, ValueRef{0, 0, true}); }
+
+  // Returns the entry (including tombstones) or nullptr.
+  const ValueRef* Get(const std::string& key) const;
+
+  std::size_t entry_count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  // Approximate DRAM footprint: keys + refs + tower pointers.
+  std::size_t approximate_bytes() const { return approx_bytes_; }
+
+  void Clear();
+
+  // Forward iteration in key order, starting at the first key >= `from`.
+  class Iterator {
+   public:
+    bool Valid() const { return node_ != nullptr; }
+    const std::string& key() const { return node_->key; }
+    const ValueRef& ref() const { return node_->ref; }
+    void Next() { node_ = node_->next[0]; }
+
+   private:
+    friend class MemTable;
+    explicit Iterator(const Node* node) : node_(node) {}
+    const Node* node_;
+  };
+  Iterator Seek(const std::string& from) const;
+  Iterator Begin() const { return Iterator(head_->next[0]); }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  int RandomHeight();
+  // First node with key >= `key`; when `prev` is non-null it receives the
+  // last node with key < `key` at every level.
+  Node* FindGreaterOrEqual(const std::string& key, Node** prev) const;
+
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> arena_;
+  int height_ = 1;
+  std::size_t count_ = 0;
+  std::size_t approx_bytes_ = 0;
+  Xoshiro256 rng_;
+};
+
+}  // namespace bandslim::lsm

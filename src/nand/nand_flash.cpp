@@ -1,0 +1,109 @@
+#include "nand/nand_flash.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bandslim::nand {
+
+NandFlash::NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
+                     const sim::CostModel* cost, stats::MetricsRegistry* metrics)
+    : geometry_(geometry),
+      clock_(clock),
+      cost_(cost),
+      page_state_(geometry.total_pages(), 0),
+      erase_counts_(geometry.total_blocks(), 0),
+      die_free_at_(geometry.dies(), 0),
+      programs_(metrics->GetCounter("nand.pages_programmed")),
+      reads_(metrics->GetCounter("nand.pages_read")),
+      erases_(metrics->GetCounter("nand.blocks_erased")) {}
+
+Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
+                          bool retain_data) {
+  if (phys_page >= geometry_.total_pages()) {
+    return Status::InvalidArgument("program: physical page out of range");
+  }
+  if (data.size() > geometry_.page_size) {
+    return Status::InvalidArgument("program: data larger than a NAND page");
+  }
+  if (page_state_[phys_page] != 0) {
+    return Status::IoError("program-before-erase violation");
+  }
+  page_state_[phys_page] = 1;
+  if (retain_data && !data.empty()) {
+    data_[phys_page] = Bytes(data.begin(), data.end());
+  }
+  if (cost_->nand_async_program) {
+    // Queue on the block's die; the issuing op does not wait.
+    const std::uint64_t die = DieOf(geometry_.BlockOf(phys_page));
+    const sim::Nanoseconds start =
+        std::max(clock_->Now(), die_free_at_[die]);
+    die_free_at_[die] = start + cost_->nand_program_ns;
+    page_ready_at_[phys_page] = die_free_at_[die];
+  } else {
+    clock_->Advance(cost_->nand_program_ns);
+  }
+  ++pages_programmed_;
+  programs_->Increment();
+  return Status::Ok();
+}
+
+Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
+  if (phys_page >= geometry_.total_pages()) {
+    return Status::InvalidArgument("read: physical page out of range");
+  }
+  if (out.size() > geometry_.page_size) {
+    return Status::InvalidArgument("read: span larger than a NAND page");
+  }
+  if (page_state_[phys_page] == 0) {
+    return Status::IoError("read of erased page");
+  }
+  // An in-flight program must land before the page is readable.
+  auto ready = page_ready_at_.find(phys_page);
+  if (ready != page_ready_at_.end()) {
+    if (ready->second > clock_->Now()) {
+      const sim::Nanoseconds wait = ready->second - clock_->Now();
+      clock_->Advance(wait);
+      ++read_stalls_;
+      read_stall_ns_ += wait;
+    }
+    page_ready_at_.erase(ready);
+  }
+  auto it = data_.find(phys_page);
+  if (it == data_.end()) {
+    std::memset(out.data(), 0, out.size());  // Payload was not retained.
+  } else {
+    const std::size_t n = std::min(out.size(), it->second.size());
+    std::memcpy(out.data(), it->second.data(), n);
+    if (n < out.size()) std::memset(out.data() + n, 0, out.size() - n);
+  }
+  clock_->Advance(cost_->nand_read_ns);
+  ++pages_read_;
+  reads_->Increment();
+  return Status::Ok();
+}
+
+Status NandFlash::Erase(std::uint64_t block) {
+  if (block >= geometry_.total_blocks()) {
+    return Status::InvalidArgument("erase: block out of range");
+  }
+  const std::uint64_t first = geometry_.PageIndex(block, 0);
+  for (std::uint32_t p = 0; p < geometry_.pages_per_block; ++p) {
+    page_state_[first + p] = 0;
+    data_.erase(first + p);
+    page_ready_at_.erase(first + p);
+  }
+  ++erase_counts_[block];
+  if (cost_->nand_async_program) {
+    const std::uint64_t die = DieOf(block);
+    const sim::Nanoseconds start =
+        std::max(clock_->Now(), die_free_at_[die]);
+    die_free_at_[die] = start + cost_->nand_erase_ns;
+  } else {
+    clock_->Advance(cost_->nand_erase_ns);
+  }
+  ++blocks_erased_;
+  erases_->Increment();
+  return Status::Ok();
+}
+
+}  // namespace bandslim::nand

@@ -1,0 +1,94 @@
+// NAND flash array model. Enforces the physical rules that make the FTL
+// necessary: pages program in whole-page units, a page cannot be
+// reprogrammed without erasing its block, and erases operate on blocks.
+// Program/read/erase latencies come from the cost model; per-operation
+// counters feed the paper's NAND I/O figures (Figs 4, 11, 12c).
+//
+// Payload retention: callers may program a page with `retain_data = false`,
+// in which case only the page state (and byte count) is tracked and reads
+// return zeros. Benches use this to sweep millions of multi-KiB values
+// without materializing gigabytes of RAM; tests retain everything.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "nand/geometry.h"
+#include "sim/clock.h"
+#include "sim/cost_model.h"
+#include "stats/metrics.h"
+
+namespace bandslim::nand {
+
+enum class PageState : std::uint8_t { kErased = 0, kProgrammed = 1 };
+
+class NandFlash {
+ public:
+  NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
+            const sim::CostModel* cost, stats::MetricsRegistry* metrics);
+
+  const NandGeometry& geometry() const { return geometry_; }
+
+  // Programs a physical page. `data` must be at most one page; shorter data
+  // is implicitly zero-padded (the buffer always hands over full pages).
+  Status Program(std::uint64_t phys_page, ByteSpan data, bool retain_data);
+
+  // Reads a physical page into `out` (up to one page).
+  Status Read(std::uint64_t phys_page, MutByteSpan out);
+
+  Status Erase(std::uint64_t block);
+
+  PageState StateOf(std::uint64_t phys_page) const {
+    return static_cast<PageState>(page_state_[phys_page]);
+  }
+
+  // Whether a programmed page's payload was retained (see class comment).
+  bool HasRetainedData(std::uint64_t phys_page) const {
+    return data_.contains(phys_page);
+  }
+
+  std::uint64_t pages_programmed() const { return pages_programmed_; }
+  std::uint64_t pages_read() const { return pages_read_; }
+  std::uint64_t blocks_erased() const { return blocks_erased_; }
+  std::uint32_t EraseCount(std::uint64_t block) const {
+    return erase_counts_[block];
+  }
+
+  // Die (channel/way) that services a block: blocks stripe across dies.
+  std::uint64_t DieOf(std::uint64_t block) const {
+    return block % geometry_.dies();
+  }
+  // Async-program mode introspection: reads that had to stall on an
+  // in-flight program, and the virtual time lost waiting.
+  std::uint64_t read_stalls() const { return read_stalls_; }
+  sim::Nanoseconds read_stall_ns() const { return read_stall_ns_; }
+
+ private:
+  NandGeometry geometry_;
+  sim::VirtualClock* clock_;
+  const sim::CostModel* cost_;
+
+  std::vector<std::uint8_t> page_state_;       // One entry per physical page.
+  std::vector<std::uint32_t> erase_counts_;    // One entry per block (wear).
+  std::unordered_map<std::uint64_t, Bytes> data_;  // Sparse retained payloads.
+
+  // Async-program mode: when each die finishes its queued work, and when
+  // each in-flight page becomes readable.
+  std::vector<sim::Nanoseconds> die_free_at_;
+  std::unordered_map<std::uint64_t, sim::Nanoseconds> page_ready_at_;
+
+  std::uint64_t pages_programmed_ = 0;
+  std::uint64_t pages_read_ = 0;
+  std::uint64_t blocks_erased_ = 0;
+  std::uint64_t read_stalls_ = 0;
+  sim::Nanoseconds read_stall_ns_ = 0;
+
+  stats::Counter* programs_;
+  stats::Counter* reads_;
+  stats::Counter* erases_;
+};
+
+}  // namespace bandslim::nand

@@ -1,0 +1,116 @@
+#include "nvme/command.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace bandslim::nvme {
+
+void NvmeCommand::set_key(ByteSpan key) {
+  assert(key.size() <= kMaxKeySize);
+  auto bytes = raw_bytes();
+  // dw2-3 hold key bytes [0, 8); dw14-15 hold key bytes [8, 16).
+  const std::size_t low = key.size() < 8 ? key.size() : 8;
+  std::memset(bytes.data() + 8, 0, 8);
+  std::memcpy(bytes.data() + 8, key.data(), low);
+  std::memset(bytes.data() + 56, 0, 8);
+  if (key.size() > 8) {
+    std::memcpy(bytes.data() + 56, key.data() + 8, key.size() - 8);
+  }
+  dw[11] = (dw[11] & ~0xFFu) | static_cast<std::uint32_t>(key.size());
+}
+
+Bytes NvmeCommand::key() const {
+  const std::size_t n = key_size();
+  Bytes out(n);
+  auto bytes = raw_bytes();
+  const std::size_t low = n < 8 ? n : 8;
+  std::memcpy(out.data(), bytes.data() + 8, low);
+  if (n > 8) std::memcpy(out.data() + 8, bytes.data() + 56, n - 8);
+  return out;
+}
+
+namespace codec {
+namespace {
+
+// Byte offsets (within the 64-byte entry) of the write command's piggyback
+// area, in payload order: dw4-9 (bytes 16..40), the three spare bytes of
+// dw11 (45..48), and dw12-13 (bytes 48..56). Total: 35 bytes.
+struct Extent {
+  std::size_t offset;
+  std::size_t length;
+};
+constexpr Extent kWritePiggybackExtents[] = {{16, 24}, {45, 3}, {48, 8}};
+
+constexpr Extent kTransferPayloadExtents[] = {{8, 56}};  // dw2..dw15.
+
+template <std::size_t N>
+std::size_t Scatter(NvmeCommand& cmd, ByteSpan payload, const Extent (&extents)[N]) {
+  auto bytes = cmd.raw_bytes();
+  std::size_t consumed = 0;
+  for (const Extent& e : extents) {
+    if (consumed >= payload.size()) break;
+    const std::size_t n = std::min(e.length, payload.size() - consumed);
+    std::memcpy(bytes.data() + e.offset, payload.data() + consumed, n);
+    consumed += n;
+  }
+  return consumed;
+}
+
+template <std::size_t N>
+void Gather(const NvmeCommand& cmd, MutByteSpan out, const Extent (&extents)[N]) {
+  auto bytes = cmd.raw_bytes();
+  std::size_t produced = 0;
+  for (const Extent& e : extents) {
+    if (produced >= out.size()) break;
+    const std::size_t n = std::min(e.length, out.size() - produced);
+    std::memcpy(out.data() + produced, bytes.data() + e.offset, n);
+    produced += n;
+  }
+  assert(produced == out.size() && "payload larger than piggyback capacity");
+}
+
+}  // namespace
+
+std::size_t SetWritePiggyback(NvmeCommand& cmd, ByteSpan payload) {
+  cmd.set_piggybacked(true);
+  return Scatter(cmd, payload, kWritePiggybackExtents);
+}
+
+void GetWritePiggyback(const NvmeCommand& cmd, MutByteSpan out) {
+  assert(out.size() <= kWriteCmdPiggybackCapacity);
+  Gather(cmd, out, kWritePiggybackExtents);
+}
+
+std::size_t SetTransferPayload(NvmeCommand& cmd, ByteSpan payload) {
+  cmd.set_piggybacked(true);
+  return Scatter(cmd, payload, kTransferPayloadExtents);
+}
+
+void GetTransferPayload(const NvmeCommand& cmd, MutByteSpan out) {
+  assert(out.size() <= kTransferCmdPiggybackCapacity);
+  Gather(cmd, out, kTransferPayloadExtents);
+}
+
+void SetPrpPointers(NvmeCommand& cmd, const PrpList& prp) {
+  const auto& pages = prp.pages();
+  if (!pages.empty()) {
+    cmd.dw[6] = static_cast<std::uint32_t>(pages[0]);
+    cmd.dw[7] = static_cast<std::uint32_t>(pages[0] >> 32);
+  }
+  if (pages.size() > 1) {
+    // With exactly two pages PRP2 is the second page; with more it would be
+    // the physical address of the PRP list page.
+    cmd.dw[8] = static_cast<std::uint32_t>(pages[1]);
+    cmd.dw[9] = static_cast<std::uint32_t>(pages[1] >> 32);
+  }
+  cmd.prp = prp;
+}
+
+std::uint64_t PiggybackCommandCount(std::uint64_t value_size) {
+  if (value_size <= kWriteCmdPiggybackCapacity) return 1;
+  return 1 + CeilDiv(value_size - kWriteCmdPiggybackCapacity,
+                     kTransferCmdPiggybackCapacity);
+}
+
+}  // namespace codec
+}  // namespace bandslim::nvme

@@ -1,0 +1,68 @@
+#include "nvme/host_memory.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bandslim::nvme {
+
+std::vector<PageId> HostMemory::AllocatePages(std::size_t n) {
+  std::vector<PageId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const PageId id = next_id_++;
+    pages_.emplace(id, Bytes(kMemPageSize, 0));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void HostMemory::FreePages(const std::vector<PageId>& pages) {
+  for (PageId id : pages) pages_.erase(id);
+}
+
+MutByteSpan HostMemory::PageData(PageId id) {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+ByteSpan HostMemory::PageData(PageId id) const {
+  auto it = pages_.find(id);
+  if (it == pages_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+Status HostMemory::WriteToPages(const std::vector<PageId>& pages, ByteSpan data) {
+  if (pages.size() * kMemPageSize < data.size()) {
+    return Status::InvalidArgument("host pages too small for payload");
+  }
+  std::size_t off = 0;
+  for (PageId id : pages) {
+    if (off >= data.size()) break;
+    MutByteSpan dst = PageData(id);
+    if (dst.empty()) return Status::InvalidArgument("unallocated host page");
+    const std::size_t n = std::min(kMemPageSize, data.size() - off);
+    std::memcpy(dst.data(), data.data() + off, n);
+    off += n;
+  }
+  return Status::Ok();
+}
+
+Status HostMemory::ReadFromPages(const std::vector<PageId>& pages,
+                                 MutByteSpan out) const {
+  if (pages.size() * kMemPageSize < out.size()) {
+    return Status::InvalidArgument("host pages too small for read");
+  }
+  std::size_t off = 0;
+  for (PageId id : pages) {
+    if (off >= out.size()) break;
+    ByteSpan src = PageData(id);
+    if (src.empty()) return Status::InvalidArgument("unallocated host page");
+    const std::size_t n = std::min(kMemPageSize, out.size() - off);
+    std::memcpy(out.data() + off, src.data(), n);
+    off += n;
+  }
+  return Status::Ok();
+}
+
+}  // namespace bandslim::nvme

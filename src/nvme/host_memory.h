@@ -1,0 +1,44 @@
+// Simulated host DRAM, managed at memory-page (4 KiB) granularity — the
+// allocation unit the NVMe block stack hands to PRP-based DMA. The driver
+// stages values here exactly like the kernel driver pins pages for DMA; the
+// device-side DMA engine reads/writes these pages through PrpList.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace bandslim::nvme {
+
+using PageId = std::uint64_t;
+
+class HostMemory {
+ public:
+  // Allocates `n` memory pages (zero-filled). Pages need not be physically
+  // contiguous — that is the raison d'être of the PRP list.
+  std::vector<PageId> AllocatePages(std::size_t n);
+
+  void FreePages(const std::vector<PageId>& pages);
+
+  // Direct access to a page's 4 KiB of backing storage.
+  MutByteSpan PageData(PageId id);
+  ByteSpan PageData(PageId id) const;
+
+  bool IsAllocated(PageId id) const { return pages_.contains(id); }
+
+  // Scatters `data` across the given pages in order (first page first).
+  Status WriteToPages(const std::vector<PageId>& pages, ByteSpan data);
+  // Gathers `out.size()` bytes from the given pages in order.
+  Status ReadFromPages(const std::vector<PageId>& pages, MutByteSpan out) const;
+
+  std::size_t allocated_pages() const { return pages_.size(); }
+
+ private:
+  std::unordered_map<PageId, Bytes> pages_;
+  PageId next_id_ = 1;
+};
+
+}  // namespace bandslim::nvme

@@ -1,0 +1,42 @@
+// Physical Region Page (PRP) list: the NVMe descriptor for payload in host
+// memory (Section 2.2). PRP1/PRP2 live inside the command; longer payloads
+// spill into a PRP list page that the controller must additionally fetch
+// from host memory — we account that fetch traffic too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "nvme/host_memory.h"
+
+namespace bandslim::nvme {
+
+class PrpList {
+ public:
+  PrpList() = default;
+  explicit PrpList(std::vector<PageId> pages) : pages_(std::move(pages)) {}
+
+  const std::vector<PageId>& pages() const { return pages_; }
+  std::size_t page_count() const { return pages_.size(); }
+  bool empty() const { return pages_.empty(); }
+
+  // PRP semantics: the first two entries ride inside the command (PRP1 and
+  // PRP2); with three or more pages, PRP2 points at a list page that holds
+  // one 8-byte entry per remaining page. Returns the number of bytes the
+  // controller must fetch from host memory to learn the page addresses
+  // (beyond the command itself).
+  std::uint64_t ListFetchBytes() const {
+    if (pages_.size() <= 2) return 0;
+    return (pages_.size() - 1) * 8;  // PRP2 points to the list; entries are 8 B.
+  }
+
+  // Total bytes a page-unit DMA over this list moves (always whole pages —
+  // the amplification at the heart of the paper's Problem #1).
+  std::uint64_t DmaBytes() const { return pages_.size() * kMemPageSize; }
+
+ private:
+  std::vector<PageId> pages_;
+};
+
+}  // namespace bandslim::nvme

@@ -1,0 +1,81 @@
+// NVMe submission / completion queue rings. The simulation drives them
+// synchronously (the paper's passthrough path keeps exactly one command in
+// flight, Section 4.2), but the ring mechanics — depth, head/tail indices,
+// phase bit — are kept structurally faithful so asynchronous drivers can be
+// layered on later.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nvme/command.h"
+
+namespace bandslim::nvme {
+
+class SubmissionQueue {
+ public:
+  explicit SubmissionQueue(std::uint16_t depth) : ring_(depth) {}
+
+  bool Full() const { return Count() == ring_.size() - 1; }
+  bool Empty() const { return head_ == tail_; }
+  std::size_t Count() const {
+    return (tail_ + ring_.size() - head_) % ring_.size();
+  }
+
+  // Host side: place a command at the tail. The caller then rings the
+  // doorbell (modeled by NvmeTransport).
+  bool Push(const NvmeCommand& cmd) {
+    if (Full()) return false;
+    ring_[tail_] = cmd;
+    tail_ = (tail_ + 1) % ring_.size();
+    return true;
+  }
+
+  // Device side: fetch the command at the head.
+  bool Pop(NvmeCommand* out) {
+    if (Empty()) return false;
+    *out = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    return true;
+  }
+
+  std::size_t head() const { return head_; }
+  std::size_t tail() const { return tail_; }
+
+ private:
+  std::vector<NvmeCommand> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::uint16_t depth) : ring_(depth) {}
+
+  bool Full() const { return Count() == ring_.size() - 1; }
+  bool Empty() const { return head_ == tail_; }
+  std::size_t Count() const {
+    return (tail_ + ring_.size() - head_) % ring_.size();
+  }
+
+  bool Push(const CqEntry& entry) {
+    if (Full()) return false;
+    ring_[tail_] = entry;
+    tail_ = (tail_ + 1) % ring_.size();
+    return true;
+  }
+
+  bool Pop(CqEntry* out) {
+    if (Empty()) return false;
+    *out = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    return true;
+  }
+
+ private:
+  std::vector<CqEntry> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+};
+
+}  // namespace bandslim::nvme

@@ -1,0 +1,111 @@
+#include "nvme/transport.h"
+
+#include <cassert>
+
+namespace bandslim::nvme {
+
+NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cost,
+                             pcie::PcieLink* link, stats::MetricsRegistry* metrics,
+                             std::uint16_t queue_depth, std::uint16_t num_queues)
+    : clock_(clock),
+      cost_(cost),
+      link_(link),
+      submit_counter_(metrics->GetCounter("nvme.commands_submitted")) {
+  assert(num_queues >= 1);
+  queues_.reserve(num_queues);
+  for (std::uint16_t q = 0; q < num_queues; ++q) {
+    queues_.emplace_back(queue_depth);
+  }
+}
+
+CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
+  assert(device_ != nullptr && "no device attached");
+  assert(queue_id < queues_.size());
+  QueuePair& qp = queues_[queue_id];
+
+  NvmeCommand entry = cmd;
+  entry.set_cid(next_cid_++);
+
+  // Host: write the SQ entry (host memory, not PCIe) and ring the doorbell.
+  const bool pushed = qp.sq.Push(entry);
+  assert(pushed && "synchronous transport never fills the queue");
+  (void)pushed;
+  link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
+                cost_->mmio_doorbell_bytes);
+
+  // Device: fetch the command (and the PRP list page, if any) from host
+  // memory across PCIe.
+  NvmeCommand fetched;
+  qp.sq.Pop(&fetched);
+  link_->Record(pcie::TrafficClass::kCommandFetch, pcie::Direction::kHostToDevice,
+                cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
+
+  // One synchronous round trip of latency per command (submit + fetch +
+  // interpret + complete + host wakeup). Device-side work (DMA, memcpy,
+  // NAND) advances the clock inside the handler.
+  clock_->Advance(cost_->cmd_round_trip_ns);
+
+  CqEntry cqe = device_->Handle(fetched, queue_id);
+  cqe.cid = fetched.cid();
+
+  // Device: post the completion entry to host memory across PCIe.
+  const bool cq_pushed = qp.cq.Push(cqe);
+  assert(cq_pushed);
+  (void)cq_pushed;
+  link_->Record(pcie::TrafficClass::kCompletion, pcie::Direction::kDeviceToHost,
+                cost_->cqe_bytes);
+
+  CqEntry reaped;
+  qp.cq.Pop(&reaped);
+  ++commands_submitted_;
+  submit_counter_->Increment();
+  return reaped;
+}
+
+std::vector<CqEntry> NvmeTransport::SubmitPipelined(
+    std::uint16_t queue_id, const std::vector<NvmeCommand>& cmds) {
+  assert(device_ != nullptr && "no device attached");
+  assert(queue_id < queues_.size());
+  QueuePair& qp = queues_[queue_id];
+  std::vector<CqEntry> completions;
+  completions.reserve(cmds.size());
+  if (cmds.empty()) return completions;
+
+  // One doorbell ring covers the whole batch.
+  link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
+                cost_->mmio_doorbell_bytes);
+
+  bool first = true;
+  for (const NvmeCommand& cmd : cmds) {
+    NvmeCommand entry = cmd;
+    entry.set_cid(next_cid_++);
+    // The ring may be smaller than the batch; with the device draining
+    // entries synchronously here, push/pop per command is equivalent.
+    const bool pushed = qp.sq.Push(entry);
+    assert(pushed);
+    (void)pushed;
+    NvmeCommand fetched;
+    qp.sq.Pop(&fetched);
+    link_->Record(pcie::TrafficClass::kCommandFetch,
+                  pcie::Direction::kHostToDevice,
+                  cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
+    clock_->Advance(first ? cost_->cmd_round_trip_ns : cost_->cmd_pipelined_ns);
+    first = false;
+
+    CqEntry cqe = device_->Handle(fetched, queue_id);
+    cqe.cid = fetched.cid();
+    const bool cq_pushed = qp.cq.Push(cqe);
+    assert(cq_pushed);
+    (void)cq_pushed;
+    link_->Record(pcie::TrafficClass::kCompletion,
+                  pcie::Direction::kDeviceToHost, cost_->cqe_bytes);
+    CqEntry reaped;
+    qp.cq.Pop(&reaped);
+    completions.push_back(reaped);
+    ++commands_submitted_;
+    submit_counter_->Increment();
+  }
+  return completions;
+}
+
+}  // namespace bandslim::nvme

@@ -1,0 +1,63 @@
+#include "pcie/link.h"
+
+#include <sstream>
+
+namespace bandslim::pcie {
+namespace {
+
+const char* ClassName(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kMmio: return "mmio";
+    case TrafficClass::kCommandFetch: return "cmd_fetch";
+    case TrafficClass::kDmaData: return "dma_data";
+    case TrafficClass::kCompletion: return "completion";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::uint64_t PcieLink::HostToDeviceBytes() const {
+  std::uint64_t total = 0;
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    total += BytesOf(static_cast<TrafficClass>(c), Direction::kHostToDevice);
+  }
+  return total;
+}
+
+std::uint64_t PcieLink::DeviceToHostBytes() const {
+  std::uint64_t total = 0;
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    total += BytesOf(static_cast<TrafficClass>(c), Direction::kDeviceToHost);
+  }
+  return total;
+}
+
+double PcieLink::TrafficAmplificationFactor(
+    std::uint64_t requested_payload_bytes) const {
+  if (requested_payload_bytes == 0) return 0.0;
+  return static_cast<double>(HostToDeviceBytes()) /
+         static_cast<double>(requested_payload_bytes);
+}
+
+void PcieLink::Reset() {
+  for (auto& c : bytes_) c.Reset();
+  for (auto& c : transactions_) c.Reset();
+}
+
+std::string PcieLink::ToString() const {
+  std::ostringstream os;
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    for (int d = 0; d < 2; ++d) {
+      const auto cls = static_cast<TrafficClass>(c);
+      const auto dir = static_cast<Direction>(d);
+      const auto b = BytesOf(cls, dir);
+      if (b == 0) continue;
+      os << ClassName(cls) << (d == 0 ? " h2d " : " d2h ") << b << " B in "
+         << TransactionsOf(cls, dir) << " txns\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bandslim::pcie

@@ -1,0 +1,75 @@
+// PCIe link model. Stands in for the testbed's PCIe Gen2 x8 interconnect +
+// Intel PCM: every protocol transaction (doorbell MMIO, command fetch, PRP
+// DMA, completion) is accounted by category, direction and byte count, so
+// the paper's traffic metrics (total GB moved, Traffic Amplification
+// Factor, MMIO share in Fig 10d) can be reproduced exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "stats/counter.h"
+
+namespace bandslim::pcie {
+
+enum class TrafficClass : int {
+  kMmio = 0,          // Host doorbell writes (Memory-Mapped I/O).
+  kCommandFetch = 1,  // 64 B SQ entries fetched by the controller.
+  kDmaData = 2,       // PRP page-unit DMA payload.
+  kCompletion = 3,    // 16 B CQ entries posted by the controller.
+};
+inline constexpr int kNumTrafficClasses = 4;
+
+enum class Direction : int {
+  kHostToDevice = 0,
+  kDeviceToHost = 1,
+};
+
+// Traffic semantics follow the paper's PCM methodology (Section 2.4): the
+// "PCIe traffic" figures count bytes moved from host memory to the device.
+// Command fetches and PRP-write DMA move host memory to the device (they
+// are device-issued reads of host memory); doorbells are host MMIO writes;
+// completions move device state into host memory.
+class PcieLink {
+ public:
+  void Record(TrafficClass cls, Direction dir, std::uint64_t bytes) {
+    bytes_[Index(cls, dir)].Add(bytes);
+    transactions_[Index(cls, dir)].Increment();
+  }
+
+  std::uint64_t BytesOf(TrafficClass cls, Direction dir) const {
+    return bytes_[Index(cls, dir)].value();
+  }
+  std::uint64_t TransactionsOf(TrafficClass cls, Direction dir) const {
+    return transactions_[Index(cls, dir)].value();
+  }
+
+  // Host-to-device byte total: MMIO + command fetch + write-DMA payload.
+  // This is the quantity plotted in Figures 3, 8, 9 and 10(c).
+  std::uint64_t HostToDeviceBytes() const;
+  std::uint64_t DeviceToHostBytes() const;
+  std::uint64_t TotalBytes() const { return HostToDeviceBytes() + DeviceToHostBytes(); }
+
+  // Host MMIO bytes (doorbell rings), the quantity in Figure 10(d).
+  std::uint64_t MmioBytes() const {
+    return BytesOf(TrafficClass::kMmio, Direction::kHostToDevice);
+  }
+
+  // Traffic Amplification Factor (Section 2.4): host-to-device traffic
+  // divided by the payload bytes the application actually requested.
+  double TrafficAmplificationFactor(std::uint64_t requested_payload_bytes) const;
+
+  void Reset();
+  std::string ToString() const;
+
+ private:
+  static std::size_t Index(TrafficClass cls, Direction dir) {
+    return static_cast<std::size_t>(cls) * 2 + static_cast<std::size_t>(dir);
+  }
+
+  std::array<stats::Counter, kNumTrafficClasses * 2> bytes_;
+  std::array<stats::Counter, kNumTrafficClasses * 2> transactions_;
+};
+
+}  // namespace bandslim::pcie

@@ -1,0 +1,26 @@
+// Virtual clock. All latency in the simulation is accounted by advancing
+// this clock from the cost model; no wall-clock time is ever read, so every
+// run is deterministic and independent of the build machine.
+#pragma once
+
+#include <cstdint>
+
+namespace bandslim::sim {
+
+using Nanoseconds = std::uint64_t;
+
+inline constexpr Nanoseconds kMicrosecond = 1000;
+inline constexpr Nanoseconds kMillisecond = 1000 * kMicrosecond;
+inline constexpr Nanoseconds kSecond = 1000 * kMillisecond;
+
+class VirtualClock {
+ public:
+  Nanoseconds Now() const { return now_ns_; }
+  void Advance(Nanoseconds delta_ns) { now_ns_ += delta_ns; }
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  Nanoseconds now_ns_ = 0;
+};
+
+}  // namespace bandslim::sim

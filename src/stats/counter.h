@@ -1,0 +1,21 @@
+// Simple named counters. The simulation is single-threaded per device
+// instance (the paper's passthrough path is serialized), so plain integers
+// suffice; no atomics on the hot path.
+#pragma once
+
+#include <cstdint>
+
+namespace bandslim::stats {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n) { value_ += n; }
+  void Increment() { ++value_; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace bandslim::stats

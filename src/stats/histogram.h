@@ -1,0 +1,41 @@
+// Log-bucketed histogram for latency distributions. Buckets grow
+// geometrically (x2) from 1 ns, so percentile error is bounded by the
+// bucket width while memory stays constant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bandslim::stats {
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+  // Percentile in [0, 100]; interpolates linearly within a bucket.
+  double Percentile(double p) const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  static int BucketFor(std::uint64_t value);
+
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ULL;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace bandslim::stats

@@ -1,0 +1,42 @@
+#include "stats/metrics.h"
+
+#include <sstream>
+
+namespace bandslim::stats {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &histograms_[name];
+}
+
+std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::SnapshotCounters() const {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c.value());
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " : " << h.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bandslim::stats

@@ -1,0 +1,38 @@
+// MetricsRegistry: a named collection of counters and histograms owned by a
+// device instance. Components hold stable pointers obtained at construction
+// (the registry never invalidates them), so hot-path updates are a single
+// integer add with no map lookup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "stats/counter.h"
+#include "stats/histogram.h"
+
+namespace bandslim::stats {
+
+class MetricsRegistry {
+ public:
+  // Returns the counter/histogram with `name`, creating it on first use.
+  // Pointers remain valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  std::uint64_t CounterValue(const std::string& name) const;
+
+  // Flat snapshot of every counter (name -> value), sorted by name.
+  std::map<std::string, std::uint64_t> SnapshotCounters() const;
+
+  void ResetAll();
+
+  // Human-readable dump of all counters and histogram summaries.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace bandslim::stats

@@ -1,0 +1,67 @@
+#include "vlog/vlog.h"
+
+#include <algorithm>
+
+namespace bandslim::vlog {
+
+VLog::VLog(ftl::PageFtl* ftl, sim::VirtualClock* clock,
+           const sim::CostModel* cost, stats::MetricsRegistry* metrics,
+           const buffer::BufferConfig& buf_config, bool retain_payloads)
+    : ftl_(ftl),
+      retain_payloads_(retain_payloads),
+      buffer_(buf_config, clock, cost, metrics,
+              [this](std::uint64_t lpn, ByteSpan page, std::uint32_t used) {
+                return FlushPage(lpn, page, used);
+              }) {}
+
+Status VLog::FlushPage(std::uint64_t lpn, ByteSpan page,
+                       std::uint32_t used_bytes) {
+  page_used_[lpn] = used_bytes;
+  return ftl_->Write(lpn, page, ftl::Stream::kVlog, retain_payloads_);
+}
+
+Status VLog::Read(VlogAddr addr, MutByteSpan out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const VlogAddr a = addr + done;
+    const std::uint64_t lpn = LpnOf(a);
+    const std::uint64_t offset = PageOffsetOf(a);
+    const std::size_t n =
+        std::min<std::size_t>(kNandPageSize - offset, out.size() - done);
+    if (a >= buffer_.window_base_addr()) {
+      BANDSLIM_RETURN_IF_ERROR(
+          buffer_.ReadRange(a, out.subspan(done, n)));
+    } else {
+      if (lpn != cached_lpn_) {
+        if (cached_page_.empty()) cached_page_.resize(kNandPageSize);
+        cached_lpn_ = ~0ULL;  // Stay invalid if the FTL read fails.
+        BANDSLIM_RETURN_IF_ERROR(ftl_->Read(lpn, MutByteSpan(cached_page_)));
+        cached_lpn_ = lpn;
+      } else {
+        ++read_cache_hits_;
+      }
+      std::copy_n(cached_page_.begin() + static_cast<std::ptrdiff_t>(offset),
+                  n, out.begin() + static_cast<std::ptrdiff_t>(done));
+    }
+    done += n;
+  }
+  return Status::Ok();
+}
+
+Status VLog::TrimPages(std::uint64_t first_lpn, std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    BANDSLIM_RETURN_IF_ERROR(ftl_->Trim(first_lpn + i));
+    page_used_.erase(first_lpn + i);
+  }
+  if (cached_lpn_ >= first_lpn && cached_lpn_ < first_lpn + count) {
+    cached_lpn_ = ~0ULL;
+  }
+  return Status::Ok();
+}
+
+std::uint64_t VLog::FlushedPageUsedBytes(std::uint64_t lpn) const {
+  auto it = page_used_.find(lpn);
+  return it == page_used_.end() ? 0 : it->second;
+}
+
+}  // namespace bandslim::vlog

@@ -1,0 +1,59 @@
+// Value Log: the linear logical NAND address space values are appended to
+// (Section 2.1). The tail of the log lives in the NAND page buffer; flushed
+// pages are persisted through the FTL. Reads transparently source each
+// 16 KiB-page segment from the buffer window or from NAND.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "buffer/page_buffer.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "ftl/ftl.h"
+#include "vlog/address.h"
+
+namespace bandslim::vlog {
+
+class VLog {
+ public:
+  VLog(ftl::PageFtl* ftl, sim::VirtualClock* clock, const sim::CostModel* cost,
+       stats::MetricsRegistry* metrics, const buffer::BufferConfig& buf_config,
+       bool retain_payloads);
+
+  // The controller drives the write path directly through the buffer.
+  buffer::NandPageBuffer& buffer() { return buffer_; }
+  const buffer::NandPageBuffer& buffer() const { return buffer_; }
+
+  // Reads `out.size()` bytes starting at byte address `addr`, mixing buffer
+  // and NAND segments as needed.
+  Status Read(VlogAddr addr, MutByteSpan out);
+
+  // Drains the buffer to NAND.
+  Status Drain() { return buffer_.FlushAll(); }
+
+  // Drops `count` flushed logical pages starting at `first_lpn` (all values
+  // inside must have been relocated; used by vLog garbage collection).
+  Status TrimPages(std::uint64_t first_lpn, std::uint64_t count);
+
+  // Payload bytes recorded per flushed page (GC accounting).
+  std::uint64_t FlushedPageUsedBytes(std::uint64_t lpn) const;
+  std::uint64_t flushed_pages() const { return buffer_.flushed_pages(); }
+
+  std::uint64_t read_cache_hits() const { return read_cache_hits_; }
+
+ private:
+  Status FlushPage(std::uint64_t lpn, ByteSpan page, std::uint32_t used_bytes);
+
+  ftl::PageFtl* ftl_;
+  bool retain_payloads_;
+  std::unordered_map<std::uint64_t, std::uint32_t> page_used_;
+  // Single-page read cache (device DRAM): sequential scans and co-located
+  // GETs of densely packed values avoid re-reading the same NAND page.
+  std::uint64_t cached_lpn_ = ~0ULL;
+  Bytes cached_page_;
+  std::uint64_t read_cache_hits_ = 0;
+  buffer::NandPageBuffer buffer_;  // Must follow fields FlushPage captures.
+};
+
+}  // namespace bandslim::vlog

@@ -1,0 +1,72 @@
+#include "workload/key_gen.h"
+
+#include <cmath>
+
+namespace bandslim::workload {
+namespace {
+
+std::string KeyFromU32(std::uint32_t v) {
+  std::string key(4, '\0');
+  key[0] = static_cast<char>(v >> 24);
+  key[1] = static_cast<char>(v >> 16);
+  key[2] = static_cast<char>(v >> 8);
+  key[3] = static_cast<char>(v);
+  return key;
+}
+
+}  // namespace
+
+std::string SequentialKeyGenerator::Next() { return KeyFromU32(next_++); }
+
+std::uint32_t UniqueHashKeyGenerator::Mix32(std::uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x85ebca6bu;
+  x ^= x >> 13;
+  x *= 0xc2b2ae35u;
+  x ^= x >> 16;
+  return x;
+}
+
+std::string UniqueHashKeyGenerator::Next() {
+  return KeyFromU32(Mix32(next_++ + seed_));
+}
+
+ZipfianKeyChooser::ZipfianKeyChooser(std::uint64_t num_keys, double theta,
+                                     std::uint64_t seed)
+    : num_keys_(num_keys), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(num_keys_);
+  const double zeta2 = Zeta(2);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianKeyChooser::Zeta(std::uint64_t n) const {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  return sum;
+}
+
+std::uint64_t ZipfianKeyChooser::NextIndex() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  std::uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<std::uint64_t>(
+        static_cast<double>(num_keys_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= num_keys_) rank = num_keys_ - 1;
+  }
+  // Scatter ranks across the key space with a multiplicative permutation
+  // (the prime is coprime with any realistic key count), so hot keys are
+  // not adjacent and every rank maps to a distinct key.
+  return (rank * 0x9E3779B1ULL) % num_keys_;
+}
+
+}  // namespace bandslim::workload

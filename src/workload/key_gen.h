@@ -1,0 +1,71 @@
+// Key generators matching Section 4.1: 4-byte unique keys, either
+// sequential (db_bench fillseq, Workload A) or scrambled through an
+// invertible 32-bit hash so random-order workloads still never repeat a key.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+
+namespace bandslim::workload {
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual std::string Next() = 0;
+  virtual void Reset() = 0;
+};
+
+// Big-endian 4-byte counter: keys arrive in ascending order.
+class SequentialKeyGenerator : public KeyGenerator {
+ public:
+  explicit SequentialKeyGenerator(std::uint32_t start = 0) : start_(start), next_(start) {}
+  std::string Next() override;
+  void Reset() override { next_ = start_; }
+
+ private:
+  std::uint32_t start_;
+  std::uint32_t next_;
+};
+
+// counter -> bijective 32-bit mix (murmur3 finalizer, which is invertible):
+// uniformly random-looking order, guaranteed unique.
+class UniqueHashKeyGenerator : public KeyGenerator {
+ public:
+  explicit UniqueHashKeyGenerator(std::uint32_t seed = 0x9e3779b9)
+      : seed_(seed) {}
+  std::string Next() override;
+  void Reset() override { next_ = 0; }
+
+  static std::uint32_t Mix32(std::uint32_t x);
+
+ private:
+  std::uint32_t seed_;
+  std::uint32_t next_ = 0;
+};
+
+// Zipfian key popularity over a fixed key space (YCSB's request
+// distribution), using the Gray et al. rejection-free generator. Keys
+// repeat — use for read/update mixes, not unique-insert loads.
+class ZipfianKeyChooser {
+ public:
+  explicit ZipfianKeyChooser(std::uint64_t num_keys, double theta = 0.99,
+                             std::uint64_t seed = 1);
+  // Index in [0, num_keys), skew-distributed, scattered by a hash so the
+  // hottest keys are not clustered.
+  std::uint64_t NextIndex();
+
+ private:
+  double Zeta(std::uint64_t n) const;
+
+  std::uint64_t num_keys_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace bandslim::workload

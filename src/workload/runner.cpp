@@ -1,0 +1,70 @@
+#include "workload/runner.h"
+
+namespace bandslim::workload {
+
+KvSsdStats StatsDelta(const KvSsdStats& after, const KvSsdStats& before) {
+  KvSsdStats d;
+  d.elapsed_ns = after.elapsed_ns - before.elapsed_ns;
+  d.commands_submitted = after.commands_submitted - before.commands_submitted;
+  d.pcie_h2d_bytes = after.pcie_h2d_bytes - before.pcie_h2d_bytes;
+  d.pcie_d2h_bytes = after.pcie_d2h_bytes - before.pcie_d2h_bytes;
+  d.mmio_bytes = after.mmio_bytes - before.mmio_bytes;
+  d.dma_h2d_bytes = after.dma_h2d_bytes - before.dma_h2d_bytes;
+  d.nand_pages_programmed =
+      after.nand_pages_programmed - before.nand_pages_programmed;
+  d.nand_pages_read = after.nand_pages_read - before.nand_pages_read;
+  d.nand_blocks_erased = after.nand_blocks_erased - before.nand_blocks_erased;
+  d.vlog_pages_flushed = after.vlog_pages_flushed - before.vlog_pages_flushed;
+  d.lsm_pages_programmed =
+      after.lsm_pages_programmed - before.lsm_pages_programmed;
+  d.gc_pages_programmed = after.gc_pages_programmed - before.gc_pages_programmed;
+  d.device_memcpy_bytes = after.device_memcpy_bytes - before.device_memcpy_bytes;
+  d.buffer_wasted_bytes = after.buffer_wasted_bytes - before.buffer_wasted_bytes;
+  d.dlt_forced_evictions =
+      after.dlt_forced_evictions - before.dlt_forced_evictions;
+  d.values_written = after.values_written - before.values_written;
+  d.value_bytes_written =
+      after.value_bytes_written - before.value_bytes_written;
+  d.lsm_compactions = after.lsm_compactions - before.lsm_compactions;
+  d.memtable_flushes = after.memtable_flushes - before.memtable_flushes;
+  return d;
+}
+
+RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
+                         const std::string& config_label) {
+  RunResult result;
+  result.workload = spec.name;
+  result.config = config_label;
+  result.ops = spec.ops;
+
+  Xoshiro256 rng(spec.seed);
+  Bytes value(spec.sizes->MaxSize(), 0xA5);
+  spec.keys->Reset();
+
+  const KvSsdStats before = ssd.GetStats();
+  const sim::Nanoseconds start = ssd.clock().Now();
+
+  for (std::uint64_t i = 0; i < spec.ops; ++i) {
+    const std::string key = spec.keys->Next();
+    const std::size_t size = spec.sizes->Next(rng);
+    // Stamp the op index so payloads differ without a full refill.
+    for (int b = 0; b < 8 && static_cast<std::size_t>(b) < size; ++b) {
+      value[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(i >> (8 * b));
+    }
+    const sim::Nanoseconds op_start = ssd.clock().Now();
+    const Status st = ssd.Put(key, ByteSpan(value).subspan(0, size));
+    if (!st.ok()) {
+      // Surface failures loudly: a bench must not silently keep going.
+      result.workload += " [FAILED: " + st.ToString() + "]";
+      break;
+    }
+    result.latency_ns.Record(ssd.clock().Now() - op_start);
+    result.requested_value_bytes += size;
+  }
+
+  result.elapsed_ns = ssd.clock().Now() - start;
+  result.delta = StatsDelta(ssd.GetStats(), before);
+  return result;
+}
+
+}  // namespace bandslim::workload

@@ -1,0 +1,61 @@
+// Workload runner: drives a KvSsd through a WorkloadSpec on the virtual
+// clock, collecting the per-op latency histogram and the counter deltas the
+// paper's figures are built from.
+#pragma once
+
+#include <string>
+
+#include "core/kvssd.h"
+#include "stats/histogram.h"
+#include "workload/workloads.h"
+
+namespace bandslim::workload {
+
+struct RunResult {
+  std::string workload;
+  std::string config;
+  std::uint64_t ops = 0;
+  std::uint64_t requested_value_bytes = 0;
+  sim::Nanoseconds elapsed_ns = 0;
+  stats::Histogram latency_ns;
+
+  // Counter deltas across the run.
+  KvSsdStats delta;
+
+  double MeanResponseUs() const { return latency_ns.Mean() / 1000.0; }
+  double P99ResponseUs() const { return latency_ns.Percentile(99) / 1000.0; }
+  double KopsPerSec() const {
+    if (elapsed_ns == 0) return 0.0;
+    return static_cast<double>(ops) / (static_cast<double>(elapsed_ns) / 1e9) /
+           1000.0;
+  }
+  // Host-to-device traffic per op / amplification factor.
+  double TrafficPerOpBytes() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(delta.pcie_h2d_bytes) /
+                          static_cast<double>(ops);
+  }
+  double TrafficAmplification() const {
+    return requested_value_bytes == 0
+               ? 0.0
+               : static_cast<double>(delta.pcie_h2d_bytes) /
+                     static_cast<double>(requested_value_bytes);
+  }
+  double WriteAmplification() const {
+    return requested_value_bytes == 0
+               ? 0.0
+               : static_cast<double>(delta.nand_pages_programmed) *
+                     static_cast<double>(kNandPageSize) /
+                     static_cast<double>(requested_value_bytes);
+  }
+};
+
+// Subtracts counters (after - before).
+KvSsdStats StatsDelta(const KvSsdStats& after, const KvSsdStats& before);
+
+// Issues `spec.ops` PUTs. Value contents are a cheap deterministic pattern
+// (benches measure transfer/packing, not data entropy).
+RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
+                         const std::string& config_label);
+
+}  // namespace bandslim::workload

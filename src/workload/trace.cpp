@@ -1,0 +1,143 @@
+#include "workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "workload/value_gen.h"
+
+namespace bandslim::workload {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}  // namespace
+
+std::string HexEncode(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() * 2);
+  for (unsigned char c : raw) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xF]);
+  }
+  return out;
+}
+
+Result<std::string> HexDecode(const std::string& hex) {
+  if (hex.size() % 2 != 0) return Status::InvalidArgument("odd hex length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status::InvalidArgument("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void WriteTrace(const Trace& trace, std::ostream& out) {
+  for (const TraceRecord& r : trace) {
+    switch (r.op) {
+      case TraceOp::kPut:
+        out << "put " << HexEncode(r.key) << ' ' << r.value_size << '\n';
+        break;
+      case TraceOp::kGet:
+        out << "get " << HexEncode(r.key) << '\n';
+        break;
+      case TraceOp::kDelete:
+        out << "del " << HexEncode(r.key) << '\n';
+        break;
+    }
+  }
+}
+
+Result<Trace> ReadTrace(std::istream& in) {
+  Trace trace;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string op;
+    std::string hexkey;
+    ls >> op >> hexkey;
+    if (ls.fail()) {
+      return Status::Corruption("trace line " + std::to_string(lineno));
+    }
+    auto key = HexDecode(hexkey);
+    if (!key.ok()) return key.status();
+    TraceRecord record;
+    record.key = std::move(key).value();
+    if (op == "put") {
+      ls >> record.value_size;
+      if (ls.fail() || record.value_size == 0) {
+        return Status::Corruption("bad put size, line " + std::to_string(lineno));
+      }
+      record.op = TraceOp::kPut;
+    } else if (op == "get") {
+      record.op = TraceOp::kGet;
+    } else if (op == "del") {
+      record.op = TraceOp::kDelete;
+    } else {
+      return Status::Corruption("unknown op '" + op + "', line " +
+                                std::to_string(lineno));
+    }
+    trace.push_back(std::move(record));
+  }
+  return trace;
+}
+
+Trace TraceFromSpec(const WorkloadSpec& spec) {
+  Trace trace;
+  trace.reserve(spec.ops);
+  Xoshiro256 rng(spec.seed);
+  spec.keys->Reset();
+  for (std::uint64_t i = 0; i < spec.ops; ++i) {
+    trace.push_back({TraceOp::kPut, spec.keys->Next(),
+                     static_cast<std::uint32_t>(spec.sizes->Next(rng))});
+  }
+  return trace;
+}
+
+Result<ReplayResult> ReplayTrace(KvSsd& ssd, const Trace& trace) {
+  ReplayResult result;
+  std::size_t max_size = 0;
+  for (const TraceRecord& r : trace) {
+    max_size = std::max<std::size_t>(max_size, r.value_size);
+  }
+  Bytes value(max_size, 0xA5);
+  const sim::Nanoseconds start = ssd.clock().Now();
+  for (const TraceRecord& r : trace) {
+    switch (r.op) {
+      case TraceOp::kPut:
+        BANDSLIM_RETURN_IF_ERROR(
+            ssd.Put(r.key, ByteSpan(value).subspan(0, r.value_size)));
+        ++result.puts;
+        break;
+      case TraceOp::kGet: {
+        auto v = ssd.Get(r.key);
+        if (!v.ok()) {
+          if (!v.status().IsNotFound()) return v.status();
+          ++result.get_misses;
+        }
+        ++result.gets;
+        break;
+      }
+      case TraceOp::kDelete:
+        BANDSLIM_RETURN_IF_ERROR(ssd.Delete(r.key));
+        ++result.deletes;
+        break;
+    }
+  }
+  result.elapsed_ns = ssd.clock().Now() - start;
+  return result;
+}
+
+}  // namespace bandslim::workload

@@ -1,0 +1,36 @@
+#include "workload/value_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bandslim::workload {
+
+std::size_t UniformChoice::MaxSize() const {
+  return *std::max_element(sizes_.begin(), sizes_.end());
+}
+
+std::size_t MixgraphSizes::Next(Xoshiro256& rng) {
+  const double u = rng.NextDouble();
+  const double x = sigma_ / k_ * (std::pow(1.0 - u, -k_) - 1.0);
+  const auto size = static_cast<std::size_t>(std::llround(x));
+  return std::clamp(size, min_, cap_);
+}
+
+void FillValue(MutByteSpan out, std::uint64_t seed, std::uint64_t tag) {
+  std::uint64_t state = SplitMix64(seed ^ (tag * 0x9e3779b97f4a7c15ULL));
+  std::size_t i = 0;
+  while (i < out.size()) {
+    state = SplitMix64(state);
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(state >> (8 * b));
+    }
+  }
+}
+
+Bytes MakeValue(std::size_t size, std::uint64_t seed, std::uint64_t tag) {
+  Bytes value(size);
+  FillValue(MutByteSpan(value), seed, tag);
+  return value;
+}
+
+}  // namespace bandslim::workload

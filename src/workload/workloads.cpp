@@ -1,0 +1,61 @@
+#include "workload/workloads.h"
+
+namespace bandslim::workload {
+
+WorkloadSpec MakeWorkloadA(std::size_t value_size, std::uint64_t ops,
+                           std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "A(fillseq," + std::to_string(value_size) + "B)";
+  spec.keys = std::make_unique<SequentialKeyGenerator>();
+  spec.sizes = std::make_unique<FixedSize>(value_size);
+  spec.ops = ops;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec MakeWorkloadB(std::uint64_t ops, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "W(B)";
+  spec.keys = std::make_unique<UniqueHashKeyGenerator>(
+      static_cast<std::uint32_t>(seed * 0x9e3779b9u + 1));
+  spec.sizes = std::make_unique<TwoPointMix>(8, 2048, 0.9);
+  spec.ops = ops;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec MakeWorkloadC(std::uint64_t ops, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "W(C)";
+  spec.keys = std::make_unique<UniqueHashKeyGenerator>(
+      static_cast<std::uint32_t>(seed * 0x9e3779b9u + 2));
+  spec.sizes = std::make_unique<TwoPointMix>(8, 2048, 0.1);
+  spec.ops = ops;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec MakeWorkloadD(std::uint64_t ops, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "W(D)";
+  spec.keys = std::make_unique<UniqueHashKeyGenerator>(
+      static_cast<std::uint32_t>(seed * 0x9e3779b9u + 3));
+  spec.sizes = std::make_unique<UniformChoice>(
+      std::vector<std::size_t>{8, 16, 32, 64, 128, 256, 512, 1024, 2048});
+  spec.ops = ops;
+  spec.seed = seed;
+  return spec;
+}
+
+WorkloadSpec MakeWorkloadM(std::uint64_t ops, std::uint64_t seed) {
+  WorkloadSpec spec;
+  spec.name = "W(M)";
+  spec.keys = std::make_unique<UniqueHashKeyGenerator>(
+      static_cast<std::uint32_t>(seed * 0x9e3779b9u + 4));
+  spec.sizes = std::make_unique<MixgraphSizes>();
+  spec.ops = ops;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace bandslim::workload

@@ -1,0 +1,35 @@
+// The paper's evaluation workloads (Section 4.1):
+//   A — db_bench fillseq: sequential keys, one fixed value size.
+//   B — 1 M random pairs, value 8 B : 2 KiB at 9:1.
+//   C — like B with the ratio reversed (1:9).
+//   D — sizes {8,16,32,64,128,256,512,1024,2048} B in random order, equal mix.
+//   M — db_bench mixgraph All_random: heavy-tailed sizes, <=1 KiB,
+//       ~70-80 % under 35 B.
+// All keys are 4-byte unique (hash-scrambled except A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/key_gen.h"
+#include "workload/value_gen.h"
+
+namespace bandslim::workload {
+
+struct WorkloadSpec {
+  std::string name;
+  std::unique_ptr<KeyGenerator> keys;
+  std::unique_ptr<ValueSizeDistribution> sizes;
+  std::uint64_t ops = 0;
+  std::uint64_t seed = 0;
+};
+
+WorkloadSpec MakeWorkloadA(std::size_t value_size, std::uint64_t ops,
+                           std::uint64_t seed = 1);
+WorkloadSpec MakeWorkloadB(std::uint64_t ops, std::uint64_t seed = 2);
+WorkloadSpec MakeWorkloadC(std::uint64_t ops, std::uint64_t seed = 3);
+WorkloadSpec MakeWorkloadD(std::uint64_t ops, std::uint64_t seed = 4);
+WorkloadSpec MakeWorkloadM(std::uint64_t ops, std::uint64_t seed = 5);
+
+}  // namespace bandslim::workload

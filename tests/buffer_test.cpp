@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "buffer/dma_log_table.h"
+#include "buffer/page_buffer.h"
+#include "workload/value_gen.h"
+
+namespace bandslim::buffer {
+namespace {
+
+TEST(DmaLogTableTest, FifoCircularQueue) {
+  DmaLogTable dlt(3);
+  EXPECT_TRUE(dlt.Empty());
+  EXPECT_TRUE(dlt.Push(4096, 100));
+  EXPECT_TRUE(dlt.Push(8192, 200));
+  EXPECT_TRUE(dlt.Push(12288, 300));
+  EXPECT_TRUE(dlt.Full());
+  EXPECT_FALSE(dlt.Push(16384, 400));
+  EXPECT_EQ(dlt.Oldest()->dest_addr, 4096u);
+  dlt.ConsumeOldest();
+  EXPECT_EQ(dlt.Oldest()->dest_addr, 8192u);
+  EXPECT_TRUE(dlt.Push(16384, 400));  // Wraps around.
+  dlt.ConsumeOldest();
+  dlt.ConsumeOldest();
+  EXPECT_EQ(dlt.Oldest()->dest_addr, 16384u);
+  EXPECT_EQ(dlt.Oldest()->end(), 16784u);
+}
+
+TEST(DmaLogTableTest, CompactEncodingRoundTrip) {
+  // Section 3.3.3: (logical page number, memory-page offset) instead of a
+  // full byte address — destinations are always 4 KiB aligned.
+  for (std::uint64_t lpn : {0ull, 1ull, 12345ull}) {
+    for (std::uint64_t slot = 0; slot < kMemPagesPerNandPage; ++slot) {
+      const std::uint64_t addr = lpn * kNandPageSize + slot * kMemPageSize;
+      EXPECT_EQ(DmaLogTable::DecodeCompact(DmaLogTable::EncodeCompact(addr)),
+                addr);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+struct FlushCapture {
+  struct Page {
+    Bytes data;
+    std::uint32_t used;
+  };
+  std::map<std::uint64_t, Page> pages;
+
+  FlushFn Fn() {
+    return [this](std::uint64_t lpn, ByteSpan page, std::uint32_t used) {
+      EXPECT_FALSE(pages.contains(lpn)) << "double flush of lpn " << lpn;
+      pages[lpn] = Page{Bytes(page.begin(), page.end()), used};
+      return Status::Ok();
+    };
+  }
+};
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<NandPageBuffer> MakeBuffer(PackingPolicy policy,
+                                             std::size_t entries = 64,
+                                             std::size_t dlt = 8) {
+    BufferConfig config;
+    config.policy = policy;
+    config.num_entries = entries;
+    config.dlt_entries = dlt;
+    return std::make_unique<NandPageBuffer>(config, &clock_, &cost_, &metrics_,
+                                            capture_.Fn());
+  }
+
+  std::uint64_t Pack(NandPageBuffer& buf, std::size_t size, std::uint64_t tag) {
+    Bytes v = workload::MakeValue(size, 99, tag);
+    auto r = buf.PackPiggybacked(ByteSpan(v));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value();
+  }
+
+  // Simulates a landed DMA value of `size` bytes (the page-unit payload is
+  // written through DmaPageSlice like the engine does).
+  std::uint64_t Dma(NandPageBuffer& buf, std::size_t size, std::uint64_t tag) {
+    const std::uint64_t prp_bytes = RoundUpPow2(size, kMemPageSize);
+    auto res = buf.ReserveDma(prp_bytes, size);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    Bytes v = workload::MakeValue(RoundUpPow2(size, kMemPageSize), 99, tag);
+    for (std::uint64_t off = 0; off < prp_bytes; off += kMemPageSize) {
+      auto slice = buf.DmaPageSlice(res.value(), off);
+      std::copy_n(v.begin() + static_cast<std::ptrdiff_t>(off), kMemPageSize,
+                  slice.begin());
+    }
+    auto addr = buf.CommitDma(res.value());
+    EXPECT_TRUE(addr.ok()) << addr.status().ToString();
+    return addr.value();
+  }
+
+  void ExpectResident(NandPageBuffer& buf, std::uint64_t addr, std::size_t size,
+                      std::uint64_t tag) {
+    Bytes expected = workload::MakeValue(size, 99, tag);
+    if (size > expected.size()) expected.resize(size);
+    Bytes back(size);
+    ASSERT_TRUE(buf.ReadRange(addr, MutByteSpan(back)).ok());
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), expected.begin()));
+  }
+
+  sim::VirtualClock clock_;
+  sim::CostModel cost_;
+  stats::MetricsRegistry metrics_;
+  FlushCapture capture_;
+};
+
+TEST_F(PolicyTest, BlockPacksAtPageSlots) {
+  auto buf = MakeBuffer(PackingPolicy::kBlock);
+  EXPECT_EQ(Pack(*buf, 32, 1), 0u);
+  EXPECT_EQ(buf->wp(), kMemPageSize);  // A 32 B value consumed a 4 KiB slot.
+  EXPECT_EQ(Pack(*buf, 32, 2), kMemPageSize);
+  EXPECT_EQ(Pack(*buf, 5000, 3), 2 * kMemPageSize);  // 2 slots for 5000 B.
+  EXPECT_EQ(buf->wp(), 4 * kMemPageSize);
+  // WP crossed the 16 KiB entry boundary: one NAND page flushed, carrying
+  // only 32+32+5000 useful bytes.
+  ASSERT_TRUE(capture_.pages.contains(0));
+  EXPECT_EQ(capture_.pages[0].used, 32u + 32u + 5000u);
+  EXPECT_EQ(buf->wasted_bytes(), kNandPageSize - 5064u);
+}
+
+TEST_F(PolicyTest, BlockDmaConsumesPageMultiples) {
+  auto buf = MakeBuffer(PackingPolicy::kBlock);
+  EXPECT_EQ(Dma(*buf, 2048, 1), 0u);
+  EXPECT_EQ(buf->wp(), kMemPageSize);
+  EXPECT_EQ(Dma(*buf, 4100, 2), kMemPageSize);
+  EXPECT_EQ(buf->wp(), 3 * kMemPageSize);
+}
+
+TEST_F(PolicyTest, AllPacksDensely) {
+  auto buf = MakeBuffer(PackingPolicy::kAll);
+  EXPECT_EQ(Pack(*buf, 32, 1), 0u);
+  EXPECT_EQ(Pack(*buf, 100, 2), 32u);
+  EXPECT_EQ(buf->wp(), 132u);
+  // DMA lands at the next page boundary, then is copied back to the WP.
+  const std::uint64_t before_memcpy = buf->memcpy_bytes();
+  EXPECT_EQ(Dma(*buf, 2048, 3), 132u);
+  EXPECT_EQ(buf->wp(), 132u + 2048u);
+  EXPECT_EQ(buf->memcpy_bytes() - before_memcpy, 2048u);
+  ExpectResident(*buf, 132, 2048, 3);
+}
+
+TEST_F(PolicyTest, AllSkipsCopyWhenAligned) {
+  auto buf = MakeBuffer(PackingPolicy::kAll);
+  // WP is at 0 (page aligned): DMA lands in place, no copy (Section 3.3.1).
+  const std::uint64_t before = buf->memcpy_bytes();
+  EXPECT_EQ(Dma(*buf, 2048, 1), 0u);
+  EXPECT_EQ(buf->memcpy_bytes(), before);
+  EXPECT_EQ(buf->wp(), 2048u);
+}
+
+TEST_F(PolicyTest, SelectiveLeavesGapAndMovesWp) {
+  auto buf = MakeBuffer(PackingPolicy::kSelective);
+  Pack(*buf, 32, 1);   // A
+  Pack(*buf, 100, 2);  // B
+  const std::uint64_t before_memcpy = buf->memcpy_bytes();
+  const std::uint64_t c = Dma(*buf, 2048, 3);  // C: page-aligned, no copy.
+  EXPECT_EQ(c, kMemPageSize);
+  EXPECT_EQ(buf->memcpy_bytes(), before_memcpy);  // No memcpy for DMA value.
+  EXPECT_EQ(buf->wp(), kMemPageSize + 2048);      // WP moves past C.
+  // D packs right after C (Figure 7a).
+  EXPECT_EQ(Pack(*buf, 64, 4), kMemPageSize + 2048);
+}
+
+TEST_F(PolicyTest, BackfillKeepsWpAndBackfills) {
+  auto buf = MakeBuffer(PackingPolicy::kSelectiveBackfill);
+  Pack(*buf, 32, 1);   // A
+  Pack(*buf, 100, 2);  // B
+  const std::uint64_t c = Dma(*buf, 2048, 3);  // C
+  EXPECT_EQ(c, kMemPageSize);
+  EXPECT_EQ(buf->wp(), 132u);  // WP did NOT move (Figure 7b).
+  EXPECT_EQ(buf->dlt().size(), 1u);
+  // D backfills the gap before C.
+  EXPECT_EQ(Pack(*buf, 64, 4), 132u);
+  EXPECT_EQ(buf->wp(), 196u);
+}
+
+TEST_F(PolicyTest, BackfillLeapsOverExtentWhenValueNoLongerFits) {
+  auto buf = MakeBuffer(PackingPolicy::kSelectiveBackfill);
+  Pack(*buf, 32, 1);
+  const std::uint64_t c = Dma(*buf, 2048, 2);  // Extent [4096, 6144).
+  EXPECT_EQ(c, kMemPageSize);
+  // Fill the gap up to 4000 bytes.
+  EXPECT_EQ(Pack(*buf, 3968, 3), 32u);
+  EXPECT_EQ(buf->wp(), 4000u);
+  // The next 200 B value would cross the extent start: WP leaps to 6144.
+  EXPECT_EQ(Pack(*buf, 200, 4), 6144u);
+  EXPECT_TRUE(buf->dlt().Empty());  // Extent consumed by the leap.
+  EXPECT_EQ(buf->wp(), 6344u);
+}
+
+TEST_F(PolicyTest, BackfillExactFitDoesNotLeap) {
+  auto buf = MakeBuffer(PackingPolicy::kSelectiveBackfill);
+  Pack(*buf, 32, 1);
+  Dma(*buf, 2048, 2);  // Extent at [4096, 6144).
+  // 4064 B ends exactly at the extent start: fits, no leap.
+  EXPECT_EQ(Pack(*buf, 4064, 3), 32u);
+  EXPECT_EQ(buf->wp(), 4096u);
+  EXPECT_EQ(buf->dlt().size(), 1u);
+}
+
+TEST_F(PolicyTest, BackfillSecondDmaStacksAfterFirst) {
+  auto buf = MakeBuffer(PackingPolicy::kSelectiveBackfill);
+  Pack(*buf, 32, 1);
+  const std::uint64_t c1 = Dma(*buf, 2048, 2);
+  const std::uint64_t c2 = Dma(*buf, 2048, 3);
+  EXPECT_EQ(c1, kMemPageSize);
+  EXPECT_EQ(c2, 2 * kMemPageSize);  // Next aligned slot after extent 1.
+  EXPECT_EQ(buf->dlt().size(), 2u);
+  EXPECT_EQ(buf->wp(), 32u);
+}
+
+TEST_F(PolicyTest, BackfillDltOverflowEvictsOldest) {
+  auto buf = MakeBuffer(PackingPolicy::kSelectiveBackfill, 64, /*dlt=*/2);
+  Pack(*buf, 32, 1);
+  Dma(*buf, 2048, 2);  // Extent A.
+  Dma(*buf, 2048, 3);  // Extent B.
+  EXPECT_TRUE(buf->dlt().Full());
+  Dma(*buf, 2048, 4);  // Extent C forces eviction of A.
+  EXPECT_EQ(buf->dlt_forced_evictions(), 1u);
+  // WP abandoned the gap before A and sits at A's end.
+  EXPECT_EQ(buf->wp(), kMemPageSize + 2048);
+}
+
+TEST_F(PolicyTest, HybridTrailingBytesExtendExtent) {
+  auto buf = MakeBuffer(PackingPolicy::kSelective);
+  // A hybrid value: 4096 B by DMA + 32 trailing bytes.
+  auto res = buf->ReserveDma(kMemPageSize, kMemPageSize + 32);
+  ASSERT_TRUE(res.ok());
+  Bytes head = workload::MakeValue(kMemPageSize, 99, 7);
+  auto slice = buf->DmaPageSlice(res.value(), 0);
+  std::copy(head.begin(), head.end(), slice.begin());
+  Bytes tail = workload::MakeValue(32, 99, 8);
+  ASSERT_TRUE(buf->AppendTrailing(res.value(), kMemPageSize, ByteSpan(tail)).ok());
+  auto addr = buf->CommitDma(res.value());
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(buf->wp(), addr.value() + kMemPageSize + 32);
+  Bytes back(32);
+  ASSERT_TRUE(buf->ReadRange(addr.value() + kMemPageSize, MutByteSpan(back)).ok());
+  EXPECT_EQ(back, tail);
+}
+
+TEST_F(PolicyTest, TrailingBeyondExtentRejected) {
+  auto buf = MakeBuffer(PackingPolicy::kSelective);
+  auto res = buf->ReserveDma(kMemPageSize, kMemPageSize + 16);
+  ASSERT_TRUE(res.ok());
+  Bytes tail(32);
+  EXPECT_FALSE(
+      buf->AppendTrailing(res.value(), kMemPageSize, ByteSpan(tail)).ok());
+}
+
+TEST_F(PolicyTest, FlushHappensWhenWpPassesEntry) {
+  auto buf = MakeBuffer(PackingPolicy::kAll);
+  Pack(*buf, kNandPageSize - 10, 1);
+  EXPECT_TRUE(capture_.pages.empty());
+  Pack(*buf, 20, 2);  // Crosses the 16 KiB boundary.
+  ASSERT_TRUE(capture_.pages.contains(0));
+  EXPECT_EQ(capture_.pages[0].used, kNandPageSize);  // Byte-dense page.
+  EXPECT_EQ(buf->wasted_bytes(), 0u);
+}
+
+TEST_F(PolicyTest, WindowPressureForceFlushesWithWaste) {
+  // Two-entry window, backfill: extents stack ahead while the WP lags; the
+  // third entry's allocation force-flushes the first with its gap unfilled.
+  auto buf = MakeBuffer(PackingPolicy::kSelectiveBackfill, /*entries=*/2);
+  Pack(*buf, 32, 1);
+  // Seven 2 KiB DMA extents stack at slots 1..7, filling the 2-entry
+  // (32 KiB) window while the WP lags at byte 32.
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(Dma(*buf, 2048, 2 + i), (i + 1) * kMemPageSize);
+  }
+  EXPECT_TRUE(capture_.pages.empty());
+  // The eighth extent needs a third entry: entry 0 is force-flushed with its
+  // gaps unfilled, and its extents leave the DLT.
+  EXPECT_EQ(Dma(*buf, 2048, 9), 8 * kMemPageSize);
+  ASSERT_TRUE(capture_.pages.contains(0));
+  EXPECT_EQ(capture_.pages[0].used, 32u + 3 * 2048u);
+  EXPECT_GT(buf->wasted_bytes(), 0u);
+  // WP advanced past the flushed entry.
+  EXPECT_GE(buf->wp(), kNandPageSize);
+}
+
+TEST_F(PolicyTest, FlushAllDrainsEverything) {
+  auto buf = MakeBuffer(PackingPolicy::kSelectiveBackfill);
+  Pack(*buf, 32, 1);
+  Dma(*buf, 2048, 2);
+  Pack(*buf, 64, 3);
+  ASSERT_TRUE(buf->FlushAll().ok());
+  EXPECT_FALSE(capture_.pages.empty());
+  EXPECT_TRUE(buf->dlt().Empty());
+  // Window restarts at a page boundary.
+  EXPECT_EQ(buf->wp() % kNandPageSize, 0u);
+  EXPECT_EQ(buf->wp(), buf->window_base_addr());
+  // All three values' bytes are accounted in flushed pages.
+  std::uint64_t used = 0;
+  for (auto& [lpn, page] : capture_.pages) used += page.used;
+  EXPECT_EQ(used, 32u + 2048u + 64u);
+}
+
+TEST_F(PolicyTest, ReadRangeReturnsPackedBytes) {
+  auto buf = MakeBuffer(PackingPolicy::kAll);
+  const std::uint64_t a = Pack(*buf, 300, 1);
+  const std::uint64_t b = Pack(*buf, 5000, 2);  // Crosses an entry boundary.
+  ExpectResident(*buf, a, 300, 1);
+  ExpectResident(*buf, b, 5000, 2);
+  Bytes sink(4);
+  EXPECT_FALSE(buf->ReadRange(1 << 30, MutByteSpan(sink)).ok());
+}
+
+TEST_F(PolicyTest, MemcpyChargesVirtualTime) {
+  auto buf = MakeBuffer(PackingPolicy::kAll);
+  const auto before = clock_.Now();
+  Pack(*buf, 1000, 1);
+  EXPECT_EQ(clock_.Now() - before, cost_.MemcpyCost(1000));
+}
+
+TEST_F(PolicyTest, OversizedValueRejected) {
+  auto buf = MakeBuffer(PackingPolicy::kAll, /*entries=*/4);
+  Bytes huge(4 * kNandPageSize);
+  EXPECT_FALSE(buf->PackPiggybacked(ByteSpan(huge)).ok());
+  EXPECT_FALSE(buf->ReserveDma(4 * kNandPageSize, 4 * kNandPageSize).ok());
+}
+
+TEST_F(PolicyTest, PolicyNames) {
+  EXPECT_STREQ(PolicyName(PackingPolicy::kBlock), "Block");
+  EXPECT_STREQ(PolicyName(PackingPolicy::kAll), "All");
+  EXPECT_STREQ(PolicyName(PackingPolicy::kSelective), "Select");
+  EXPECT_STREQ(PolicyName(PackingPolicy::kSelectiveBackfill), "Backfill");
+}
+
+// Property sweep: under every policy, any mix of piggyback/DMA arrivals
+// keeps values byte-exact while resident, and flushed pages never overlap.
+class PackingPropertyTest
+    : public PolicyTest,
+      public ::testing::WithParamInterface<PackingPolicy> {};
+
+TEST_P(PackingPropertyTest, RandomMixRemainsReadable) {
+  auto buf = MakeBuffer(GetParam(), /*entries=*/32, /*dlt=*/16);
+  Xoshiro256 rng(42);
+  struct Placed {
+    std::uint64_t addr;
+    std::size_t size;
+    std::uint64_t tag;
+  };
+  std::vector<Placed> placed;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const bool dma = rng.NextDouble() < 0.2;
+    const std::size_t size =
+        dma ? 1024 + rng.Below(8192) : 1 + rng.Below(512);
+    const std::uint64_t addr =
+        dma ? Dma(*buf, size, i) : Pack(*buf, size, i);
+    placed.push_back({addr, size, i});
+  }
+  ASSERT_TRUE(buf->FlushAll().ok());
+
+  // Every value must be byte-exact in the union of flushed pages.
+  auto read_byte = [&](std::uint64_t a) -> std::uint8_t {
+    const std::uint64_t lpn = a / kNandPageSize;
+    EXPECT_TRUE(capture_.pages.contains(lpn)) << "addr " << a;
+    return capture_.pages[lpn].data[a % kNandPageSize];
+  };
+  for (const Placed& p : placed) {
+    Bytes expected = workload::MakeValue(p.size, 99, p.tag);
+    for (std::size_t b = 0; b < p.size; ++b) {
+      ASSERT_EQ(read_byte(p.addr + b), expected[b])
+          << "value " << p.tag << " byte " << b << " policy "
+          << PolicyName(GetParam());
+    }
+  }
+}
+
+TEST_P(PackingPropertyTest, UsedBytesNeverExceedPageSize) {
+  auto buf = MakeBuffer(GetParam(), 16, 8);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    if (rng.NextDouble() < 0.3) {
+      Dma(*buf, 512 + rng.Below(6000), static_cast<std::uint64_t>(i));
+    } else {
+      Pack(*buf, 1 + rng.Below(300), static_cast<std::uint64_t>(i));
+    }
+  }
+  ASSERT_TRUE(buf->FlushAll().ok());
+  for (auto& [lpn, page] : capture_.pages) {
+    EXPECT_LE(page.used, kNandPageSize) << "lpn " << lpn;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PackingPropertyTest,
+                         ::testing::Values(PackingPolicy::kBlock,
+                                           PackingPolicy::kAll,
+                                           PackingPolicy::kSelective,
+                                           PackingPolicy::kSelectiveBackfill),
+                         [](const auto& info) {
+                           return PolicyName(info.param);
+                         });
+
+}  // namespace
+}  // namespace bandslim::buffer

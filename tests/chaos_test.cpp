@@ -1,0 +1,108 @@
+// Full-stack chaos test: random PUT/GET/DELETE interleaved with vLog GC,
+// checkpoints and power cycles, validated against a reference model that
+// tracks the durability contract (un-checkpointed mutations die with the
+// power cycle).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/kvssd.h"
+#include "workload/value_gen.h"
+
+namespace bandslim {
+namespace {
+
+struct ChaosParams {
+  driver::TransferMethod method;
+  buffer::PackingPolicy policy;
+  std::uint64_t seed;
+};
+
+std::string ChaosName(const ::testing::TestParamInfo<ChaosParams>& info) {
+  return std::string(driver::MethodName(info.param.method)) + "_" +
+         buffer::PolicyName(info.param.policy) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class ChaosTest : public ::testing::TestWithParam<ChaosParams> {};
+
+TEST_P(ChaosTest, SurvivesEverythingAtOnce) {
+  KvSsdOptions o;
+  o.geometry.channels = 2;
+  o.geometry.ways = 2;
+  o.geometry.blocks_per_die = 256;
+  o.geometry.pages_per_block = 32;
+  o.buffer.num_entries = 16;
+  o.buffer.dlt_entries = 16;
+  o.lsm.memtable_limit_bytes = 8 * 1024;
+  o.controller.gc_segment_pages = 8;
+  o.driver.method = GetParam().method;
+  o.buffer.policy = GetParam().policy;
+  auto ssd = KvSsd::Open(o).value();
+
+  std::map<std::string, Bytes> model;       // Current visible state.
+  std::map<std::string, Bytes> checkpoint;  // State at the last Flush().
+  bool checkpointed = false;
+  Xoshiro256 rng(GetParam().seed);
+
+  for (int i = 0; i < 1500; ++i) {
+    const std::string key = "c" + std::to_string(rng.Below(120));
+    const double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      Bytes v = workload::MakeValue(1 + rng.Below(3500), GetParam().seed,
+                                    static_cast<std::uint64_t>(i));
+      ASSERT_TRUE(ssd->Put(key, ByteSpan(v)).ok()) << "op " << i;
+      model[key] = std::move(v);
+    } else if (dice < 0.70) {
+      ASSERT_TRUE(ssd->Delete(key).ok()) << "op " << i;
+      model.erase(key);
+    } else {
+      auto got = ssd->Get(key);
+      auto want = model.find(key);
+      if (want == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << "op " << i;
+      } else {
+        ASSERT_TRUE(got.ok()) << "op " << i << ": " << got.status().ToString();
+        EXPECT_EQ(got.value(), want->second) << "op " << i;
+      }
+    }
+    if (i % 311 == 310) {
+      ASSERT_TRUE(ssd->Flush().ok()) << "op " << i;
+      checkpoint = model;
+      checkpointed = true;
+    }
+    if (i % 401 == 400) {
+      ASSERT_TRUE(ssd->CollectVlogGarbage().ok()) << "op " << i;
+    }
+    if (checkpointed && i % 733 == 732) {
+      ASSERT_TRUE(ssd->PowerCycle().ok()) << "op " << i;
+      model = checkpoint;  // Everything since the checkpoint is gone.
+    }
+  }
+
+  // Final audit.
+  ASSERT_TRUE(ssd->Flush().ok());
+  for (const auto& [key, expected] : model) {
+    auto got = ssd->Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(got.value(), expected) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ChaosTest,
+    ::testing::Values(
+        ChaosParams{driver::TransferMethod::kAdaptive,
+                    buffer::PackingPolicy::kSelectiveBackfill, 1},
+        ChaosParams{driver::TransferMethod::kAdaptive,
+                    buffer::PackingPolicy::kSelectiveBackfill, 2},
+        ChaosParams{driver::TransferMethod::kPiggyback,
+                    buffer::PackingPolicy::kAll, 3},
+        ChaosParams{driver::TransferMethod::kPrp,
+                    buffer::PackingPolicy::kBlock, 4},
+        ChaosParams{driver::TransferMethod::kHybrid,
+                    buffer::PackingPolicy::kSelective, 5}),
+    ChaosName);
+
+}  // namespace
+}  // namespace bandslim

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace bandslim {
+namespace {
+
+TEST(TypesTest, RoundUpPow2) {
+  EXPECT_EQ(RoundUpPow2(0, 4096), 0u);
+  EXPECT_EQ(RoundUpPow2(1, 4096), 4096u);
+  EXPECT_EQ(RoundUpPow2(4096, 4096), 4096u);
+  EXPECT_EQ(RoundUpPow2(4097, 4096), 8192u);
+}
+
+TEST(TypesTest, RoundDownPow2) {
+  EXPECT_EQ(RoundDownPow2(0, 4096), 0u);
+  EXPECT_EQ(RoundDownPow2(4095, 4096), 0u);
+  EXPECT_EQ(RoundDownPow2(4096, 4096), 4096u);
+  EXPECT_EQ(RoundDownPow2(8191, 4096), 4096u);
+}
+
+TEST(TypesTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4096), 0u);
+  EXPECT_EQ(CeilDiv(1, 4096), 1u);
+  EXPECT_EQ(CeilDiv(4096, 4096), 1u);
+  EXPECT_EQ(CeilDiv(4097, 4096), 2u);
+  EXPECT_EQ(CeilDiv(16384, 4096), 4u);
+}
+
+TEST(TypesTest, IsAlignedPow2) {
+  EXPECT_TRUE(IsAlignedPow2(0, 4096));
+  EXPECT_TRUE(IsAlignedPow2(8192, 4096));
+  EXPECT_FALSE(IsAlignedPow2(100, 4096));
+}
+
+TEST(TypesTest, PaperConstants) {
+  // The paper's sizes: 4 KiB memory pages, 16 KiB NAND pages, 64 B commands,
+  // 35 B + 56 B piggyback capacities (Section 3.2).
+  EXPECT_EQ(kMemPageSize, 4096u);
+  EXPECT_EQ(kNandPageSize, 16384u);
+  EXPECT_EQ(kNvmeCommandSize, 64u);
+  EXPECT_EQ(kWriteCmdPiggybackCapacity, 35u);
+  EXPECT_EQ(kTransferCmdPiggybackCapacity, 56u);
+  EXPECT_EQ(kMemPagesPerNandPage, 4u);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status nf = Status::NotFound();
+  EXPECT_FALSE(nf.ok());
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(Status::Corruption("bad").ToString().find("Corruption"),
+            std::string::npos);
+}
+
+TEST(StatusTest, ResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  Result<int> e(Status::IoError("io"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(RandomTest, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RandomTest, SeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(RandomTest, NextDoubleInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BelowBound) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+}  // namespace
+}  // namespace bandslim

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "dma/dma_engine.h"
+#include "workload/value_gen.h"
+
+namespace bandslim::dma {
+namespace {
+
+class DmaEngineTest : public ::testing::Test {
+ protected:
+  DmaEngineTest()
+      : engine_(&clock_, &cost_, &link_, &host_, &metrics_) {}
+
+  nvme::PrpList StagePayload(ByteSpan data) {
+    auto pages = host_.AllocatePages(CeilDiv(data.size(), kMemPageSize));
+    EXPECT_TRUE(host_.WriteToPages(pages, data).ok());
+    return nvme::PrpList(pages);
+  }
+
+  sim::VirtualClock clock_;
+  sim::CostModel cost_;
+  pcie::PcieLink link_;
+  nvme::HostMemory host_;
+  stats::MetricsRegistry metrics_;
+  DmaEngine engine_;
+};
+
+TEST_F(DmaEngineTest, HostToDeviceMovesWholePages) {
+  Bytes payload = workload::MakeValue(100, 1, 1);  // 100 B -> 1 page moves.
+  auto prp = StagePayload(ByteSpan(payload));
+  Bytes dest(kMemPageSize);
+  auto st = engine_.HostToDevice(prp, 0, [&](std::uint64_t off) {
+    return MutByteSpan(dest).subspan(off, kMemPageSize);
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), dest.begin()));
+  // Traffic is a whole page: the Problem #1 amplification.
+  EXPECT_EQ(link_.BytesOf(pcie::TrafficClass::kDmaData,
+                          pcie::Direction::kHostToDevice),
+            kMemPageSize);
+  EXPECT_EQ(clock_.Now(), cost_.dma_page_ns);
+}
+
+TEST_F(DmaEngineTest, MultiPageTransfer) {
+  Bytes payload = workload::MakeValue(3 * kMemPageSize, 2, 2);
+  auto prp = StagePayload(ByteSpan(payload));
+  Bytes dest(3 * kMemPageSize);
+  auto st = engine_.HostToDevice(prp, 4096, [&](std::uint64_t off) {
+    return MutByteSpan(dest).subspan(off, kMemPageSize);
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(Bytes(dest.begin(), dest.end()), payload);
+  EXPECT_EQ(clock_.Now(), 3 * cost_.dma_page_ns);
+}
+
+TEST_F(DmaEngineTest, RejectsUnalignedDeviceAddress) {
+  // The Cosmos+ engine restriction that motivates Selective Packing.
+  Bytes payload = workload::MakeValue(64, 3, 3);
+  auto prp = StagePayload(ByteSpan(payload));
+  Bytes dest(kMemPageSize);
+  auto st = engine_.HostToDevice(prp, 100, [&](std::uint64_t) {
+    return MutByteSpan(dest);
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  // Failed transfers move nothing.
+  EXPECT_EQ(link_.TotalBytes(), 0u);
+}
+
+TEST_F(DmaEngineTest, ByteGranularEngineAcceptsUnaligned) {
+  DmaConfig config;
+  config.require_page_alignment = false;  // Ablation configuration.
+  DmaEngine loose(&clock_, &cost_, &link_, &host_, &metrics_, config);
+  Bytes payload = workload::MakeValue(64, 4, 4);
+  auto prp = StagePayload(ByteSpan(payload));
+  Bytes dest(kMemPageSize);
+  auto st = loose.HostToDevice(prp, 100, [&](std::uint64_t) {
+    return MutByteSpan(dest);
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST_F(DmaEngineTest, DeviceToHostRoundsUpTraffic) {
+  Bytes value = workload::MakeValue(5000, 5, 5);  // 5000 B -> 8 KiB moves.
+  auto pages = host_.AllocatePages(2);
+  auto st = engine_.DeviceToHost(ByteSpan(value), 0, nvme::PrpList(pages));
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(link_.BytesOf(pcie::TrafficClass::kDmaData,
+                          pcie::Direction::kDeviceToHost),
+            2 * kMemPageSize);
+  Bytes back(5000);
+  ASSERT_TRUE(host_.ReadFromPages(pages, MutByteSpan(back)).ok());
+  EXPECT_EQ(back, value);
+}
+
+TEST_F(DmaEngineTest, DeviceToHostRejectsSmallPrp) {
+  Bytes value(2 * kMemPageSize);
+  auto pages = host_.AllocatePages(1);
+  auto st = engine_.DeviceToHost(ByteSpan(value), 0, nvme::PrpList(pages));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(DmaEngineTest, TransferCounterIncrements) {
+  Bytes payload = workload::MakeValue(10, 6, 6);
+  auto prp = StagePayload(ByteSpan(payload));
+  Bytes dest(kMemPageSize);
+  ASSERT_TRUE(engine_
+                  .HostToDevice(prp, 0,
+                                [&](std::uint64_t) { return MutByteSpan(dest); })
+                  .ok());
+  EXPECT_EQ(engine_.transfers(), 1u);
+  EXPECT_EQ(metrics_.CounterValue("dma.transfers"), 1u);
+  EXPECT_EQ(metrics_.CounterValue("dma.bytes"), kMemPageSize);
+}
+
+}  // namespace
+}  // namespace bandslim::dma

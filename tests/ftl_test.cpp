@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftl/ftl.h"
+#include "workload/value_gen.h"
+
+namespace bandslim::ftl {
+namespace {
+
+nand::NandGeometry TinyGeometry() {
+  nand::NandGeometry g;
+  g.channels = 1;
+  g.ways = 1;
+  g.blocks_per_die = 16;
+  g.pages_per_block = 8;
+  return g;
+}
+
+class FtlTest : public ::testing::Test {
+ protected:
+  FtlTest()
+      : nand_(TinyGeometry(), &clock_, &cost_, &metrics_),
+        ftl_(&nand_, &metrics_) {}
+
+  sim::VirtualClock clock_;
+  sim::CostModel cost_;
+  stats::MetricsRegistry metrics_;
+  nand::NandFlash nand_;
+  PageFtl ftl_;
+};
+
+TEST_F(FtlTest, WriteReadRoundTrip) {
+  Bytes data = workload::MakeValue(kNandPageSize, 1, 1);
+  ASSERT_TRUE(ftl_.Write(42, ByteSpan(data), Stream::kVlog, true).ok());
+  EXPECT_TRUE(ftl_.IsMapped(42));
+  Bytes back(kNandPageSize);
+  ASSERT_TRUE(ftl_.Read(42, MutByteSpan(back)).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(FtlTest, ReadUnmappedFails) {
+  Bytes back(16);
+  auto st = ftl_.Read(9, MutByteSpan(back));
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(FtlTest, OverwriteRemapsOutOfPlace) {
+  Bytes v1 = workload::MakeValue(64, 1, 1);
+  Bytes v2 = workload::MakeValue(64, 2, 2);
+  ASSERT_TRUE(ftl_.Write(7, ByteSpan(v1), Stream::kVlog, true).ok());
+  ASSERT_TRUE(ftl_.Write(7, ByteSpan(v2), Stream::kVlog, true).ok());
+  Bytes back(64);
+  ASSERT_TRUE(ftl_.Read(7, MutByteSpan(back)).ok());
+  EXPECT_EQ(back, v2);
+  EXPECT_EQ(nand_.pages_programmed(), 2u);  // Both physical writes happened.
+  EXPECT_EQ(ftl_.mapped_pages(), 1u);
+}
+
+TEST_F(FtlTest, TrimUnmaps) {
+  Bytes v(16);
+  ASSERT_TRUE(ftl_.Write(5, ByteSpan(v), Stream::kVlog, false).ok());
+  ASSERT_TRUE(ftl_.Trim(5).ok());
+  EXPECT_FALSE(ftl_.IsMapped(5));
+  EXPECT_TRUE(ftl_.Trim(5).ok());  // Idempotent.
+}
+
+TEST_F(FtlTest, StreamsUseSeparateBlocks) {
+  Bytes v(16);
+  ASSERT_TRUE(ftl_.Write(1, ByteSpan(v), Stream::kVlog, false).ok());
+  ASSERT_TRUE(ftl_.Write(1ull << 40, ByteSpan(v), Stream::kLsm, false).ok());
+  EXPECT_EQ(metrics_.CounterValue("ftl.programs.vlog"), 1u);
+  EXPECT_EQ(metrics_.CounterValue("ftl.programs.lsm"), 1u);
+}
+
+TEST_F(FtlTest, GarbageCollectionReclaimsRewrittenPages) {
+  // Device: 16 blocks x 8 pages = 128 pages. Repeatedly rewrite a small
+  // logical set so most physical pages become garbage; GC must keep up.
+  std::map<std::uint64_t, Bytes> model;
+  for (int round = 0; round < 40; ++round) {
+    for (std::uint64_t lpn = 0; lpn < 8; ++lpn) {
+      Bytes v = workload::MakeValue(64, static_cast<std::uint64_t>(round), lpn);
+      ASSERT_TRUE(ftl_.Write(lpn, ByteSpan(v), Stream::kVlog, true).ok())
+          << "round " << round << " lpn " << lpn;
+      model[lpn] = v;
+    }
+  }
+  EXPECT_GT(ftl_.gc_runs(), 0u);
+  EXPECT_GT(ftl_.gc_relocated_pages() + 1, 0u);
+  for (const auto& [lpn, expected] : model) {
+    Bytes back(64);
+    ASSERT_TRUE(ftl_.Read(lpn, MutByteSpan(back)).ok());
+    EXPECT_EQ(back, expected) << "lpn " << lpn;
+  }
+}
+
+TEST_F(FtlTest, FillsToCapacityThenFails) {
+  // All-unique logical pages: nothing is garbage, so the device eventually
+  // reports out of space instead of looping in GC.
+  Bytes v(16);
+  std::uint64_t written = 0;
+  Status st;
+  for (std::uint64_t lpn = 0; lpn < 200; ++lpn) {
+    st = ftl_.Write(lpn, ByteSpan(v), Stream::kVlog, false);
+    if (!st.ok()) break;
+    ++written;
+  }
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfSpace);
+  // Capacity minus the GC reserve and partially-filled active blocks.
+  EXPECT_GT(written, 90u);
+  EXPECT_LT(written, 128u);
+}
+
+TEST_F(FtlTest, GcPreservesUnretainedFlag) {
+  // Pages written with retain=false must stay zero-reads after relocation.
+  for (int round = 0; round < 40; ++round) {
+    for (std::uint64_t lpn = 0; lpn < 8; ++lpn) {
+      Bytes v = workload::MakeValue(64, 9, lpn);
+      ASSERT_TRUE(ftl_.Write(lpn, ByteSpan(v), Stream::kVlog, false).ok());
+    }
+  }
+  ASSERT_GT(ftl_.gc_runs(), 0u);
+  Bytes back(64, 0xFF);
+  ASSERT_TRUE(ftl_.Read(3, MutByteSpan(back)).ok());
+  EXPECT_EQ(back, Bytes(64, 0));
+}
+
+}  // namespace
+}  // namespace bandslim::ftl

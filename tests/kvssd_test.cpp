@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/kvssd.h"
+#include "workload/value_gen.h"
+
+namespace bandslim {
+namespace {
+
+KvSsdOptions TestOptions() {
+  KvSsdOptions o;
+  o.geometry.channels = 2;
+  o.geometry.ways = 2;
+  o.geometry.blocks_per_die = 256;
+  o.geometry.pages_per_block = 32;
+  o.buffer.num_entries = 32;
+  o.buffer.dlt_entries = 32;
+  o.lsm.memtable_limit_bytes = 16 * 1024;
+  return o;
+}
+
+TEST(KvSsdTest, OpenValidatesOptions) {
+  KvSsdOptions bad = TestOptions();
+  bad.geometry.channels = 0;
+  EXPECT_FALSE(KvSsd::Open(bad).ok());
+  bad = TestOptions();
+  bad.buffer.num_entries = 1;
+  EXPECT_FALSE(KvSsd::Open(bad).ok());
+}
+
+TEST(KvSsdTest, StringPutGet) {
+  auto ssd = KvSsd::Open(TestOptions()).value();
+  ASSERT_TRUE(ssd->Put("hello", "world").ok());
+  auto v = ssd->Get("hello");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(ToString(ByteSpan(v.value())), "world");
+}
+
+TEST(KvSsdTest, ReadYourWritesAcrossFlushBoundaries) {
+  auto ssd = KvSsd::Open(TestOptions()).value();
+  std::map<std::string, Bytes> model;
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    Bytes v = workload::MakeValue(1 + rng.Below(3000), 1,
+                                  static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put(key, ByteSpan(v)).ok());
+    model[key] = v;
+    if (i % 97 == 0) ASSERT_TRUE(ssd->Flush().ok());
+  }
+  for (const auto& [key, expected] : model) {
+    auto v = ssd->Get(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(v.value(), expected) << key;
+  }
+}
+
+TEST(KvSsdTest, OverwriteReturnsLatest) {
+  auto ssd = KvSsd::Open(TestOptions()).value();
+  for (int round = 0; round < 5; ++round) {
+    Bytes v = workload::MakeValue(100, 2, static_cast<std::uint64_t>(round));
+    ASSERT_TRUE(ssd->Put("samekey", ByteSpan(v)).ok());
+  }
+  auto v = ssd->Get("samekey");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), workload::MakeValue(100, 2, 4));
+}
+
+TEST(KvSsdTest, StatsAccumulate) {
+  auto ssd = KvSsd::Open(TestOptions()).value();
+  const KvSsdStats before = ssd->GetStats();
+  EXPECT_EQ(before.values_written, 0u);
+  Bytes v(32, 1);
+  ASSERT_TRUE(ssd->Put("a", ByteSpan(v)).ok());
+  const KvSsdStats after = ssd->GetStats();
+  EXPECT_EQ(after.values_written, 1u);
+  EXPECT_EQ(after.value_bytes_written, 32u);
+  EXPECT_GT(after.pcie_h2d_bytes, before.pcie_h2d_bytes);
+  EXPECT_GT(after.elapsed_ns, before.elapsed_ns);
+  EXPECT_GT(after.commands_submitted, 0u);
+}
+
+TEST(KvSsdTest, PcieAccountingIdentity) {
+  auto ssd = KvSsd::Open(TestOptions()).value();
+  Bytes v(5000, 3);
+  ASSERT_TRUE(ssd->Put("k", ByteSpan(v)).ok());
+  const auto& link = ssd->link();
+  EXPECT_EQ(link.HostToDeviceBytes(),
+            link.MmioBytes() +
+                link.BytesOf(pcie::TrafficClass::kCommandFetch,
+                             pcie::Direction::kHostToDevice) +
+                link.BytesOf(pcie::TrafficClass::kDmaData,
+                             pcie::Direction::kHostToDevice));
+}
+
+TEST(KvSsdTest, VlogGcEndToEnd) {
+  auto ssd = KvSsd::Open(TestOptions()).value();
+  std::map<std::string, Bytes> model;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "g" + std::to_string(i);
+    Bytes v = workload::MakeValue(2500, 4, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put(key, ByteSpan(v)).ok());
+    model[key] = v;
+  }
+  ASSERT_TRUE(ssd->Flush().ok());
+  auto collected = ssd->CollectVlogGarbage();
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  for (const auto& [key, expected] : model) {
+    auto v = ssd->Get(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(v.value(), expected) << key;
+  }
+}
+
+TEST(KvSsdTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    auto ssd = KvSsd::Open(TestOptions()).value();
+    for (int i = 0; i < 300; ++i) {
+      Bytes v = workload::MakeValue(1 + (static_cast<std::size_t>(i) * 37) % 2000,
+                                    5, static_cast<std::uint64_t>(i));
+      EXPECT_TRUE(ssd->Put("d" + std::to_string(i), ByteSpan(v)).ok());
+    }
+    auto s = ssd->GetStats();
+    return std::make_tuple(s.elapsed_ns, s.pcie_h2d_bytes,
+                           s.nand_pages_programmed, s.device_memcpy_bytes);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(KvSsdTest, RetainPayloadsOffStillCountsIo) {
+  KvSsdOptions o = TestOptions();
+  o.retain_payloads = false;
+  auto ssd = KvSsd::Open(o).value();
+  Bytes v(4096, 7);
+  ASSERT_TRUE(ssd->Put("x", ByteSpan(v)).ok());
+  ASSERT_TRUE(ssd->Flush().ok());
+  EXPECT_GT(ssd->GetStats().nand_pages_programmed, 0u);
+  // Value bytes were dropped: the read returns zeros but the size is right.
+  auto back = ssd->Get("x");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 4096u);
+}
+
+TEST(KvSsdTest, NandOffModeHasZeroNandIo) {
+  KvSsdOptions o = TestOptions();
+  o.controller.nand_io_enabled = false;
+  auto ssd = KvSsd::Open(o).value();
+  for (int i = 0; i < 100; ++i) {
+    Bytes v(3000, 1);
+    ASSERT_TRUE(ssd->Put("n" + std::to_string(i), ByteSpan(v)).ok());
+  }
+  const auto s = ssd->GetStats();
+  EXPECT_EQ(s.nand_pages_programmed, 0u);
+  EXPECT_GT(s.pcie_h2d_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace bandslim

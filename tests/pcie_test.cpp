@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "pcie/link.h"
+
+namespace bandslim::pcie {
+namespace {
+
+TEST(PcieLinkTest, RecordsByClassAndDirection) {
+  PcieLink link;
+  link.Record(TrafficClass::kMmio, Direction::kHostToDevice, 8);
+  link.Record(TrafficClass::kCommandFetch, Direction::kHostToDevice, 64);
+  link.Record(TrafficClass::kDmaData, Direction::kHostToDevice, 4096);
+  link.Record(TrafficClass::kCompletion, Direction::kDeviceToHost, 16);
+
+  EXPECT_EQ(link.BytesOf(TrafficClass::kMmio, Direction::kHostToDevice), 8u);
+  EXPECT_EQ(link.BytesOf(TrafficClass::kDmaData, Direction::kHostToDevice), 4096u);
+  EXPECT_EQ(link.BytesOf(TrafficClass::kDmaData, Direction::kDeviceToHost), 0u);
+  EXPECT_EQ(link.HostToDeviceBytes(), 8u + 64u + 4096u);
+  EXPECT_EQ(link.DeviceToHostBytes(), 16u);
+  EXPECT_EQ(link.TotalBytes(), 8u + 64u + 4096u + 16u);
+  EXPECT_EQ(link.MmioBytes(), 8u);
+}
+
+TEST(PcieLinkTest, AccountingIdentity) {
+  // DESIGN.md invariant #4: the total equals the sum of the parts.
+  PcieLink link;
+  std::uint64_t expected = 0;
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    const auto bytes = static_cast<std::uint64_t>(100 + c);
+    link.Record(static_cast<TrafficClass>(c), Direction::kHostToDevice, bytes);
+    expected += bytes;
+  }
+  EXPECT_EQ(link.HostToDeviceBytes(), expected);
+}
+
+TEST(PcieLinkTest, TransactionCounts) {
+  PcieLink link;
+  for (int i = 0; i < 5; ++i) {
+    link.Record(TrafficClass::kMmio, Direction::kHostToDevice, 8);
+  }
+  EXPECT_EQ(link.TransactionsOf(TrafficClass::kMmio, Direction::kHostToDevice), 5u);
+}
+
+TEST(PcieLinkTest, TrafficAmplificationFactor) {
+  PcieLink link;
+  // A 32 B request moving a whole 4 KiB page + 64 B command + 8 B doorbell:
+  // TAF ~= 130, the paper's Figure 3(b) headline.
+  link.Record(TrafficClass::kMmio, Direction::kHostToDevice, 8);
+  link.Record(TrafficClass::kCommandFetch, Direction::kHostToDevice, 64);
+  link.Record(TrafficClass::kDmaData, Direction::kHostToDevice, 4096);
+  EXPECT_NEAR(link.TrafficAmplificationFactor(32), 130.25, 0.01);
+  EXPECT_DOUBLE_EQ(link.TrafficAmplificationFactor(0), 0.0);
+}
+
+TEST(PcieLinkTest, ResetClears) {
+  PcieLink link;
+  link.Record(TrafficClass::kDmaData, Direction::kHostToDevice, 4096);
+  link.Reset();
+  EXPECT_EQ(link.TotalBytes(), 0u);
+  EXPECT_EQ(link.TransactionsOf(TrafficClass::kDmaData, Direction::kHostToDevice), 0u);
+}
+
+TEST(PcieLinkTest, ToStringListsNonZero) {
+  PcieLink link;
+  link.Record(TrafficClass::kDmaData, Direction::kHostToDevice, 4096);
+  const std::string s = link.ToString();
+  EXPECT_NE(s.find("dma_data"), std::string::npos);
+  EXPECT_EQ(s.find("mmio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bandslim::pcie

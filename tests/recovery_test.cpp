@@ -1,0 +1,120 @@
+// Power-cycle recovery: the recovery contract is that everything PUT before
+// the last Flush() (vLog drain + manifest checkpoint) survives a power
+// cycle; device-DRAM-only state written afterwards is lost.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/kvssd.h"
+#include "workload/value_gen.h"
+
+namespace bandslim {
+namespace {
+
+KvSsdOptions Options() {
+  KvSsdOptions o;
+  o.geometry.channels = 2;
+  o.geometry.ways = 2;
+  o.geometry.blocks_per_die = 256;
+  o.geometry.pages_per_block = 32;
+  o.buffer.num_entries = 16;
+  o.buffer.dlt_entries = 16;
+  o.lsm.memtable_limit_bytes = 8 * 1024;
+  return o;
+}
+
+TEST(RecoveryTest, CheckpointedDataSurvives) {
+  auto ssd = KvSsd::Open(Options()).value();
+  std::map<std::string, Bytes> model;
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "r" + std::to_string(i);
+    Bytes v = workload::MakeValue(1 + (static_cast<std::size_t>(i) * 13) % 1500,
+                                  1, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put(key, ByteSpan(v)).ok());
+    model[key] = v;
+  }
+  ASSERT_TRUE(ssd->Flush().ok());
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  for (const auto& [key, expected] : model) {
+    auto v = ssd->Get(key);
+    ASSERT_TRUE(v.ok()) << key << ": " << v.status().ToString();
+    EXPECT_EQ(v.value(), expected) << key;
+  }
+}
+
+TEST(RecoveryTest, UncheckpointedDataIsLostByContract) {
+  auto ssd = KvSsd::Open(Options()).value();
+  Bytes v = workload::MakeValue(100, 2, 1);
+  ASSERT_TRUE(ssd->Put("durable", ByteSpan(v)).ok());
+  ASSERT_TRUE(ssd->Flush().ok());
+  Bytes v2 = workload::MakeValue(100, 2, 2);
+  ASSERT_TRUE(ssd->Put("volatile", ByteSpan(v2)).ok());
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  EXPECT_TRUE(ssd->Get("durable").ok());
+  EXPECT_TRUE(ssd->Get("volatile").status().IsNotFound());
+}
+
+TEST(RecoveryTest, PowerCycleWithoutCheckpointFails) {
+  auto ssd = KvSsd::Open(Options()).value();
+  Bytes v(16, 1);
+  ASSERT_TRUE(ssd->Put("x", ByteSpan(v)).ok());
+  EXPECT_FALSE(ssd->PowerCycle().ok());  // No manifest yet.
+}
+
+TEST(RecoveryTest, WritesContinueAfterRecovery) {
+  auto ssd = KvSsd::Open(Options()).value();
+  for (int i = 0; i < 100; ++i) {
+    Bytes v = workload::MakeValue(500, 3, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put("a" + std::to_string(i), ByteSpan(v)).ok());
+  }
+  ASSERT_TRUE(ssd->Flush().ok());
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  // New writes must not collide with pre-cycle vLog pages.
+  for (int i = 0; i < 100; ++i) {
+    Bytes v = workload::MakeValue(500, 4, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put("b" + std::to_string(i), ByteSpan(v)).ok())
+        << "post-recovery write " << i;
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto va = ssd->Get("a" + std::to_string(i));
+    ASSERT_TRUE(va.ok());
+    EXPECT_EQ(va.value(), workload::MakeValue(500, 3, static_cast<std::uint64_t>(i)));
+    auto vb = ssd->Get("b" + std::to_string(i));
+    ASSERT_TRUE(vb.ok());
+    EXPECT_EQ(vb.value(), workload::MakeValue(500, 4, static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(RecoveryTest, DoublePowerCycle) {
+  auto ssd = KvSsd::Open(Options()).value();
+  Bytes v = workload::MakeValue(64, 5, 5);
+  ASSERT_TRUE(ssd->Put("k", ByteSpan(v)).ok());
+  ASSERT_TRUE(ssd->Flush().ok());
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  auto back = ssd->Get("k");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), v);
+}
+
+TEST(RecoveryTest, IteratorSeesRecoveredData) {
+  auto ssd = KvSsd::Open(Options()).value();
+  for (int i = 0; i < 50; ++i) {
+    Bytes v = workload::MakeValue(40, 6, static_cast<std::uint64_t>(i));
+    char key[8];
+    std::snprintf(key, sizeof key, "%03d", i);
+    ASSERT_TRUE(ssd->Put(key, ByteSpan(v)).ok());
+  }
+  ASSERT_TRUE(ssd->Flush().ok());
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  auto iter = ssd->Seek("");
+  ASSERT_TRUE(iter.ok());
+  int count = 0;
+  for (auto& it = iter.value(); it.Valid(); ++count) {
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 50);
+}
+
+}  // namespace
+}  // namespace bandslim

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "stats/counter.h"
+#include "stats/histogram.h"
+#include "stats/metrics.h"
+
+namespace bandslim::stats {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (std::uint64_t v : {10, 20, 30, 40}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.0);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(HistogramTest, PercentileBounds) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<std::uint64_t>(i));
+  const double p50 = h.Percentile(50);
+  EXPECT_GE(p50, static_cast<double>(h.min()));
+  EXPECT_LE(p50, static_cast<double>(h.max()));
+  EXPECT_LE(h.Percentile(10), h.Percentile(90));
+  EXPECT_LE(h.Percentile(99), static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, PercentileLogAccuracy) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(5000);  // All in one bucket.
+  const double p50 = h.Percentile(50);
+  // Within the bucket [4096, 8192), clamped to observed min/max.
+  EXPECT_DOUBLE_EQ(p50, 5000.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(1);
+  a.Record(2);
+  b.Record(100);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 103u);
+  EXPECT_EQ(a.max(), 100u);
+  EXPECT_EQ(a.min(), 1u);
+}
+
+TEST(HistogramTest, RecordZero) {
+  Histogram h;
+  h.Record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(7);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+TEST(MetricsRegistryTest, CreateOnFirstUse) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("foo");
+  c->Add(5);
+  EXPECT_EQ(reg.CounterValue("foo"), 5u);
+  EXPECT_EQ(reg.CounterValue("missing"), 0u);
+  // Same name returns the same counter.
+  EXPECT_EQ(reg.GetCounter("foo"), c);
+}
+
+TEST(MetricsRegistryTest, PointersStableAcrossInserts) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("a");
+  a->Add(1);
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("c" + std::to_string(i));
+  }
+  a->Add(1);  // Must still be valid.
+  EXPECT_EQ(reg.CounterValue("a"), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndReset) {
+  MetricsRegistry reg;
+  reg.GetCounter("x")->Add(3);
+  reg.GetCounter("y")->Add(4);
+  auto snap = reg.SnapshotCounters();
+  EXPECT_EQ(snap.at("x"), 3u);
+  EXPECT_EQ(snap.at("y"), 4u);
+  reg.ResetAll();
+  EXPECT_EQ(reg.CounterValue("x"), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramAccess) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat");
+  h->Record(10);
+  EXPECT_EQ(reg.GetHistogram("lat")->count(), 1u);
+  EXPECT_NE(reg.ToString().find("lat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bandslim::stats

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/runner.h"
+#include "workload/trace.h"
+#include "workload/workloads.h"
+
+namespace bandslim::workload {
+namespace {
+
+TEST(HexTest, RoundTrip) {
+  const std::string raw("\x00\xff""abc\x7f", 6);
+  auto back = HexDecode(HexEncode(raw));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), raw);
+}
+
+TEST(HexTest, RejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // Odd length.
+  EXPECT_FALSE(HexDecode("zz").ok());    // Bad digit.
+  EXPECT_TRUE(HexDecode("").ok());       // Empty is fine.
+}
+
+TEST(TraceTest, WriteReadRoundTrip) {
+  Trace trace = {
+      {TraceOp::kPut, std::string("\x01\x02", 2), 100},
+      {TraceOp::kGet, "key2", 0},
+      {TraceOp::kDelete, "key3", 0},
+      {TraceOp::kPut, "key4", 8192},
+  };
+  std::stringstream ss;
+  WriteTrace(trace, ss);
+  auto back = ReadTrace(ss);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 4u);
+  EXPECT_EQ(back.value()[0].op, TraceOp::kPut);
+  EXPECT_EQ(back.value()[0].key, trace[0].key);
+  EXPECT_EQ(back.value()[0].value_size, 100u);
+  EXPECT_EQ(back.value()[1].op, TraceOp::kGet);
+  EXPECT_EQ(back.value()[2].op, TraceOp::kDelete);
+  EXPECT_EQ(back.value()[3].value_size, 8192u);
+}
+
+TEST(TraceTest, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\nput 6162 10\n");
+  auto trace = ReadTrace(ss);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace.value().size(), 1u);
+  EXPECT_EQ(trace.value()[0].key, "ab");
+}
+
+TEST(TraceTest, RejectsMalformedLines) {
+  {
+    std::stringstream ss("frobnicate 6162\n");
+    EXPECT_FALSE(ReadTrace(ss).ok());
+  }
+  {
+    std::stringstream ss("put 6162 0\n");  // Zero-size put.
+    EXPECT_FALSE(ReadTrace(ss).ok());
+  }
+  {
+    std::stringstream ss("put 616 10\n");  // Odd hex key.
+    EXPECT_FALSE(ReadTrace(ss).ok());
+  }
+}
+
+TEST(TraceTest, TraceFromSpecIsDeterministic) {
+  auto t1 = TraceFromSpec(MakeWorkloadM(100, 9));
+  auto t2 = TraceFromSpec(MakeWorkloadM(100, 9));
+  ASSERT_EQ(t1.size(), 100u);
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].key, t2[i].key);
+    EXPECT_EQ(t1[i].value_size, t2[i].value_size);
+  }
+}
+
+TEST(TraceTest, ReplayAgainstDevice) {
+  KvSsdOptions o;
+  o.geometry.channels = 2;
+  o.geometry.ways = 2;
+  o.geometry.blocks_per_die = 128;
+  o.geometry.pages_per_block = 32;
+  auto ssd = KvSsd::Open(o).value();
+
+  Trace trace = {
+      {TraceOp::kPut, "alpha", 64},
+      {TraceOp::kPut, "beta", 2048},
+      {TraceOp::kGet, "alpha", 0},
+      {TraceOp::kGet, "missing", 0},
+      {TraceOp::kDelete, "alpha", 0},
+      {TraceOp::kGet, "alpha", 0},
+  };
+  auto result = ReplayTrace(*ssd, trace);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().puts, 2u);
+  EXPECT_EQ(result.value().gets, 3u);
+  EXPECT_EQ(result.value().get_misses, 2u);  // "missing" + deleted "alpha".
+  EXPECT_EQ(result.value().deletes, 1u);
+  EXPECT_GT(result.value().elapsed_ns, 0u);
+  // Device state reflects the trace.
+  EXPECT_TRUE(ssd->Get("beta").ok());
+  EXPECT_TRUE(ssd->Get("alpha").status().IsNotFound());
+}
+
+TEST(TraceTest, SpecTraceReplayMatchesRunner) {
+  // Replaying a captured spec produces the same device-side counters as
+  // running the generator directly.
+  auto run_direct = [] {
+    KvSsdOptions o;
+    o.retain_payloads = false;
+    auto ssd = KvSsd::Open(o).value();
+    auto spec = MakeWorkloadM(500, 4);
+    RunPutWorkload(*ssd, spec, "x");
+    auto s = ssd->GetStats();
+    return std::make_pair(s.pcie_h2d_bytes, s.commands_submitted);
+  };
+  auto run_replay = [] {
+    KvSsdOptions o;
+    o.retain_payloads = false;
+    auto ssd = KvSsd::Open(o).value();
+    auto trace = TraceFromSpec(MakeWorkloadM(500, 4));
+    ReplayTrace(*ssd, trace);
+    auto s = ssd->GetStats();
+    return std::make_pair(s.pcie_h2d_bytes, s.commands_submitted);
+  };
+  EXPECT_EQ(run_direct(), run_replay());
+}
+
+}  // namespace
+}  // namespace bandslim::workload

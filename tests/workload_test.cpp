@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "workload/key_gen.h"
+#include "workload/runner.h"
+#include "workload/value_gen.h"
+#include "workload/workloads.h"
+
+namespace bandslim::workload {
+namespace {
+
+TEST(KeyGenTest, SequentialIsOrderedAndUnique) {
+  SequentialKeyGenerator gen;
+  std::string prev;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = gen.Next();
+    EXPECT_EQ(key.size(), 4u);
+    EXPECT_LT(prev, key);  // Big-endian counter sorts lexicographically.
+    prev = key;
+  }
+  gen.Reset();
+  EXPECT_EQ(gen.Next()[3], '\0');
+}
+
+TEST(KeyGenTest, UniqueHashNeverRepeats) {
+  UniqueHashKeyGenerator gen(777);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(gen.Next()).second) << "duplicate at " << i;
+  }
+}
+
+TEST(KeyGenTest, Mix32IsBijectivePrefix) {
+  // Injectivity over a dense prefix follows from the mixer being a
+  // composition of invertible 32-bit ops; spot-check a window.
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < 200000; ++i) {
+    EXPECT_TRUE(seen.insert(UniqueHashKeyGenerator::Mix32(i)).second);
+  }
+}
+
+TEST(KeyGenTest, SeedChangesSequence) {
+  UniqueHashKeyGenerator a(1);
+  UniqueHashKeyGenerator b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(ValueGenTest, FixedAndTwoPoint) {
+  Xoshiro256 rng(3);
+  FixedSize fixed(64);
+  EXPECT_EQ(fixed.Next(rng), 64u);
+  EXPECT_EQ(fixed.MaxSize(), 64u);
+
+  TwoPointMix mix(8, 2048, 0.9);
+  EXPECT_EQ(mix.MaxSize(), 2048u);
+  int small = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t s = mix.Next(rng);
+    EXPECT_TRUE(s == 8 || s == 2048);
+    if (s == 8) ++small;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / n, 0.9, 0.02);
+}
+
+TEST(ValueGenTest, UniformChoiceCoversSet) {
+  Xoshiro256 rng(4);
+  const std::vector<std::size_t> sizes = {8, 16, 32, 64, 128, 256, 512, 1024, 2048};
+  UniformChoice dist(sizes);
+  EXPECT_EQ(dist.MaxSize(), 2048u);
+  std::map<std::size_t, int> counts;
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) ++counts[dist.Next(rng)];
+  for (std::size_t s : sizes) {
+    EXPECT_NEAR(counts[s], n / 9, n / 90) << "size " << s;
+  }
+}
+
+TEST(ValueGenTest, MixgraphMatchesPaperShape) {
+  // W(M): max 1 KiB, ~70-80 % of values under 35 B (Section 4.1),
+  // and few page-unit-DMA-eligible (>128 B) values.
+  Xoshiro256 rng(5);
+  MixgraphSizes dist;
+  const int n = 100000;
+  int under35 = 0;
+  int over128 = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t s = dist.Next(rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 1024u);
+    if (s < 35) ++under35;
+    if (s > 128) ++over128;
+  }
+  const double frac35 = static_cast<double>(under35) / n;
+  const double frac128 = static_cast<double>(over128) / n;
+  EXPECT_GT(frac35, 0.65);
+  EXPECT_LT(frac35, 0.85);
+  EXPECT_LT(frac128, 0.10);
+}
+
+TEST(ValueGenTest, MakeValueDeterministic) {
+  EXPECT_EQ(MakeValue(100, 1, 2), MakeValue(100, 1, 2));
+  EXPECT_NE(MakeValue(100, 1, 2), MakeValue(100, 1, 3));
+  EXPECT_NE(MakeValue(100, 2, 2), MakeValue(100, 1, 2));
+}
+
+TEST(WorkloadSpecTest, FactoriesMatchPaper) {
+  auto a = MakeWorkloadA(64, 10);
+  EXPECT_NE(a.name.find("fillseq"), std::string::npos);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(a.sizes->Next(rng), 64u);
+
+  auto b = MakeWorkloadB(10);
+  int small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (b.sizes->Next(rng) == 8) ++small;
+  }
+  EXPECT_NEAR(small, 9000, 300);  // 9:1 small:large.
+
+  auto c = MakeWorkloadC(10);
+  small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (c.sizes->Next(rng) == 8) ++small;
+  }
+  EXPECT_NEAR(small, 1000, 300);  // 1:9.
+
+  EXPECT_EQ(MakeWorkloadD(10).sizes->MaxSize(), 2048u);
+  EXPECT_EQ(MakeWorkloadM(10).sizes->MaxSize(), 1024u);
+}
+
+TEST(RunnerTest, CollectsLatencyAndDeltas) {
+  KvSsdOptions o;
+  o.geometry.channels = 2;
+  o.geometry.ways = 2;
+  o.geometry.blocks_per_die = 128;
+  o.geometry.pages_per_block = 32;
+  o.retain_payloads = false;
+  auto ssd = KvSsd::Open(o).value();
+
+  auto spec = MakeWorkloadA(32, 200);
+  auto result = RunPutWorkload(*ssd, spec, "test");
+  EXPECT_EQ(result.ops, 200u);
+  EXPECT_EQ(result.latency_ns.count(), 200u);
+  EXPECT_EQ(result.requested_value_bytes, 200u * 32u);
+  EXPECT_GT(result.elapsed_ns, 0u);
+  EXPECT_GT(result.MeanResponseUs(), 0.0);
+  EXPECT_GT(result.KopsPerSec(), 0.0);
+  EXPECT_EQ(result.delta.values_written, 200u);
+  EXPECT_GT(result.TrafficAmplification(), 1.0);
+}
+
+TEST(RunnerTest, StatsDeltaSubtracts) {
+  KvSsdStats a;
+  KvSsdStats b;
+  b.pcie_h2d_bytes = 100;
+  b.values_written = 3;
+  a.pcie_h2d_bytes = 150;
+  a.values_written = 10;
+  const KvSsdStats d = StatsDelta(a, b);
+  EXPECT_EQ(d.pcie_h2d_bytes, 50u);
+  EXPECT_EQ(d.values_written, 7u);
+}
+
+
+TEST(ZipfianTest, SkewedAndDeterministic) {
+  ZipfianKeyChooser a(1000, 0.99, 5);
+  ZipfianKeyChooser b(1000, 0.99, 5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t idx = a.NextIndex();
+    EXPECT_EQ(idx, b.NextIndex());
+    EXPECT_LT(idx, 1000u);
+    ++counts[idx];
+  }
+  // Zipf(0.99) over 1000 keys: the hottest key draws a large share and the
+  // top decile dominates.
+  std::vector<int> sorted;
+  for (auto& [idx, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_GT(sorted[0], 50000 / 100);  // Hottest key > 1 % of requests.
+  int top100 = 0;
+  for (int i = 0; i < 100 && i < static_cast<int>(sorted.size()); ++i) {
+    top100 += sorted[static_cast<std::size_t>(i)];
+  }
+  EXPECT_GT(top100, 50000 / 2);  // Top 10 % of keys > 50 % of requests.
+}
+
+TEST(ZipfianTest, ThetaZeroIsNearUniform) {
+  ZipfianKeyChooser uniformish(100, 0.01, 9);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[uniformish.NextIndex()];
+  for (auto& [idx, c] : counts) {
+    EXPECT_GT(c, 400) << idx;   // ~1000 expected per key.
+    EXPECT_LT(c, 2500) << idx;
+  }
+}
+}  // namespace
+}  // namespace bandslim::workload
