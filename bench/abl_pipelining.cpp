@@ -17,6 +17,9 @@ int main(int argc, char** argv) {
   base.controller.nand_io_enabled = false;
   PrintPlatform("Ablation: pipelined command submission", base, args);
 
+  CsvWriter csv(args);
+  csv.Header("value_bytes,base_us,piggy_sync_us,piggy_pipelined_us");
+
   std::printf("\n%8s | %12s %14s %14s | %10s\n", "vsize", "Base us",
               "Piggy sync us", "Piggy pipe us", "pipe/base");
   for (std::size_t size : {32u, 128u, 512u, 1024u, 2048u, 4096u}) {
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
     }
     std::printf("%8s | %12.1f %14.1f %14.1f | %10.2f\n", SizeLabel(size),
                 resp[0], resp[1], resp[2], resp[2] / resp[0]);
+    csv.Row("%zu,%.3f,%.3f,%.3f", size, resp[0], resp[1], resp[2]);
   }
 
   // Where do the thresholds land with pipelining on?

@@ -42,7 +42,13 @@ inline BenchArgs ParseArgs(int argc, char** argv, std::uint64_t default_ops) {
 class CsvWriter {
  public:
   explicit CsvWriter(const BenchArgs& args) {
-    if (!args.csv_path.empty()) file_ = std::fopen(args.csv_path.c_str(), "w");
+    if (!args.csv_path.empty()) {
+      file_ = std::fopen(args.csv_path.c_str(), "w");
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "warning: --csv: cannot open %s for writing\n",
+                     args.csv_path.c_str());
+      }
+    }
   }
   ~CsvWriter() {
     if (file_ != nullptr) std::fclose(file_);

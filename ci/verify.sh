@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run twice:
+#   1. Release           — the configuration the benches and figures use.
+#   2. Debug + ASan/UBSan — assertions on (the clock-overflow and CID-reuse
+#      checks live behind assert) and memory/UB errors fatal.
+# Usage: ci/verify.sh [build-dir-prefix]   (default: build-ci)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prefix="${1:-build-ci}"
+
+run_pass() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== verify pass: ${name} ==="
+  cmake -B "${build_dir}" -S . "$@"
+  cmake --build "${build_dir}" -j
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+}
+
+run_pass release "${prefix}-release" \
+  -DCMAKE_BUILD_TYPE=Release
+
+run_pass asan-ubsan "${prefix}-asan" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+
+echo "=== verify: both passes green ==="

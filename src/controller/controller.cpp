@@ -34,6 +34,8 @@ CqEntry KvController::Fail(CqStatus status, std::uint16_t queue_id) {
   return CqEntry{0, 0, status};
 }
 
+CqEntry KvController::FailOp(CqStatus status) { return CqEntry{0, 0, status}; }
+
 CqEntry KvController::Handle(const NvmeCommand& cmd, std::uint16_t queue_id) {
   switch (cmd.opcode()) {
     case Opcode::kKvWrite: return HandleWrite(cmd, queue_id);
@@ -223,12 +225,12 @@ CqEntry KvController::FinishWrite(PendingWrite&& op) {
   Result<std::uint64_t> addr = op.has_dma
                                    ? vlog_->buffer().CommitDma(op.reservation)
                                    : vlog_->buffer().PackPiggybacked(op.staged);
-  if (!addr.ok()) return Fail(CqStatus::kOutOfSpace, 0);
+  if (!addr.ok()) return FailOp(CqStatus::kOutOfSpace);
 
   const std::string key(reinterpret_cast<const char*>(op.key.data()),
                         op.key.size());
   Status st = lsm_->Put(key, lsm::ValueRef{addr.value(), op.value_size, false});
-  if (!st.ok()) return Fail(CqStatus::kInternalError, 0);
+  if (!st.ok()) return FailOp(CqStatus::kInternalError);
 
   ++values_written_;
   value_bytes_written_ += op.value_size;
@@ -238,15 +240,15 @@ CqEntry KvController::FinishWrite(PendingWrite&& op) {
 }
 
 CqEntry KvController::HandleRead(const NvmeCommand& cmd) {
-  if (!config_.nand_io_enabled) return Fail(CqStatus::kInvalidField, 0);
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
   const Bytes key_bytes = cmd.key();
   const std::string key(reinterpret_cast<const char*>(key_bytes.data()),
                         key_bytes.size());
   auto ref = lsm_->Get(key);
   if (!ref.ok()) {
-    return ref.status().IsNotFound() ? Fail(CqStatus::kNotFound, 0)
-                                     : Fail(CqStatus::kInternalError, 0);
+    return ref.status().IsNotFound() ? FailOp(CqStatus::kNotFound)
+                                     : FailOp(CqStatus::kInternalError);
   }
   const std::uint32_t size = ref.value().size;
   if (cmd.prp.DmaBytes() < size) {
@@ -256,43 +258,43 @@ CqEntry KvController::HandleRead(const NvmeCommand& cmd) {
   // from arbitrary byte offsets), then DMA to the host.
   Bytes bounce(RoundUpPow2(size, kMemPageSize));
   if (!vlog_->Read(ref.value().addr, MutByteSpan(bounce).subspan(0, size)).ok()) {
-    return Fail(CqStatus::kInternalError, 0);
+    return FailOp(CqStatus::kInternalError);
   }
   clock_->Advance(cost_->MemcpyCost(size));
   read_memcpy_bytes_->Add(size);
   if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, size), 0, cmd.prp).ok()) {
-    return Fail(CqStatus::kInternalError, 0);
+    return FailOp(CqStatus::kInternalError);
   }
   reads_counter_->Increment();
   return CqEntry{size, 0, CqStatus::kSuccess};
 }
 
 CqEntry KvController::HandleDelete(const NvmeCommand& cmd) {
-  if (!config_.nand_io_enabled) return Fail(CqStatus::kInvalidField, 0);
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
   const Bytes key_bytes = cmd.key();
   const std::string key(reinterpret_cast<const char*>(key_bytes.data()),
                         key_bytes.size());
-  if (!lsm_->Delete(key).ok()) return Fail(CqStatus::kInternalError, 0);
+  if (!lsm_->Delete(key).ok()) return FailOp(CqStatus::kInternalError);
   return CqEntry{};
 }
 
 CqEntry KvController::HandleExists(const NvmeCommand& cmd) {
-  if (!config_.nand_io_enabled) return Fail(CqStatus::kInvalidField, 0);
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
   const Bytes key_bytes = cmd.key();
   const std::string key(reinterpret_cast<const char*>(key_bytes.data()),
                         key_bytes.size());
   auto ref = lsm_->Get(key);
-  if (!ref.ok()) return Fail(CqStatus::kNotFound, 0);
+  if (!ref.ok()) return FailOp(CqStatus::kNotFound);
   return CqEntry{ref.value().size, 0, CqStatus::kSuccess};
 }
 
 CqEntry KvController::HandleIterSeek(const NvmeCommand& cmd) {
-  if (!config_.nand_io_enabled) return Fail(CqStatus::kInvalidField, 0);
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
   auto iter = lsm_->NewIterator();
-  if (!iter.ok()) return Fail(CqStatus::kInternalError, 0);
+  if (!iter.ok()) return FailOp(CqStatus::kInternalError);
   const Bytes key_bytes = cmd.key();
   iter.value()->Seek(std::string(
       reinterpret_cast<const char*>(key_bytes.data()), key_bytes.size()));
@@ -302,10 +304,10 @@ CqEntry KvController::HandleIterSeek(const NvmeCommand& cmd) {
 }
 
 CqEntry KvController::HandleIterNext(const NvmeCommand& cmd) {
-  if (!config_.nand_io_enabled) return Fail(CqStatus::kInvalidField, 0);
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
   auto it = iterators_.find(cmd.iter_handle());
-  if (it == iterators_.end()) return Fail(CqStatus::kIteratorInvalid, 0);
+  if (it == iterators_.end()) return FailOp(CqStatus::kIteratorInvalid);
   lsm::LsmTree::Iterator& iter = *it->second;
   if (!iter.Valid()) return CqEntry{0, 0, CqStatus::kIteratorExhausted};
 
@@ -326,22 +328,22 @@ CqEntry KvController::HandleIterNext(const NvmeCommand& cmd) {
     bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * i));
   }
   if (!vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size)).ok()) {
-    return Fail(CqStatus::kInternalError, 0);
+    return FailOp(CqStatus::kInternalError);
   }
   clock_->Advance(cost_->MemcpyCost(needed));
   read_memcpy_bytes_->Add(needed);
   if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, needed), 0, cmd.prp).ok()) {
-    return Fail(CqStatus::kInternalError, 0);
+    return FailOp(CqStatus::kInternalError);
   }
   iter.Next();
   return CqEntry{static_cast<std::uint32_t>(needed), 0, CqStatus::kSuccess};
 }
 
 CqEntry KvController::HandleIterNextBatch(const NvmeCommand& cmd) {
-  if (!config_.nand_io_enabled) return Fail(CqStatus::kInvalidField, 0);
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
   auto it = iterators_.find(cmd.iter_handle());
-  if (it == iterators_.end()) return Fail(CqStatus::kIteratorInvalid, 0);
+  if (it == iterators_.end()) return FailOp(CqStatus::kIteratorInvalid);
   lsm::LsmTree::Iterator& iter = *it->second;
   if (!iter.Valid()) return CqEntry{0, 0, CqStatus::kIteratorExhausted};
 
@@ -362,7 +364,7 @@ CqEntry KvController::HandleIterNextBatch(const NvmeCommand& cmd) {
       bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * i));
     }
     if (!vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size)).ok()) {
-      return Fail(CqStatus::kInternalError, 0);
+      return FailOp(CqStatus::kInternalError);
     }
     off += ref.size;
     ++records;
@@ -377,7 +379,7 @@ CqEntry KvController::HandleIterNextBatch(const NvmeCommand& cmd) {
   clock_->Advance(cost_->MemcpyCost(off));
   read_memcpy_bytes_->Add(off);
   if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, off), 0, cmd.prp).ok()) {
-    return Fail(CqStatus::kInternalError, 0);
+    return FailOp(CqStatus::kInternalError);
   }
   // Result: payload bytes; records decoded by the driver until exhausted.
   return CqEntry{static_cast<std::uint32_t>(off), 0, CqStatus::kSuccess};
@@ -390,15 +392,15 @@ CqEntry KvController::HandleIterClose(const NvmeCommand& cmd) {
 
 CqEntry KvController::HandleFlush() {
   if (!config_.nand_io_enabled) return CqEntry{};
-  if (!vlog_->Drain().ok()) return Fail(CqStatus::kInternalError, 0);
+  if (!vlog_->Drain().ok()) return FailOp(CqStatus::kInternalError);
   if (!lsm_->Checkpoint(VlogTailCookie()).ok()) {
-    return Fail(CqStatus::kInternalError, 0);
+    return FailOp(CqStatus::kInternalError);
   }
   // The checkpoint is durable: vLog segments cleaned since the previous
   // checkpoint are no longer referenced by any recoverable state.
   for (const auto& [first_lpn, count] : pending_vlog_trims_) {
     if (!vlog_->TrimPages(first_lpn, count).ok()) {
-      return Fail(CqStatus::kInternalError, 0);
+      return FailOp(CqStatus::kInternalError);
     }
   }
   pending_vlog_trims_.clear();

@@ -79,7 +79,12 @@ class KvController : public nvme::DeviceHandler {
 
   // Completes a reassembled/landed write: pack, index, account.
   nvme::CqEntry FinishWrite(PendingWrite&& op);
+  // Fails a command in a fragment stream: aborts the queue's in-progress
+  // reassembly (the stream is corrupt past this point).
   nvme::CqEntry Fail(nvme::CqStatus status, std::uint16_t queue_id);
+  // Fails a self-contained command; other queues' pending reassembly state
+  // is untouched (a failed read on queue 1 must not abort queue 0's write).
+  nvme::CqEntry FailOp(nvme::CqStatus status);
 
   std::uint64_t VlogTailCookie() const;
 

@@ -117,6 +117,11 @@ class KvSsd {
   const lsm::LsmTree& lsm() const { return *lsm_; }
   const KvSsdOptions& options() const { return options_; }
   driver::KvDriver& raw_driver() { return *driver_; }
+  // Multi-queue machinery (sharded workload runner): the runner enters each
+  // stream's time frame before calling into its driver, and toggles the
+  // transport's parallel arbitration for the run.
+  sim::VirtualClock& mutable_clock() { return clock_; }
+  nvme::NvmeTransport& transport() { return *transport_; }
 
   // Attaches an additional host driver bound to `queue_id` (must be
   // < options().num_queues). Lives as long as the device.

@@ -26,11 +26,24 @@ PageFtl::PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
       }
     }
   }
-  free_blocks_.reserve(blocks);
-  // Pop from the back; filling lowest-numbered blocks first keeps runs
-  // reproducible and easy to inspect.
-  for (std::uint64_t b = blocks; b > 0; --b) {
-    if (!bad_[b - 1]) free_blocks_.push_back(b - 1);
+  if (config_.stripe_across_dies) {
+    const std::uint64_t dies = nand->geometry().dies();
+    free_by_die_.resize(dies);
+    // Same lowest-block-first discipline as the global list, per die.
+    for (std::uint64_t b = blocks; b > 0; --b) {
+      if (!bad_[b - 1]) {
+        free_by_die_[nand->DieOf(b - 1)].push_back(b - 1);
+        ++free_count_;
+      }
+    }
+    active_by_die_.assign(kNumStreams, std::vector<ActiveBlock>(dies));
+  } else {
+    free_blocks_.reserve(blocks);
+    // Pop from the back; filling lowest-numbered blocks first keeps runs
+    // reproducible and easy to inspect.
+    for (std::uint64_t b = blocks; b > 0; --b) {
+      if (!bad_[b - 1]) free_blocks_.push_back(b - 1);
+    }
   }
   stream_programs_[0] = metrics->GetCounter("ftl.programs.vlog");
   stream_programs_[1] = metrics->GetCounter("ftl.programs.lsm");
@@ -45,28 +58,89 @@ void PageFtl::Invalidate(std::uint64_t ppn) {
   --valid_pages_[block];
 }
 
-Result<std::uint64_t> PageFtl::AllocatePage(Stream stream) {
-  ActiveBlock& active = active_[static_cast<int>(stream)];
-  const auto& geom = nand_->geometry();
-  if (active.block == kUnmapped || active.next_page == geom.pages_per_block) {
-    if (active.block != kUnmapped) block_full_[active.block] = true;
-    // GC only when allocating for foreground streams; the GC stream draws
-    // from the reserve directly to avoid re-entry.
-    if (stream != Stream::kGc) {
-      BANDSLIM_RETURN_IF_ERROR(MaybeCollect());
-    }
-    if (free_blocks_.empty()) {
-      return Status::OutOfSpace("no free NAND blocks");
-    }
-    active.block = free_blocks_.back();
+void PageFtl::PushFree(std::uint64_t block) {
+  if (config_.stripe_across_dies) {
+    free_by_die_[nand_->DieOf(block)].push_back(block);
+    ++free_count_;
+  } else {
+    free_blocks_.push_back(block);
+  }
+}
+
+bool PageFtl::PopFree(std::uint64_t want_die, std::uint64_t* out) {
+  if (!config_.stripe_across_dies) {
+    if (free_blocks_.empty()) return false;
+    *out = free_blocks_.back();
     free_blocks_.pop_back();
-    active.next_page = 0;
+    return true;
+  }
+  // Prefer the requested die; fall back round-robin so a die whose pool
+  // drained does not wedge the stream.
+  const std::uint64_t dies = free_by_die_.size();
+  for (std::uint64_t i = 0; i < dies; ++i) {
+    std::vector<std::uint64_t>& list = free_by_die_[(want_die + i) % dies];
+    if (list.empty()) continue;
+    *out = list.back();
+    list.pop_back();
+    --free_count_;
+    return true;
+  }
+  return false;
+}
+
+void PageFtl::RemoveFree(std::uint64_t block) {
+  std::vector<std::uint64_t>* list = &free_blocks_;
+  if (config_.stripe_across_dies) list = &free_by_die_[nand_->DieOf(block)];
+  for (auto it = list->begin(); it != list->end(); ++it) {
+    if (*it == block) {
+      list->erase(it);
+      if (config_.stripe_across_dies) --free_count_;
+      break;
+    }
+  }
+}
+
+Status PageFtl::OpenActiveBlock(ActiveBlock* active, Stream stream,
+                                std::uint64_t want_die) {
+  if (active->block != kUnmapped) block_full_[active->block] = true;
+  // GC only when allocating for foreground streams; the GC stream draws
+  // from the reserve directly to avoid re-entry.
+  if (stream != Stream::kGc) {
+    BANDSLIM_RETURN_IF_ERROR(MaybeCollect());
+  }
+  std::uint64_t block;
+  if (!PopFree(want_die, &block)) {
+    return Status::OutOfSpace("no free NAND blocks");
+  }
+  active->block = block;
+  active->next_page = 0;
+  return Status::Ok();
+}
+
+Result<std::uint64_t> PageFtl::AllocatePage(Stream stream) {
+  const auto& geom = nand_->geometry();
+  const int s = static_cast<int>(stream);
+  if (config_.stripe_across_dies) {
+    // Rotate dies per page so consecutive appends land on different
+    // channels/ways and the parallel NAND scheduler can overlap them.
+    const std::uint64_t dies = geom.dies();
+    const std::uint64_t die = stripe_cursor_[s] % dies;
+    stripe_cursor_[s] = (stripe_cursor_[s] + 1) % dies;
+    ActiveBlock& active = active_by_die_[s][die];
+    if (active.block == kUnmapped || active.next_page == geom.pages_per_block) {
+      BANDSLIM_RETURN_IF_ERROR(OpenActiveBlock(&active, stream, die));
+    }
+    return geom.PageIndex(active.block, active.next_page++);
+  }
+  ActiveBlock& active = active_[s];
+  if (active.block == kUnmapped || active.next_page == geom.pages_per_block) {
+    BANDSLIM_RETURN_IF_ERROR(OpenActiveBlock(&active, stream, 0));
   }
   return geom.PageIndex(active.block, active.next_page++);
 }
 
 Status PageFtl::MaybeCollect() {
-  while (free_blocks_.size() < config_.gc_low_watermark) {
+  while (free_blocks() < config_.gc_low_watermark) {
     BANDSLIM_RETURN_IF_ERROR(CollectOneBlock());
   }
   return Status::Ok();
@@ -103,6 +177,11 @@ bool PageFtl::IsActive(std::uint64_t block) const {
   for (const ActiveBlock& a : active_) {
     if (a.block == block) return true;
   }
+  for (const auto& per_die : active_by_die_) {
+    for (const ActiveBlock& a : per_die) {
+      if (a.block == block) return true;
+    }
+  }
   return false;
 }
 
@@ -138,7 +217,7 @@ Status PageFtl::CollectOneBlock() {
   BANDSLIM_RETURN_IF_ERROR(RelocateValidPages(victim));
   BANDSLIM_RETURN_IF_ERROR(nand_->Erase(victim));
   block_full_[victim] = false;
-  free_blocks_.push_back(victim);
+  PushFree(victim);
   ++gc_runs_;
   return Status::Ok();
 }
@@ -156,12 +235,7 @@ Status PageFtl::MarkBad(std::uint64_t block) {
   ++bad_block_count_;
   block_full_[block] = false;
   // Drop it from the free pool if it was free.
-  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
-    if (*it == block) {
-      free_blocks_.erase(it);
-      break;
-    }
-  }
+  RemoveFree(block);
   return Status::Ok();
 }
 

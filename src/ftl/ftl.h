@@ -33,6 +33,13 @@ struct FtlConfig {
   // Fraction of blocks factory-marked bad (excluded from allocation).
   double bad_block_rate = 0.0;
   std::uint64_t bad_block_seed = 0xBADB10C;
+  // Geometry-aware dispatch: each stream keeps one active block per die and
+  // round-robins page allocations across them, so consecutive logical page
+  // writes land on different channels/ways and the parallel NAND scheduler
+  // (CostModel::nand_async_program) can overlap them. Off by default: the
+  // sequential allocator matches the paper's firmware and keeps the figure
+  // anchors bit-identical.
+  bool stripe_across_dies = false;
 };
 
 class PageFtl {
@@ -50,7 +57,9 @@ class PageFtl {
   // Drops the mapping; the physical page becomes garbage for GC.
   Status Trim(std::uint64_t lpn);
 
-  std::uint64_t free_blocks() const { return free_blocks_.size(); }
+  std::uint64_t free_blocks() const {
+    return config_.stripe_across_dies ? free_count_ : free_blocks_.size();
+  }
   std::uint64_t gc_relocated_pages() const { return gc_relocated_pages_; }
   std::uint64_t gc_runs() const { return gc_runs_; }
   std::uint64_t mapped_pages() const { return map_.size(); }
@@ -72,6 +81,14 @@ class PageFtl {
   // Returns the next free physical page for `stream`, running GC if the
   // free pool is low. Fails with kOutOfSpace when GC cannot reclaim.
   Result<std::uint64_t> AllocatePage(Stream stream);
+  // Refills `active` from the free pool (GC first for foreground streams),
+  // preferring a block on `want_die` when striping.
+  Status OpenActiveBlock(ActiveBlock* active, Stream stream,
+                         std::uint64_t want_die);
+  // Free-pool primitives valid in both layouts (global list / per-die lists).
+  void PushFree(std::uint64_t block);
+  bool PopFree(std::uint64_t want_die, std::uint64_t* out);
+  void RemoveFree(std::uint64_t block);
   Status MaybeCollect();
   Status CollectOneBlock();
   // Moves every valid page of `block` to the GC stream's active block.
@@ -87,8 +104,16 @@ class PageFtl {
   std::vector<std::uint32_t> valid_pages_;                // Per block.
   std::vector<bool> block_full_;                          // Per block.
   std::vector<bool> bad_;                                 // Per block.
+  // Free pool. Non-striped: one global stack popped lowest-block-first
+  // (exactly the paper-faithful allocator). Striped: one stack per die plus
+  // a count, so OpenActiveBlock can target a die directly.
   std::vector<std::uint64_t> free_blocks_;
+  std::vector<std::vector<std::uint64_t>> free_by_die_;
+  std::uint64_t free_count_ = 0;
   ActiveBlock active_[kNumStreams];
+  // Striped mode: per-stream per-die active blocks and rotation cursor.
+  std::vector<std::vector<ActiveBlock>> active_by_die_;
+  std::uint64_t stripe_cursor_[kNumStreams] = {0, 0, 0};
   std::uint64_t bad_block_count_ = 0;
 
   std::uint64_t gc_relocated_pages_ = 0;

@@ -13,9 +13,26 @@ NandFlash::NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
       page_state_(geometry.total_pages(), 0),
       erase_counts_(geometry.total_blocks(), 0),
       die_free_at_(geometry.dies(), 0),
+      channel_free_at_(geometry.channels, 0),
+      die_pending_(geometry.dies()),
       programs_(metrics->GetCounter("nand.pages_programmed")),
       reads_(metrics->GetCounter("nand.pages_read")),
       erases_(metrics->GetCounter("nand.blocks_erased")) {}
+
+void NandFlash::WaitForDieSlot(std::uint64_t die) {
+  std::deque<sim::Nanoseconds>& pending = die_pending_[die];
+  while (!pending.empty() && pending.front() <= clock_->Now()) {
+    pending.pop_front();
+  }
+  if (cost_->nand_die_queue_depth == 0) return;  // Unbounded queues.
+  while (pending.size() >= cost_->nand_die_queue_depth) {
+    const sim::Nanoseconds wait = pending.front() - clock_->Now();
+    clock_->AdvanceTo(pending.front());
+    pending.pop_front();
+    ++die_queue_stalls_;
+    die_queue_stall_ns_ += wait;
+  }
+}
 
 Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
                           bool retain_data) {
@@ -33,14 +50,28 @@ Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
     data_[phys_page] = Bytes(data.begin(), data.end());
   }
   if (cost_->nand_async_program) {
-    // Queue on the block's die; the issuing op does not wait.
+    // Channel/way scheduler: the page crosses the channel bus, then the die
+    // programs it; the issuing op does not wait unless the die's command
+    // queue is full.
     const std::uint64_t die = DieOf(geometry_.BlockOf(phys_page));
-    const sim::Nanoseconds start =
-        std::max(clock_->Now(), die_free_at_[die]);
-    die_free_at_[die] = start + cost_->nand_program_ns;
+    const std::uint32_t channel = ChannelOf(die);
+    WaitForDieSlot(die);
+    const sim::Nanoseconds xfer_start =
+        std::max(clock_->Now(), channel_free_at_[channel]);
+    channel_free_at_[channel] = xfer_start + cost_->nand_channel_xfer_ns;
+    const sim::Nanoseconds prog_start =
+        std::max(channel_free_at_[channel], die_free_at_[die]);
+    die_free_at_[die] = prog_start + cost_->nand_program_ns;
     page_ready_at_[phys_page] = die_free_at_[die];
+    die_pending_[die].push_back(die_free_at_[die]);
   } else {
+    // Synchronous dispatch still occupies the die: another stream's time
+    // frame must wait out an in-progress program. A single stream never
+    // waits here (die_free_at_ trails its own clock).
+    const std::uint64_t die = DieOf(geometry_.BlockOf(phys_page));
+    clock_->AdvanceTo(die_free_at_[die]);
     clock_->Advance(cost_->nand_program_ns);
+    die_free_at_[die] = clock_->Now();
   }
   ++pages_programmed_;
   programs_->Increment();
@@ -76,7 +107,24 @@ Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
     std::memcpy(out.data(), it->second.data(), n);
     if (n < out.size()) std::memset(out.data() + n, 0, out.size() - n);
   }
-  clock_->Advance(cost_->nand_read_ns);
+  if (cost_->nand_async_program) {
+    // Reads are synchronous to the caller but contend on the die and the
+    // channel bus like any other operation.
+    const std::uint64_t die = DieOf(geometry_.BlockOf(phys_page));
+    const std::uint32_t channel = ChannelOf(die);
+    clock_->AdvanceTo(die_free_at_[die]);
+    const sim::Nanoseconds sense_end = clock_->Now() + cost_->nand_read_ns;
+    die_free_at_[die] = sense_end;
+    const sim::Nanoseconds xfer_start =
+        std::max(sense_end, channel_free_at_[channel]);
+    channel_free_at_[channel] = xfer_start + cost_->nand_channel_xfer_ns;
+    clock_->AdvanceTo(channel_free_at_[channel]);
+  } else {
+    const std::uint64_t die = DieOf(geometry_.BlockOf(phys_page));
+    clock_->AdvanceTo(die_free_at_[die]);
+    clock_->Advance(cost_->nand_read_ns);
+    die_free_at_[die] = clock_->Now();
+  }
   ++pages_read_;
   reads_->Increment();
   return Status::Ok();
@@ -94,12 +142,18 @@ Status NandFlash::Erase(std::uint64_t block) {
   }
   ++erase_counts_[block];
   if (cost_->nand_async_program) {
+    // No data crosses the channel; the die is busy for the erase.
     const std::uint64_t die = DieOf(block);
+    WaitForDieSlot(die);
     const sim::Nanoseconds start =
         std::max(clock_->Now(), die_free_at_[die]);
     die_free_at_[die] = start + cost_->nand_erase_ns;
+    die_pending_[die].push_back(die_free_at_[die]);
   } else {
+    const std::uint64_t die = DieOf(block);
+    clock_->AdvanceTo(die_free_at_[die]);
     clock_->Advance(cost_->nand_erase_ns);
+    die_free_at_[die] = clock_->Now();
   }
   ++blocks_erased_;
   erases_->Increment();

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -61,12 +62,32 @@ class NandFlash {
   std::uint64_t DieOf(std::uint64_t block) const {
     return block % geometry_.dies();
   }
-  // Async-program mode introspection: reads that had to stall on an
+  // Channel bus a die hangs off: consecutive dies alternate channels, so
+  // consecutive blocks spread across both dies *and* channels.
+  std::uint32_t ChannelOf(std::uint64_t die) const {
+    return static_cast<std::uint32_t>(die % geometry_.channels);
+  }
+  // Parallel-dispatch introspection: reads that had to stall on an
   // in-flight program, and the virtual time lost waiting.
   std::uint64_t read_stalls() const { return read_stalls_; }
   sim::Nanoseconds read_stall_ns() const { return read_stall_ns_; }
+  // Issuers stalled by a full per-die command queue (backpressure), and the
+  // virtual time lost waiting for a slot.
+  std::uint64_t die_queue_stalls() const { return die_queue_stalls_; }
+  sim::Nanoseconds die_queue_stall_ns() const { return die_queue_stall_ns_; }
+  // When the given resource finishes its currently booked work.
+  sim::Nanoseconds die_free_at(std::uint64_t die) const {
+    return die_free_at_[die];
+  }
+  sim::Nanoseconds channel_free_at(std::uint32_t channel) const {
+    return channel_free_at_[channel];
+  }
 
  private:
+  // Blocks until the die has a free command-queue slot (parallel dispatch;
+  // models the bounded per-die queue in the flash controller).
+  void WaitForDieSlot(std::uint64_t die);
+
   NandGeometry geometry_;
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
@@ -75,9 +96,12 @@ class NandFlash {
   std::vector<std::uint32_t> erase_counts_;    // One entry per block (wear).
   std::unordered_map<std::uint64_t, Bytes> data_;  // Sparse retained payloads.
 
-  // Async-program mode: when each die finishes its queued work, and when
+  // Parallel dispatch: per-resource busy-until timelines (absolute virtual
+  // time), per-die pending-completion queues (backpressure bound), and when
   // each in-flight page becomes readable.
   std::vector<sim::Nanoseconds> die_free_at_;
+  std::vector<sim::Nanoseconds> channel_free_at_;
+  std::vector<std::deque<sim::Nanoseconds>> die_pending_;
   std::unordered_map<std::uint64_t, sim::Nanoseconds> page_ready_at_;
 
   std::uint64_t pages_programmed_ = 0;
@@ -85,6 +109,8 @@ class NandFlash {
   std::uint64_t blocks_erased_ = 0;
   std::uint64_t read_stalls_ = 0;
   sim::Nanoseconds read_stall_ns_ = 0;
+  std::uint64_t die_queue_stalls_ = 0;
+  sim::Nanoseconds die_queue_stall_ns_ = 0;
 
   stats::Counter* programs_;
   stats::Counter* reads_;

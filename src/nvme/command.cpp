@@ -11,7 +11,7 @@ void NvmeCommand::set_key(ByteSpan key) {
   // dw2-3 hold key bytes [0, 8); dw14-15 hold key bytes [8, 16).
   const std::size_t low = key.size() < 8 ? key.size() : 8;
   std::memset(bytes.data() + 8, 0, 8);
-  std::memcpy(bytes.data() + 8, key.data(), low);
+  if (low > 0) std::memcpy(bytes.data() + 8, key.data(), low);
   std::memset(bytes.data() + 56, 0, 8);
   if (key.size() > 8) {
     std::memcpy(bytes.data() + 56, key.data() + 8, key.size() - 8);
@@ -24,7 +24,7 @@ Bytes NvmeCommand::key() const {
   Bytes out(n);
   auto bytes = raw_bytes();
   const std::size_t low = n < 8 ? n : 8;
-  std::memcpy(out.data(), bytes.data() + 8, low);
+  if (low > 0) std::memcpy(out.data(), bytes.data() + 8, low);
   if (n > 8) std::memcpy(out.data() + 8, bytes.data() + 56, n - 8);
   return out;
 }

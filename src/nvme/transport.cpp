@@ -1,5 +1,6 @@
 #include "nvme/transport.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bandslim::nvme {
@@ -18,13 +19,36 @@ NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cos
   }
 }
 
+std::uint16_t NvmeTransport::AllocateCid(QueuePair* qp) {
+  const std::uint16_t cid = qp->next_cid++;
+  const bool inserted = qp->inflight_cids.insert(cid).second;
+  assert(inserted && "CID reused while still in flight on this queue");
+  (void)inserted;
+  return cid;
+}
+
+void NvmeTransport::ChargeCommand(bool first_in_batch) {
+  if (parallel_arbitration_) {
+    // The shared fetch/interpret unit takes commands one at a time; the
+    // submitter's frame jumps to when its command clears arbitration plus
+    // the host-visible latency for its position in the batch.
+    const sim::Nanoseconds arb = std::max(clock_->Now(), fetch_busy_until_);
+    fetch_busy_until_ = arb + cost_->cmd_pipelined_ns;
+    clock_->SetTime(arb + (first_in_batch ? cost_->cmd_round_trip_ns
+                                          : cost_->cmd_pipelined_ns));
+  } else {
+    clock_->Advance(first_in_batch ? cost_->cmd_round_trip_ns
+                                   : cost_->cmd_pipelined_ns);
+  }
+}
+
 CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
   assert(device_ != nullptr && "no device attached");
   assert(queue_id < queues_.size());
   QueuePair& qp = queues_[queue_id];
 
   NvmeCommand entry = cmd;
-  entry.set_cid(next_cid_++);
+  entry.set_cid(AllocateCid(&qp));
 
   // Host: write the SQ entry (host memory, not PCIe) and ring the doorbell.
   const bool pushed = qp.sq.Push(entry);
@@ -40,10 +64,10 @@ CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
   link_->Record(pcie::TrafficClass::kCommandFetch, pcie::Direction::kHostToDevice,
                 cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
 
-  // One synchronous round trip of latency per command (submit + fetch +
-  // interpret + complete + host wakeup). Device-side work (DMA, memcpy,
-  // NAND) advances the clock inside the handler.
-  clock_->Advance(cost_->cmd_round_trip_ns);
+  // One round trip of latency per command (submit + fetch + interpret +
+  // complete + host wakeup). Device-side work (DMA, memcpy, NAND) advances
+  // the clock inside the handler.
+  ChargeCommand(/*first_in_batch=*/true);
 
   CqEntry cqe = device_->Handle(fetched, queue_id);
   cqe.cid = fetched.cid();
@@ -57,6 +81,7 @@ CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
 
   CqEntry reaped;
   qp.cq.Pop(&reaped);
+  qp.inflight_cids.erase(reaped.cid);
   ++commands_submitted_;
   submit_counter_->Increment();
   return reaped;
@@ -64,12 +89,12 @@ CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
 
 std::vector<CqEntry> NvmeTransport::SubmitPipelined(
     std::uint16_t queue_id, const std::vector<NvmeCommand>& cmds) {
-  assert(device_ != nullptr && "no device attached");
   assert(queue_id < queues_.size());
   QueuePair& qp = queues_[queue_id];
   std::vector<CqEntry> completions;
   completions.reserve(cmds.size());
-  if (cmds.empty()) return completions;
+  if (cmds.empty()) return completions;  // Nothing fetched; device untouched.
+  assert(device_ != nullptr && "no device attached");
 
   // One doorbell ring covers the whole batch.
   link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
@@ -78,7 +103,7 @@ std::vector<CqEntry> NvmeTransport::SubmitPipelined(
   bool first = true;
   for (const NvmeCommand& cmd : cmds) {
     NvmeCommand entry = cmd;
-    entry.set_cid(next_cid_++);
+    entry.set_cid(AllocateCid(&qp));
     // The ring may be smaller than the batch; with the device draining
     // entries synchronously here, push/pop per command is equivalent.
     const bool pushed = qp.sq.Push(entry);
@@ -89,7 +114,7 @@ std::vector<CqEntry> NvmeTransport::SubmitPipelined(
     link_->Record(pcie::TrafficClass::kCommandFetch,
                   pcie::Direction::kHostToDevice,
                   cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
-    clock_->Advance(first ? cost_->cmd_round_trip_ns : cost_->cmd_pipelined_ns);
+    ChargeCommand(first);
     first = false;
 
     CqEntry cqe = device_->Handle(fetched, queue_id);
@@ -101,6 +126,7 @@ std::vector<CqEntry> NvmeTransport::SubmitPipelined(
                   pcie::Direction::kDeviceToHost, cost_->cqe_bytes);
     CqEntry reaped;
     qp.cq.Pop(&reaped);
+    qp.inflight_cids.erase(reaped.cid);
     completions.push_back(reaped);
     ++commands_submitted_;
     submit_counter_->Increment();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "nvme/command.h"
@@ -60,19 +61,39 @@ class NvmeTransport {
 
   std::uint64_t commands_submitted() const { return commands_submitted_; }
 
+  // Multi-queue-pair timing: when on, submissions from different queue
+  // pairs contend only on the controller's shared command fetch/interpret
+  // unit (an absolute-time busy timeline, cmd_pipelined_ns per command)
+  // instead of serializing whole round trips. A single stream sees
+  // identical timing either way because the round trip dominates the
+  // fetch cadence; the sharded workload runner turns this on.
+  void SetParallelArbitration(bool on) { parallel_arbitration_ = on; }
+  bool parallel_arbitration() const { return parallel_arbitration_; }
+
  private:
   struct QueuePair {
     SubmissionQueue sq;
     CompletionQueue cq;
+    // CIDs are per submission queue in NVMe; each pair allocates its own
+    // and tracks which are in flight so reuse trips an assert.
+    std::uint16_t next_cid = 0;
+    std::unordered_set<std::uint16_t> inflight_cids;
     QueuePair(std::uint16_t depth) : sq(depth), cq(depth) {}
   };
+
+  // Allocates the queue's next CID and registers it in flight.
+  std::uint16_t AllocateCid(QueuePair* qp);
+  // Charges one command's latency: a full round trip serialized on the
+  // clock (sync), or arbitration through the shared fetch unit (parallel).
+  void ChargeCommand(bool first_in_batch);
 
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
   pcie::PcieLink* link_;
   DeviceHandler* device_ = nullptr;
   std::vector<QueuePair> queues_;
-  std::uint16_t next_cid_ = 0;
+  bool parallel_arbitration_ = false;
+  sim::Nanoseconds fetch_busy_until_ = 0;
   std::uint64_t commands_submitted_ = 0;
   stats::Counter* submit_counter_;
 };

@@ -39,11 +39,22 @@ struct CostModel {
   Nanoseconds nand_program_ns = 400 * kMicrosecond;
   Nanoseconds nand_read_ns = 80 * kMicrosecond;
   Nanoseconds nand_erase_ns = 3 * kMillisecond;
-  // When true, programs/erases are dispatched to their die's queue and the
-  // issuing op does not wait (the 4ch x 8way array absorbs them); reads of
-  // a still-in-flight page stall until it lands. The Cosmos+ firmware path
-  // the paper measures is synchronous (false) — see bench/abl_nand_parallel.
+  // When true, programs/erases are dispatched through the channel/way
+  // scheduler (per-channel and per-die busy-until timelines, bounded
+  // per-die command queues) and the issuing op does not wait; reads of a
+  // still-in-flight page stall until it lands and contend on the die and
+  // channel like any other operation. The Cosmos+ firmware path the paper
+  // measures is synchronous (false) — see bench/abl_nand_parallel and
+  // DESIGN.md §2 for the busy model.
   bool nand_async_program = false;
+  // Channel-bus occupancy to shuttle one 16 KiB page between the controller
+  // and a die's register (parallel dispatch only; the synchronous path folds
+  // transfer into nand_program_ns/nand_read_ns). 40 us == ~400 MB/s ONFI.
+  Nanoseconds nand_channel_xfer_ns = 40 * kMicrosecond;
+  // Per-die command queue bound (parallel dispatch only): a program/erase
+  // finding this many operations still pending on its die stalls the issuer
+  // until the oldest completes. 0 = unbounded (no backpressure).
+  std::uint32_t nand_die_queue_depth = 8;
   // Device-side memcpy (firmware copy loop on the Cortex-A9): ns per byte.
   // 25 ns/B == 40 MB/s.
   Nanoseconds memcpy_ns_per_byte = 25;

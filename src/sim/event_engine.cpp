@@ -1,0 +1,34 @@
+#include "sim/event_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bandslim::sim {
+
+std::uint64_t EventEngine::Schedule(Nanoseconds when, Callback fn) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{when, seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  return seq;
+}
+
+bool EventEngine::RunOne() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  // Enter the event's time frame. This may rewind the clock: a later stream
+  // may already have run ahead. Resource timelines are absolute, so bookings
+  // made "in the past" still order correctly against earlier ones.
+  clock_->SetTime(ev.time);
+  ++events_run_;
+  ev.fn();
+  return true;
+}
+
+void EventEngine::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace bandslim::sim

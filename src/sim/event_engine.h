@@ -1,0 +1,69 @@
+// Deterministic discrete-event engine. Events are keyed by (time, sequence):
+// the sequence number is assigned at Schedule() time and breaks ties, so two
+// runs of the same program pop events in exactly the same order — determinism
+// does not depend on heap implementation details or callback addresses.
+//
+// The engine is the arbiter of the multi-queue execution mode: each host
+// stream (one NVMe queue pair driven synchronously) schedules its next
+// submission at its own stream time, the engine pops the earliest one, sets
+// the virtual clock to that time frame, and the stream runs its command
+// against the device's resource timelines (NAND channel/way busy intervals,
+// the shared command-fetch unit). Completions therefore drain in global
+// completion order while each queue's command stream stays FIFO — the
+// invariant the controller's fragment reassembly relies on (Section 3.3.1).
+//
+// The clock may move *backward* when the engine re-enters an earlier
+// stream's frame; all resource timelines are kept in absolute virtual time,
+// so bookings stay consistent (see VirtualClock::SetTime).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace bandslim::sim {
+
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit EventEngine(VirtualClock* clock) : clock_(clock) {}
+
+  // Enqueues `fn` to run at virtual time `when`. Returns the event's
+  // sequence number (monotonic; the tie-break key).
+  std::uint64_t Schedule(Nanoseconds when, Callback fn);
+
+  // Pops the earliest (time, seq) event, sets the clock to its time, and
+  // runs it. Returns false when no event is pending.
+  bool RunOne();
+
+  // Drains the heap, including events scheduled by running events.
+  void RunUntilIdle();
+
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t events_run() const { return events_run_; }
+  // Earliest pending event time (undefined when empty; check pending()).
+  Nanoseconds NextEventTime() const { return heap_.front().time; }
+
+ private:
+  struct Event {
+    Nanoseconds time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  // Min-heap on (time, seq) via std:: heap algorithms (priority_queue would
+  // force a copy of the callback out of a const top()).
+  static bool Later(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  VirtualClock* clock_;
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_run_ = 0;
+};
+
+}  // namespace bandslim::sim

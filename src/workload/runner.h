@@ -58,4 +58,16 @@ KvSsdStats StatsDelta(const KvSsdStats& after, const KvSsdStats& before);
 RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
                          const std::string& config_label);
 
+// Issues the same PUT sequence sharded across `num_streams` NVMe queue
+// pairs (op i goes to stream i % num_streams; the device must be opened
+// with num_queues >= num_streams). Each stream advances in its own time
+// frame; the event engine interleaves streams deterministically by
+// (time, sequence) and the transport's parallel arbitration plus the NAND
+// channel/way scheduler decide how much of the work overlaps. elapsed_ns
+// is the latest stream finish time. With num_streams == 1 the run is
+// op-for-op identical to RunPutWorkload (see tests/figure_anchor_test).
+RunResult RunShardedPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
+                                std::uint16_t num_streams,
+                                const std::string& config_label);
+
 }  // namespace bandslim::workload

@@ -1,0 +1,80 @@
+// EventEngine: the (time, sequence) ordering contract the multi-queue
+// execution mode depends on — identical schedules must drain identically.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_engine.h"
+
+namespace bandslim::sim {
+namespace {
+
+TEST(EventEngineTest, RunsEventsInTimeOrder) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  std::vector<int> order;
+  engine.Schedule(300, [&] { order.push_back(3); });
+  engine.Schedule(100, [&] { order.push_back(1); });
+  engine.Schedule(200, [&] { order.push_back(2); });
+  engine.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.events_run(), 3u);
+  EXPECT_EQ(clock.Now(), 300u);
+}
+
+TEST(EventEngineTest, SequenceBreaksTiesInScheduleOrder) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    engine.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  engine.RunUntilIdle();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventEngineTest, SetsClockToEventTimeIncludingRewind) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  std::vector<Nanoseconds> seen;
+  // A later-scheduled but earlier-timed event must rewind the clock into
+  // its frame (this is how an idle stream catches up to a busy one).
+  engine.Schedule(500, [&] { seen.push_back(clock.Now()); });
+  engine.Schedule(100, [&] { seen.push_back(clock.Now()); });
+  clock.SetTime(400);
+  engine.RunUntilIdle();
+  EXPECT_EQ(seen, (std::vector<Nanoseconds>{100, 500}));
+}
+
+TEST(EventEngineTest, CallbacksMayScheduleMoreEvents) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) engine.Schedule(clock.Now() + 10, hop);
+  };
+  engine.Schedule(0, hop);
+  engine.RunUntilIdle();
+  EXPECT_EQ(hops, 5);
+  EXPECT_EQ(clock.Now(), 40u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EventEngineTest, RunOneReportsPendingAndNextTime) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  EXPECT_FALSE(engine.RunOne());
+  engine.Schedule(70, [] {});
+  engine.Schedule(30, [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  EXPECT_EQ(engine.NextEventTime(), 30u);
+  EXPECT_TRUE(engine.RunOne());
+  EXPECT_EQ(engine.NextEventTime(), 70u);
+  EXPECT_TRUE(engine.RunOne());
+  EXPECT_FALSE(engine.RunOne());
+}
+
+}  // namespace
+}  // namespace bandslim::sim

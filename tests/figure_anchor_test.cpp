@@ -198,5 +198,42 @@ TEST(Figure12Anchors, AllPackingMinimizesNandWrites) {
   }
 }
 
+// ---- Multi-queue equivalence ----------------------------------------------
+
+// The sharded runner with one stream and the synchronous NAND path must
+// reproduce RunPutWorkload exactly — the figure anchors above are measured
+// through RunPutWorkload, so this pins that the multi-queue machinery is
+// timing-invisible when not engaged.
+TEST(MultiQueueEquivalence, OneStreamShardedMatchesSequentialExactly) {
+  for (auto make : {workload::MakeWorkloadB, workload::MakeWorkloadM}) {
+    auto seq_ssd = KvSsd::Open(Options(TransferMethod::kAdaptive,
+                                       PackingPolicy::kAll, true))
+                       .value();
+    const auto seq =
+        workload::RunPutWorkload(*seq_ssd, make(kOps, 7), "seq");
+
+    auto sharded_ssd = KvSsd::Open(Options(TransferMethod::kAdaptive,
+                                           PackingPolicy::kAll, true))
+                           .value();
+    const auto sharded = workload::RunShardedPutWorkload(
+        *sharded_ssd, make(kOps, 7), 1, "sharded");
+
+    ASSERT_EQ(seq.workload, sharded.workload);
+    EXPECT_EQ(seq.elapsed_ns, sharded.elapsed_ns);
+    EXPECT_EQ(seq.requested_value_bytes, sharded.requested_value_bytes);
+    EXPECT_EQ(seq.latency_ns.count(), sharded.latency_ns.count());
+    EXPECT_EQ(seq.latency_ns.sum(), sharded.latency_ns.sum());
+    EXPECT_EQ(seq.latency_ns.min(), sharded.latency_ns.min());
+    EXPECT_EQ(seq.latency_ns.max(), sharded.latency_ns.max());
+    EXPECT_EQ(seq.delta.commands_submitted, sharded.delta.commands_submitted);
+    EXPECT_EQ(seq.delta.pcie_h2d_bytes, sharded.delta.pcie_h2d_bytes);
+    EXPECT_EQ(seq.delta.nand_pages_programmed,
+              sharded.delta.nand_pages_programmed);
+    EXPECT_EQ(seq.delta.device_memcpy_bytes, sharded.delta.device_memcpy_bytes);
+    EXPECT_EQ(seq.delta.values_written, sharded.delta.values_written);
+    EXPECT_EQ(seq.delta.value_bytes_written, sharded.delta.value_bytes_written);
+  }
+}
+
 }  // namespace
 }  // namespace bandslim

@@ -151,6 +151,25 @@ TEST_F(MultiQueueRawTest, PerQueuePendingWriteAllowed) {
   EXPECT_EQ(ReadValue("b", 100), vb);
 }
 
+TEST_F(MultiQueueRawTest, CidsAllocatedPerQueue) {
+  // NVMe command identifiers are scoped to a submission queue: each queue
+  // counts from 0 independently, rather than sharing one device-wide
+  // counter.
+  Bytes v = workload::MakeValue(16, 3, 1);
+  const auto q0_first = transport_.Submit(0, HeadCmd("k0", ByteSpan(v)));
+  const auto q1_first = transport_.Submit(1, HeadCmd("k1", ByteSpan(v)));
+  const auto q0_second = transport_.Submit(0, HeadCmd("k2", ByteSpan(v)));
+  const auto q1_second = transport_.Submit(1, HeadCmd("k3", ByteSpan(v)));
+  ASSERT_TRUE(q0_first.ok());
+  ASSERT_TRUE(q1_first.ok());
+  ASSERT_TRUE(q0_second.ok());
+  ASSERT_TRUE(q1_second.ok());
+  EXPECT_EQ(q0_first.cid, 0);
+  EXPECT_EQ(q1_first.cid, 0);
+  EXPECT_EQ(q0_second.cid, 1);
+  EXPECT_EQ(q1_second.cid, 1);
+}
+
 TEST(MultiQueueFacadeTest, DriversOnSeparateQueues) {
   KvSsdOptions o;
   o.geometry = SmallGeometry();

@@ -155,10 +155,12 @@ TEST_F(AsyncNandTest, ReadStallsUntilProgramLands) {
   ASSERT_TRUE(nand_->Program(0, ByteSpan(data), true).ok());
   Bytes back(64);
   ASSERT_TRUE(nand_->Read(0, MutByteSpan(back)).ok());
-  // Waited out the full program, then paid the read.
-  EXPECT_EQ(clock_.Now(), cost_.nand_program_ns + cost_.nand_read_ns);
+  // Waited out the channel transfer + program, then paid sense + transfer.
+  EXPECT_EQ(clock_.Now(), 2 * cost_.nand_channel_xfer_ns +
+                              cost_.nand_program_ns + cost_.nand_read_ns);
   EXPECT_EQ(nand_->read_stalls(), 1u);
-  EXPECT_EQ(nand_->read_stall_ns(), cost_.nand_program_ns);
+  EXPECT_EQ(nand_->read_stall_ns(),
+            cost_.nand_channel_xfer_ns + cost_.nand_program_ns);
   EXPECT_EQ(back, data);
 }
 
@@ -173,28 +175,32 @@ TEST_F(AsyncNandTest, LandedProgramCostsNoStall) {
 
 TEST_F(AsyncNandTest, DifferentDiesRunInParallel) {
   // SmallGeometry: 2ch x 2way = 4 dies, blocks stripe across them.
-  // Blocks 0 and 1 live on different dies: both programs land one
-  // program-time from now, not two.
+  // Blocks 0 and 1 live on different dies on different channels: both
+  // programs land one transfer+program from now, not two.
   const auto& geom = nand_->geometry();
   Bytes data(16, 1);
   ASSERT_TRUE(nand_->Program(geom.PageIndex(0, 0), ByteSpan(data), false).ok());
   ASSERT_TRUE(nand_->Program(geom.PageIndex(1, 0), ByteSpan(data), false).ok());
   Bytes back(16);
   ASSERT_TRUE(nand_->Read(geom.PageIndex(1, 0), MutByteSpan(back)).ok());
-  EXPECT_EQ(clock_.Now(), cost_.nand_program_ns + cost_.nand_read_ns);
+  EXPECT_EQ(clock_.Now(), 2 * cost_.nand_channel_xfer_ns +
+                              cost_.nand_program_ns + cost_.nand_read_ns);
 }
 
 TEST_F(AsyncNandTest, SameDieSerializes) {
   const auto& geom = nand_->geometry();
   const std::uint64_t dies = geom.dies();
   Bytes data(16, 1);
-  // Blocks 0 and `dies` map to the same die: their programs queue.
+  // Blocks 0 and `dies` map to the same die: their programs queue. The
+  // second transfer overlaps the first program, so only one transfer is on
+  // the critical path into the die.
   ASSERT_TRUE(nand_->Program(geom.PageIndex(0, 0), ByteSpan(data), false).ok());
   ASSERT_TRUE(
       nand_->Program(geom.PageIndex(dies, 0), ByteSpan(data), false).ok());
   Bytes back(16);
   ASSERT_TRUE(nand_->Read(geom.PageIndex(dies, 0), MutByteSpan(back)).ok());
-  EXPECT_EQ(clock_.Now(), 2 * cost_.nand_program_ns + cost_.nand_read_ns);
+  EXPECT_EQ(clock_.Now(), 2 * cost_.nand_channel_xfer_ns +
+                              2 * cost_.nand_program_ns + cost_.nand_read_ns);
 }
 
 }  // namespace
