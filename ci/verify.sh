@@ -18,6 +18,14 @@ run_pass() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 }
 
+# Fault campaign under the sanitized build: nonzero failure rates drive the
+# bad-block remap, retry, and ECC paths that a clean run never enters.
+fault_campaign() {
+  local build_dir="$1"
+  echo "=== verify pass: fault campaign (${build_dir}) ==="
+  "${build_dir}/bench/fault_campaign" --ops=5000
+}
+
 run_pass release "${prefix}-release" \
   -DCMAKE_BUILD_TYPE=Release
 
@@ -26,4 +34,6 @@ run_pass asan-ubsan "${prefix}-asan" \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 
-echo "=== verify: both passes green ==="
+fault_campaign "${prefix}-asan"
+
+echo "=== verify: all passes green ==="

@@ -18,6 +18,8 @@ enum class StatusCode {
   kCorruption,
   kUnsupported,
   kResourceExhausted,
+  kTimedOut,     // Command exceeded its virtual-time deadline (host watchdog).
+  kMediaError,   // NAND program/read/erase failure (injected or grown defect).
 };
 
 class Status {
@@ -48,9 +50,17 @@ class Status {
   static Status ResourceExhausted(std::string m) {
     return {StatusCode::kResourceExhausted, std::move(m)};
   }
+  static Status TimedOut(std::string m = "timed out") {
+    return {StatusCode::kTimedOut, std::move(m)};
+  }
+  static Status MediaError(std::string m) {
+    return {StatusCode::kMediaError, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsMediaError() const { return code_ == StatusCode::kMediaError; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -69,6 +79,8 @@ class Status {
       case StatusCode::kCorruption: return "Corruption";
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kTimedOut: return "TimedOut";
+      case StatusCode::kMediaError: return "MediaError";
     }
     return "Unknown";
   }

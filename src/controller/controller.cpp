@@ -13,6 +13,24 @@ using nvme::CqStatus;
 using nvme::NvmeCommand;
 using nvme::Opcode;
 
+namespace {
+
+// Honest completion-status mapping: keep the failure class visible to the
+// host instead of collapsing everything onto one generic code.
+CqStatus CqStatusFromStatus(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return CqStatus::kSuccess;
+    case StatusCode::kNotFound: return CqStatus::kNotFound;
+    case StatusCode::kInvalidArgument: return CqStatus::kInvalidField;
+    case StatusCode::kOutOfSpace: return CqStatus::kOutOfSpace;
+    case StatusCode::kMediaError: return CqStatus::kMediaError;
+    case StatusCode::kTimedOut: return CqStatus::kTimedOut;
+    default: return CqStatus::kInternalError;
+  }
+}
+
+}  // namespace
+
 KvController::KvController(sim::VirtualClock* clock, const sim::CostModel* cost,
                            stats::MetricsRegistry* metrics, dma::DmaEngine* dma,
                            vlog::VLog* vlog, lsm::LsmTree* lsm,
@@ -91,7 +109,7 @@ CqEntry KvController::HandleWrite(const NvmeCommand& cmd,
         return MutByteSpan(nand_off_scratch_).subspan(off, kMemPageSize);
       });
     }
-    if (!dma_status.ok()) return Fail(CqStatus::kInternalError, queue_id);
+    if (!dma_status.ok()) return Fail(CqStatusFromStatus(dma_status), queue_id);
     if (prp_bytes >= value_size) {
       return FinishWrite(std::move(op));  // Pure PRP transfer.
     }
@@ -192,7 +210,7 @@ CqEntry KvController::HandleTransfer(const NvmeCommand& cmd,
       Status st = vlog_->buffer().AppendTrailing(
           op.reservation, op.reservation.prp_bytes + op.piggy_received,
           ByteSpan(fragment));
-      if (!st.ok()) return Fail(CqStatus::kInternalError, queue_id);
+      if (!st.ok()) return Fail(CqStatusFromStatus(st), queue_id);
     }
   } else {
     op.staged.insert(op.staged.end(), fragment.begin(), fragment.end());
@@ -225,12 +243,12 @@ CqEntry KvController::FinishWrite(PendingWrite&& op) {
   Result<std::uint64_t> addr = op.has_dma
                                    ? vlog_->buffer().CommitDma(op.reservation)
                                    : vlog_->buffer().PackPiggybacked(op.staged);
-  if (!addr.ok()) return FailOp(CqStatus::kOutOfSpace);
+  if (!addr.ok()) return FailOp(CqStatusFromStatus(addr.status()));
 
   const std::string key(reinterpret_cast<const char*>(op.key.data()),
                         op.key.size());
   Status st = lsm_->Put(key, lsm::ValueRef{addr.value(), op.value_size, false});
-  if (!st.ok()) return FailOp(CqStatus::kInternalError);
+  if (!st.ok()) return FailOp(CqStatusFromStatus(st));
 
   ++values_written_;
   value_bytes_written_ += op.value_size;
@@ -257,9 +275,9 @@ CqEntry KvController::HandleRead(const NvmeCommand& cmd) {
   // Stage into a page-aligned bounce buffer (the DMA engine cannot source
   // from arbitrary byte offsets), then DMA to the host.
   Bytes bounce(RoundUpPow2(size, kMemPageSize));
-  if (!vlog_->Read(ref.value().addr, MutByteSpan(bounce).subspan(0, size)).ok()) {
-    return FailOp(CqStatus::kInternalError);
-  }
+  const Status read_st =
+      vlog_->Read(ref.value().addr, MutByteSpan(bounce).subspan(0, size));
+  if (!read_st.ok()) return FailOp(CqStatusFromStatus(read_st));
   clock_->Advance(cost_->MemcpyCost(size));
   read_memcpy_bytes_->Add(size);
   if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, size), 0, cmd.prp).ok()) {
@@ -327,9 +345,9 @@ CqEntry KvController::HandleIterNext(const NvmeCommand& cmd) {
   for (int i = 0; i < 4; ++i) {
     bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * i));
   }
-  if (!vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size)).ok()) {
-    return FailOp(CqStatus::kInternalError);
-  }
+  const Status next_read =
+      vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size));
+  if (!next_read.ok()) return FailOp(CqStatusFromStatus(next_read));
   clock_->Advance(cost_->MemcpyCost(needed));
   read_memcpy_bytes_->Add(needed);
   if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, needed), 0, cmd.prp).ok()) {
@@ -363,9 +381,9 @@ CqEntry KvController::HandleIterNextBatch(const NvmeCommand& cmd) {
     for (int i = 0; i < 4; ++i) {
       bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * i));
     }
-    if (!vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size)).ok()) {
-      return FailOp(CqStatus::kInternalError);
-    }
+    const Status batch_read =
+        vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size));
+    if (!batch_read.ok()) return FailOp(CqStatusFromStatus(batch_read));
     off += ref.size;
     ++records;
     iter.Next();
@@ -392,16 +410,15 @@ CqEntry KvController::HandleIterClose(const NvmeCommand& cmd) {
 
 CqEntry KvController::HandleFlush() {
   if (!config_.nand_io_enabled) return CqEntry{};
-  if (!vlog_->Drain().ok()) return FailOp(CqStatus::kInternalError);
-  if (!lsm_->Checkpoint(VlogTailCookie()).ok()) {
-    return FailOp(CqStatus::kInternalError);
-  }
+  const Status drained = vlog_->Drain();
+  if (!drained.ok()) return FailOp(CqStatusFromStatus(drained));
+  const Status ckpt = lsm_->Checkpoint(VlogTailCookie());
+  if (!ckpt.ok()) return FailOp(CqStatusFromStatus(ckpt));
   // The checkpoint is durable: vLog segments cleaned since the previous
   // checkpoint are no longer referenced by any recoverable state.
   for (const auto& [first_lpn, count] : pending_vlog_trims_) {
-    if (!vlog_->TrimPages(first_lpn, count).ok()) {
-      return FailOp(CqStatus::kInternalError);
-    }
+    const Status trimmed = vlog_->TrimPages(first_lpn, count);
+    if (!trimmed.ok()) return FailOp(CqStatusFromStatus(trimmed));
   }
   pending_vlog_trims_.clear();
   return CqEntry{};

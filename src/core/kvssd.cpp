@@ -2,15 +2,17 @@
 
 namespace bandslim {
 
-KvSsd::KvSsd(const KvSsdOptions& options) : options_(options) {
+KvSsd::KvSsd(const KvSsdOptions& options)
+    : options_(options), fault_plan_(options.fault) {
   transport_ = std::make_unique<nvme::NvmeTransport>(
       &clock_, &options_.cost, &link_, &metrics_, options_.queue_depth,
-      options_.num_queues);
+      options_.num_queues, &fault_plan_);
   dma_ = std::make_unique<dma::DmaEngine>(&clock_, &options_.cost, &link_,
                                           &host_memory_, &metrics_,
-                                          options_.dma);
+                                          options_.dma, &fault_plan_);
   nand_ = std::make_unique<nand::NandFlash>(options_.geometry, &clock_,
-                                            &options_.cost, &metrics_);
+                                            &options_.cost, &metrics_,
+                                            &fault_plan_);
   ftl_ = std::make_unique<ftl::PageFtl>(nand_.get(), &metrics_, options_.ftl);
   AssembleDevice(options_.buffer.initial_lpn);
   driver_ = std::make_unique<driver::KvDriver>(transport_.get(), &host_memory_,
@@ -98,6 +100,33 @@ Status KvSsd::PowerCycle() {
   return Status::Ok();
 }
 
+Status KvSsd::Recover() {
+  // Power comes back: clear the latch so the remount's own NAND reads work,
+  // then rebuild device DRAM state from the last durable checkpoint.
+  fault_plan_.ClearCrash();
+  BANDSLIM_RETURN_IF_ERROR(PowerCycle());
+  // Mount-time consistency pass: the checkpoint cookie is the vLog tail at
+  // Flush() time, and every page below it was fully programmed before the
+  // manifest landed. A live reference reaching at or past that boundary
+  // would let a GET return a torn (partially flushed) value — reject the
+  // mount instead of serving it.
+  const std::uint64_t durable_end =
+      vlog_->buffer().window_base_addr();
+  std::uint64_t live_refs = 0;
+  Status torn = Status::Ok();
+  BANDSLIM_RETURN_IF_ERROR(
+      lsm_->ForEachLive([&](const std::string& key, const lsm::ValueRef& ref) {
+        ++live_refs;
+        if (ref.addr + ref.size > durable_end) {
+          torn = Status::Corruption("torn value reference for key " + key);
+        }
+      }));
+  BANDSLIM_RETURN_IF_ERROR(torn);
+  ++recovery_runs_;
+  recovery_replayed_refs_ += live_refs;
+  return Status::Ok();
+}
+
 KvSsdStats KvSsd::GetStats() const {
   KvSsdStats s;
   s.elapsed_ns = clock_.Now();
@@ -121,6 +150,13 @@ KvSsdStats KvSsd::GetStats() const {
   s.value_bytes_written = controller_->value_bytes_written();
   s.lsm_compactions = lsm_->compactions_run();
   s.memtable_flushes = lsm_->memtable_flushes();
+  s.nvme_timeouts = transport_->timeouts();
+  s.nvme_retries = transport_->retries();
+  s.nand_program_failures = nand_->program_failures();
+  s.ecc_corrections = nand_->ecc_corrections();
+  s.bad_block_remaps = ftl_->bad_block_remaps();
+  s.recovery_runs = recovery_runs_;
+  s.recovery_replayed_refs = recovery_replayed_refs_;
   return s;
 }
 

@@ -19,6 +19,7 @@
 #include "controller/controller.h"
 #include "dma/dma_engine.h"
 #include "driver/driver.h"
+#include "fault/fault_plan.h"
 #include "ftl/ftl.h"
 #include "lsm/lsm_tree.h"
 #include "nand/geometry.h"
@@ -42,6 +43,9 @@ struct KvSsdOptions {
   sim::CostModel cost;
   dma::DmaConfig dma;
   controller::ControllerConfig controller;
+  // Deterministic fault injection (src/fault). The default config is inert:
+  // no PRNG draws, no timing perturbation, bit-identical fig* outputs.
+  fault::FaultConfig fault;
   // Keep value payloads in the NAND model so GET returns real bytes. Turn
   // off for multi-GiB write-only benches (reads then return zeros).
   bool retain_payloads = true;
@@ -76,6 +80,14 @@ struct KvSsdStats {
   std::uint64_t value_bytes_written = 0;
   std::uint64_t lsm_compactions = 0;
   std::uint64_t memtable_flushes = 0;
+  // Fault handling (all zero on a perfect device).
+  std::uint64_t nvme_timeouts = 0;
+  std::uint64_t nvme_retries = 0;
+  std::uint64_t nand_program_failures = 0;
+  std::uint64_t ecc_corrections = 0;
+  std::uint64_t bad_block_remaps = 0;
+  std::uint64_t recovery_runs = 0;
+  std::uint64_t recovery_replayed_refs = 0;
 };
 
 class KvSsd {
@@ -105,6 +117,15 @@ class KvSsd {
   // window bookkeeping) is discarded and rebuilt from the last checkpoint
   // (Flush()). Data PUT after the last Flush is lost by contract.
   Status PowerCycle();
+  // Arms the fault plan's power-loss latch: the first device operation at or
+  // after `t` (virtual time) fails, and everything after it keeps failing —
+  // in-flight DMA and flush state is effectively dropped mid-stream.
+  void CrashAt(sim::Nanoseconds t) { fault_plan_.ArmCrash(t); }
+  // Re-energizes a crashed device and remounts from the last checkpoint,
+  // then verifies the recovered mapping: every live value reference must lie
+  // entirely below the checkpointed vLog tail, so no GET can ever observe a
+  // torn or partially flushed value. Returns kCorruption if any does.
+  Status Recover();
 
   // --- Introspection --------------------------------------------------------
   KvSsdStats GetStats() const;
@@ -122,6 +143,8 @@ class KvSsd {
   // transport's parallel arbitration for the run.
   sim::VirtualClock& mutable_clock() { return clock_; }
   nvme::NvmeTransport& transport() { return *transport_; }
+  const fault::FaultPlan& fault_plan() const { return fault_plan_; }
+  fault::FaultPlan& mutable_fault_plan() { return fault_plan_; }
 
   // Attaches an additional host driver bound to `queue_id` (must be
   // < options().num_queues). Lives as long as the device.
@@ -137,6 +160,9 @@ class KvSsd {
   sim::VirtualClock clock_;
   pcie::PcieLink link_;
   nvme::HostMemory host_memory_;
+  fault::FaultPlan fault_plan_;  // Shared by transport, DMA, and NAND.
+  std::uint64_t recovery_runs_ = 0;
+  std::uint64_t recovery_replayed_refs_ = 0;
   std::unique_ptr<nvme::NvmeTransport> transport_;
   std::unique_ptr<dma::DmaEngine> dma_;
   std::unique_ptr<nand::NandFlash> nand_;

@@ -7,12 +7,14 @@ namespace bandslim::dma {
 
 DmaEngine::DmaEngine(sim::VirtualClock* clock, const sim::CostModel* cost,
                      pcie::PcieLink* link, nvme::HostMemory* host,
-                     stats::MetricsRegistry* metrics, DmaConfig config)
+                     stats::MetricsRegistry* metrics, DmaConfig config,
+                     fault::FaultPlan* fault_plan)
     : clock_(clock),
       cost_(cost),
       link_(link),
       host_(host),
       config_(config),
+      fault_plan_(fault_plan),
       dma_bytes_(metrics->GetCounter("dma.bytes")),
       dma_transfers_(metrics->GetCounter("dma.transfers")) {}
 
@@ -31,6 +33,9 @@ Status DmaEngine::CheckAlignment(std::uint64_t device_addr,
 Status DmaEngine::HostToDevice(const nvme::PrpList& prp,
                                std::uint64_t device_addr,
                                const PageSink& sink) {
+  if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
+    return Status::IoError("DMA: power lost");
+  }
   const std::uint64_t bytes = prp.DmaBytes();
   BANDSLIM_RETURN_IF_ERROR(CheckAlignment(device_addr, bytes));
   std::size_t off = 0;
@@ -55,6 +60,9 @@ Status DmaEngine::HostToDevice(const nvme::PrpList& prp,
 
 Status DmaEngine::DeviceToHost(ByteSpan src, std::uint64_t device_addr,
                                const nvme::PrpList& prp) {
+  if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
+    return Status::IoError("DMA: power lost");
+  }
   const std::uint64_t bytes = CeilDiv(src.size(), kMemPageSize) * kMemPageSize;
   BANDSLIM_RETURN_IF_ERROR(CheckAlignment(device_addr, bytes));
   if (prp.DmaBytes() < bytes) {

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "fault/fault_plan.h"
 #include "nvme/host_memory.h"
 #include "nvme/prp.h"
 #include "pcie/link.h"
@@ -29,7 +30,8 @@ class DmaEngine {
  public:
   DmaEngine(sim::VirtualClock* clock, const sim::CostModel* cost,
             pcie::PcieLink* link, nvme::HostMemory* host,
-            stats::MetricsRegistry* metrics, DmaConfig config = {});
+            stats::MetricsRegistry* metrics, DmaConfig config = {},
+            fault::FaultPlan* fault_plan = nullptr);
 
   // Destination resolver: returns the 4 KiB device-memory span for the page
   // at `byte_offset` within the transfer. Device buffers expose 16 KiB
@@ -58,6 +60,7 @@ class DmaEngine {
   pcie::PcieLink* link_;
   nvme::HostMemory* host_;
   DmaConfig config_;
+  fault::FaultPlan* fault_plan_;  // Optional; null = never loses power.
   std::uint64_t transfers_ = 0;
   stats::Counter* dma_bytes_;
   stats::Counter* dma_transfers_;

@@ -36,6 +36,8 @@ Status KvDriver::StatusFromCq(const CqEntry& cqe) {
     case CqStatus::kIteratorExhausted: return Status::NotFound("iterator exhausted");
     case CqStatus::kOutOfSpace: return Status::OutOfSpace("device full");
     case CqStatus::kInternalError: return Status::IoError("device internal error");
+    case CqStatus::kMediaError: return Status::MediaError("device media error");
+    case CqStatus::kTimedOut: return Status::TimedOut("command timed out");
   }
   return Status::IoError("unknown CQ status");
 }

@@ -1,0 +1,139 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bandslim::fault {
+namespace {
+
+// Bound on the recorded trace; campaigns with high rates keep firing past it
+// (counters still advance) without growing memory unboundedly.
+constexpr std::size_t kMaxTraceEvents = 1 << 18;
+
+}  // namespace
+
+const char* SiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kNandProgram: return "nand_program";
+    case FaultSite::kNandRead: return "nand_read";
+    case FaultSite::kNandReadEcc: return "nand_read_ecc";
+    case FaultSite::kNandErase: return "nand_erase";
+    case FaultSite::kCommandDrop: return "command_drop";
+    case FaultSite::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(FaultConfig config) : config_(std::move(config)) {
+  // Derive one independent stream per site: SplitMix64 over (seed, site)
+  // keys each Xoshiro256 so adding operations at one site never shifts the
+  // random sequence seen by another.
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    rng_[s] = Xoshiro256(SplitMix64(config_.seed) ^
+                         SplitMix64(0x5172e5ULL + static_cast<std::uint64_t>(s)));
+  }
+  for (const FaultTrigger& t : config_.triggers) {
+    site_has_trigger_[static_cast<int>(t.site)] = true;
+  }
+  crash_at_ = config_.crash_at_ns;
+  enabled_ = config_.program_fail_rate > 0.0 || config_.erase_fail_rate > 0.0 ||
+             config_.read_uncorrectable_rate > 0.0 ||
+             config_.read_correctable_rate > 0.0 ||
+             config_.wear_fail_raise > 0.0 ||
+             config_.command_drop_rate > 0.0 || config_.crash_at_ns != 0 ||
+             !config_.triggers.empty();
+}
+
+void FaultPlan::Record(FaultSite site, std::uint64_t op_index,
+                       std::uint64_t detail) {
+  ++fired_[static_cast<int>(site)];
+  if (trace_.size() < kMaxTraceEvents) {
+    trace_.push_back({site, op_index, detail});
+  } else {
+    ++trace_dropped_;
+  }
+}
+
+bool FaultPlan::Fire(FaultSite site, double rate, std::uint64_t detail) {
+  const int s = static_cast<int>(site);
+  const std::uint64_t op = op_counts_[s]++;
+  bool fire = false;
+  if (site_has_trigger_[s]) {
+    for (const FaultTrigger& t : config_.triggers) {
+      if (t.site == site && t.op_index == op) {
+        fire = true;
+        break;
+      }
+    }
+  }
+  // Draw only when the rate can fire: a trigger-only plan consumes no
+  // randomness, and rate==0 sites stay PRNG-silent even in enabled plans.
+  if (!fire && rate > 0.0) {
+    fire = rng_[s].NextDouble() < rate;
+  }
+  if (fire) Record(site, op, detail);
+  return fire;
+}
+
+bool FaultPlan::NextProgramFails(std::uint32_t wear, std::uint64_t detail) {
+  if (!enabled_) return false;
+  const double rate =
+      config_.program_fail_rate + config_.wear_fail_raise * wear;
+  return Fire(FaultSite::kNandProgram, std::min(rate, 1.0), detail);
+}
+
+FaultPlan::ReadOutcome FaultPlan::NextReadOutcome(std::uint32_t wear,
+                                                  std::uint64_t detail) {
+  if (!enabled_) return ReadOutcome::kOk;
+  const double raise = config_.wear_fail_raise * wear;
+  if (Fire(FaultSite::kNandRead,
+           std::min(config_.read_uncorrectable_rate + raise, 1.0), detail)) {
+    return ReadOutcome::kUncorrectable;
+  }
+  if (Fire(FaultSite::kNandReadEcc,
+           std::min(config_.read_correctable_rate + raise, 1.0), detail)) {
+    return ReadOutcome::kCorrectable;
+  }
+  return ReadOutcome::kOk;
+}
+
+bool FaultPlan::NextEraseFails(std::uint32_t wear, std::uint64_t detail) {
+  if (!enabled_) return false;
+  const double rate = config_.erase_fail_rate + config_.wear_fail_raise * wear;
+  return Fire(FaultSite::kNandErase, std::min(rate, 1.0), detail);
+}
+
+bool FaultPlan::NextCommandDropped(std::uint64_t detail) {
+  if (!enabled_) return false;
+  return Fire(FaultSite::kCommandDrop, config_.command_drop_rate, detail);
+}
+
+bool FaultPlan::PowerLost(sim::Nanoseconds now) {
+  if (crashed_) return true;
+  if (crash_at_ != 0 && now >= crash_at_) {
+    crashed_ = true;
+    Record(FaultSite::kCrash, op_counts_[static_cast<int>(FaultSite::kCrash)]++,
+           static_cast<std::uint64_t>(now));
+    return true;
+  }
+  return false;
+}
+
+std::string FaultPlan::TraceString() const {
+  std::string out;
+  char line[96];
+  for (const FaultEvent& e : trace_) {
+    std::snprintf(line, sizeof line, "%s@%llu/%llu\n", SiteName(e.site),
+                  static_cast<unsigned long long>(e.op_index),
+                  static_cast<unsigned long long>(e.detail));
+    out += line;
+  }
+  if (trace_dropped_ != 0) {
+    std::snprintf(line, sizeof line, "...dropped=%llu\n",
+                  static_cast<unsigned long long>(trace_dropped_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bandslim::fault

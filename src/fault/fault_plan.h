@@ -1,0 +1,148 @@
+// Deterministic, seed-driven fault injection. A FaultPlan is the single
+// source of every injected failure in a run: NAND program/read/erase
+// failures (flat rate plus a wear-based raise), ECC-correctable vs.
+// uncorrectable read errors, NVMe command drops (host-visible timeouts),
+// and a virtual-time crash latch (power loss).
+//
+// Determinism contract:
+//  * Every fault site draws from its own SplitMix64-derived PRNG stream and
+//    keeps its own operation counter, so the decision sequence at one site
+//    never shifts when another site's operation count changes.
+//  * Explicit triggers fire at exact per-site operation indices regardless
+//    of the rates, so single-shot scenarios ("fail the 3rd program") are
+//    expressible without probability tuning.
+//  * Every fired fault is appended to a bounded trace; two runs of the same
+//    plan against the same workload produce bit-identical traces.
+//  * A null (default) plan is inert: no PRNG draw, no clock perturbation,
+//    no behavioral change anywhere in the stack — fig* outputs stay
+//    byte-identical to a build without the fault layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/clock.h"
+
+namespace bandslim::fault {
+
+enum class FaultSite : int {
+  kNandProgram = 0,
+  kNandRead = 1,         // Uncorrectable (beyond ECC) read error.
+  kNandReadEcc = 2,      // ECC-correctable read error (retry latency only).
+  kNandErase = 3,
+  kCommandDrop = 4,      // NVMe command lost in transit; host watchdog fires.
+  kCrash = 5,            // Virtual-time power loss.
+};
+inline constexpr int kNumFaultSites = 6;
+
+const char* SiteName(FaultSite site);
+
+// Fires the fault at the site's `op_index`-th operation (0-based), in
+// addition to any probabilistic failures.
+struct FaultTrigger {
+  FaultSite site = FaultSite::kNandProgram;
+  std::uint64_t op_index = 0;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0xFA017;
+
+  // --- NAND media (per-operation probabilities) ---------------------------
+  double program_fail_rate = 0.0;
+  double erase_fail_rate = 0.0;
+  // Read outcome split: uncorrectable surfaces Status::MediaError; a
+  // correctable error succeeds after an ECC retry latency penalty.
+  double read_uncorrectable_rate = 0.0;
+  double read_correctable_rate = 0.0;
+  // Wear-based raise: added to the program/erase failure probability per
+  // prior erase of the block (grown-defect model; SimpleSSD/Amber treat
+  // error behavior as wear-coupled the same way).
+  double wear_fail_raise = 0.0;
+  // Latency of one ECC read-retry round (charged on correctable errors).
+  sim::Nanoseconds ecc_retry_ns = 60 * sim::kMicrosecond;
+
+  // --- NVMe transport -----------------------------------------------------
+  // Probability that a submitted command is lost before the device fetches
+  // it (no completion ever arrives; the host watchdog expires).
+  double command_drop_rate = 0.0;
+  // Host watchdog: virtual time waited before declaring a command timed out.
+  sim::Nanoseconds command_timeout_ns = 500 * sim::kMicrosecond;
+  // Bounded resubmission with exponential backoff (backoff << attempt).
+  std::uint32_t max_command_retries = 3;
+  sim::Nanoseconds retry_backoff_ns = 100 * sim::kMicrosecond;
+
+  // --- Crash --------------------------------------------------------------
+  // First NAND/DMA/NVMe operation at or after this virtual time trips the
+  // power-loss latch; everything after it fails until recovery. 0 = unarmed.
+  sim::Nanoseconds crash_at_ns = 0;
+
+  std::vector<FaultTrigger> triggers;
+};
+
+// One fired fault, recorded for reproducibility audits.
+struct FaultEvent {
+  FaultSite site;
+  std::uint64_t op_index;  // Per-site operation counter at fire time.
+  std::uint64_t detail;    // Site-specific (die, wear, attempt, ...).
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() : FaultPlan(FaultConfig{}) {}
+  explicit FaultPlan(FaultConfig config);
+
+  // False for a default-constructed (null) plan: no site can ever fire and
+  // callers skip the fault path entirely.
+  bool enabled() const { return enabled_; }
+  const FaultConfig& config() const { return config_; }
+
+  // --- NAND decisions (called once per physical operation) ----------------
+  bool NextProgramFails(std::uint32_t wear, std::uint64_t detail);
+  enum class ReadOutcome { kOk, kCorrectable, kUncorrectable };
+  ReadOutcome NextReadOutcome(std::uint32_t wear, std::uint64_t detail);
+  bool NextEraseFails(std::uint32_t wear, std::uint64_t detail);
+
+  // --- NVMe decision (called once per submission attempt) -----------------
+  bool NextCommandDropped(std::uint64_t detail);
+
+  // --- Crash latch ---------------------------------------------------------
+  void ArmCrash(sim::Nanoseconds t) { crash_at_ = t; }
+  // Latches (and records) power loss the first time `now` reaches the armed
+  // crash point; returns whether power is lost.
+  bool PowerLost(sim::Nanoseconds now);
+  bool power_lost() const { return crashed_; }
+  // Mount-time recovery re-energizes the device; the plan stays armed-off.
+  void ClearCrash() {
+    crashed_ = false;
+    crash_at_ = 0;
+  }
+
+  // --- Reproducibility audit ------------------------------------------------
+  std::uint64_t fired_count(FaultSite site) const {
+    return fired_[static_cast<int>(site)];
+  }
+  const std::vector<FaultEvent>& trace() const { return trace_; }
+  // "site@op_index/detail" lines; equal across runs of the same plan.
+  std::string TraceString() const;
+
+ private:
+  // One probabilistic + trigger decision at `site`; consumes that site's
+  // operation index and PRNG stream only when it can possibly fire.
+  bool Fire(FaultSite site, double rate, std::uint64_t detail);
+  void Record(FaultSite site, std::uint64_t op_index, std::uint64_t detail);
+
+  FaultConfig config_;
+  bool enabled_ = false;
+  bool crashed_ = false;
+  sim::Nanoseconds crash_at_ = 0;
+  Xoshiro256 rng_[kNumFaultSites];        // Independent per-site streams.
+  std::uint64_t op_counts_[kNumFaultSites] = {};
+  std::uint64_t fired_[kNumFaultSites] = {};
+  bool site_has_trigger_[kNumFaultSites] = {};
+  std::vector<FaultEvent> trace_;
+  std::uint64_t trace_dropped_ = 0;  // Events beyond the bounded trace.
+};
+
+}  // namespace bandslim::fault

@@ -15,7 +15,8 @@ PageFtl::PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
       valid_pages_(nand->geometry().total_blocks(), 0),
       block_full_(nand->geometry().total_blocks(), false),
       bad_(nand->geometry().total_blocks(), false),
-      gc_relocations_(metrics->GetCounter("ftl.gc_relocated_pages")) {
+      gc_relocations_(metrics->GetCounter("ftl.gc_relocated_pages")),
+      remaps_counter_(metrics->GetCounter("ftl.bad_block_remaps")) {
   const std::uint64_t blocks = nand->geometry().total_blocks();
   if (config_.bad_block_rate > 0.0) {
     Xoshiro256 rng(config_.bad_block_seed);
@@ -44,6 +45,27 @@ PageFtl::PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
     for (std::uint64_t b = blocks; b > 0; --b) {
       if (!bad_[b - 1]) free_blocks_.push_back(b - 1);
     }
+  }
+  // Withhold the remap reserve: highest-numbered good blocks, which sit at
+  // the *front* of the lowest-block-first free lists and would be allocated
+  // last anyway.
+  for (std::uint32_t r = 0; r < config_.reserved_blocks; ++r) {
+    std::vector<std::uint64_t>* list = &free_blocks_;
+    if (config_.stripe_across_dies) {
+      // Round-robin across dies so the reserve drains evenly.
+      std::vector<std::uint64_t>* best = nullptr;
+      for (auto& per_die : free_by_die_) {
+        if (per_die.empty()) continue;
+        if (best == nullptr || per_die.size() > best->size()) best = &per_die;
+      }
+      if (best == nullptr) break;
+      list = best;
+      --free_count_;
+    } else {
+      if (list->empty()) break;
+    }
+    reserve_blocks_.push_back(list->front());
+    list->erase(list->begin());
   }
   stream_programs_[0] = metrics->GetCounter("ftl.programs.vlog");
   stream_programs_[1] = metrics->GetCounter("ftl.programs.lsm");
@@ -156,10 +178,23 @@ Status PageFtl::RelocateValidPages(std::uint64_t block) {
     if (lpn == kUnmapped) continue;
     BANDSLIM_RETURN_IF_ERROR(nand_->Read(ppn, MutByteSpan(tmp)));
     const bool retain = nand_->HasRetainedData(ppn);
-    auto dest = AllocatePage(Stream::kGc);
-    if (!dest.ok()) return dest.status();
-    const std::uint64_t new_ppn = dest.value();
-    BANDSLIM_RETURN_IF_ERROR(nand_->Program(new_ppn, ByteSpan(tmp), retain));
+    // A media failure while replaying the page retries on a fresh GC
+    // allocation (bounded). The failed destination page was never mapped, so
+    // it simply stays garbage until its block is erased — retiring the
+    // destination here would recurse into another relocation.
+    std::uint64_t new_ppn = kUnmapped;
+    for (std::uint32_t tries = 0;; ++tries) {
+      auto dest = AllocatePage(Stream::kGc);
+      if (!dest.ok()) return dest.status();
+      const Status programmed = nand_->Program(dest.value(), ByteSpan(tmp), retain);
+      if (programmed.ok()) {
+        new_ppn = dest.value();
+        break;
+      }
+      if (!programmed.IsMediaError()) return programmed;
+      ++program_failures_;
+      if (tries >= config_.max_program_retries) return programmed;
+    }
     rmap_[ppn] = kUnmapped;
     rmap_[new_ppn] = lpn;
     map_[lpn] = new_ppn;
@@ -215,10 +250,49 @@ Status PageFtl::CollectOneBlock() {
   }
 
   BANDSLIM_RETURN_IF_ERROR(RelocateValidPages(victim));
-  BANDSLIM_RETURN_IF_ERROR(nand_->Erase(victim));
+  const Status erased = nand_->Erase(victim);
+  if (erased.IsMediaError()) {
+    // Erase failure retires the block; the reserve (if any) replaces it.
+    // Either way the victim leaves the candidate set, so the GC loop makes
+    // progress and terminates at kOutOfSpace when nothing is reclaimable.
+    ++erase_retirements_;
+    BANDSLIM_RETURN_IF_ERROR(RetireBlock(victim));
+    ++gc_runs_;
+    return Status::Ok();
+  }
+  BANDSLIM_RETURN_IF_ERROR(erased);
   block_full_[victim] = false;
   PushFree(victim);
   ++gc_runs_;
+  return Status::Ok();
+}
+
+void PageFtl::CloseActive(std::uint64_t block) {
+  for (ActiveBlock& a : active_) {
+    if (a.block == block) a = ActiveBlock{};
+  }
+  for (auto& per_die : active_by_die_) {
+    for (ActiveBlock& a : per_die) {
+      if (a.block == block) a = ActiveBlock{};
+    }
+  }
+}
+
+bool PageFtl::RefillFromReserve() {
+  if (reserve_blocks_.empty()) return false;
+  PushFree(reserve_blocks_.back());
+  reserve_blocks_.pop_back();
+  return true;
+}
+
+Status PageFtl::RetireBlock(std::uint64_t block) {
+  CloseActive(block);
+  BANDSLIM_RETURN_IF_ERROR(MarkBad(block));
+  ++bad_block_remaps_;
+  remaps_counter_->Increment();
+  // With the reserve exhausted, usable capacity just shrinks; allocation
+  // reports kOutOfSpace when the free pool eventually drains.
+  RefillFromReserve();
   return Status::Ok();
 }
 
@@ -241,16 +315,31 @@ Status PageFtl::MarkBad(std::uint64_t block) {
 
 Status PageFtl::Write(std::uint64_t lpn, ByteSpan data, Stream stream,
                       bool retain) {
-  auto ppn = AllocatePage(stream);
-  if (!ppn.ok()) return ppn.status();
-  BANDSLIM_RETURN_IF_ERROR(nand_->Program(ppn.value(), data, retain));
-  auto it = map_.find(lpn);
-  if (it != map_.end()) Invalidate(it->second);
-  map_[lpn] = ppn.value();
-  rmap_[ppn.value()] = lpn;
-  ++valid_pages_[nand_->geometry().BlockOf(ppn.value())];
-  stream_programs_[static_cast<int>(stream)]->Increment();
-  return Status::Ok();
+  Status last = Status::Ok();
+  for (std::uint32_t attempt = 0; attempt <= config_.max_program_retries;
+       ++attempt) {
+    auto ppn = AllocatePage(stream);
+    if (!ppn.ok()) return ppn.status();  // Clean kOutOfSpace, never retried.
+    last = nand_->Program(ppn.value(), data, retain);
+    if (last.ok()) {
+      auto it = map_.find(lpn);
+      if (it != map_.end()) Invalidate(it->second);
+      map_[lpn] = ppn.value();
+      rmap_[ppn.value()] = lpn;
+      ++valid_pages_[nand_->geometry().BlockOf(ppn.value())];
+      stream_programs_[static_cast<int>(stream)]->Increment();
+      return Status::Ok();
+    }
+    // Only media failures are worth a retry elsewhere; power loss or
+    // argument errors propagate untouched.
+    if (!last.IsMediaError()) return last;
+    ++program_failures_;
+    // The failed page was never mapped, so retirement replays exactly the
+    // surviving co-located pages of the block onto fresh blocks.
+    BANDSLIM_RETURN_IF_ERROR(
+        RetireBlock(nand_->geometry().BlockOf(ppn.value())));
+  }
+  return last;
 }
 
 Status PageFtl::Read(std::uint64_t lpn, MutByteSpan out) {

@@ -33,6 +33,14 @@ struct FtlConfig {
   // Fraction of blocks factory-marked bad (excluded from allocation).
   double bad_block_rate = 0.0;
   std::uint64_t bad_block_seed = 0xBADB10C;
+  // Good blocks withheld from the free pool at init (highest-numbered
+  // first). A block that grows bad at runtime is retired and replaced from
+  // this reserve — classic bad-block remapping. 0 = no reserve; retirement
+  // then shrinks usable capacity until allocation returns kOutOfSpace.
+  std::uint32_t reserved_blocks = 0;
+  // Re-allocation attempts after a program reports a media failure (each
+  // attempt retires the failed block and lands on a fresh one).
+  std::uint32_t max_program_retries = 4;
   // Geometry-aware dispatch: each stream keeps one active block per die and
   // round-robins page allocations across them, so consecutive logical page
   // writes land on different channels/ways and the parallel NAND scheduler
@@ -47,15 +55,19 @@ class PageFtl {
   PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
           FtlConfig config = {});
 
-  // Writes one logical page (out-of-place; remaps if already mapped).
-  Status Write(std::uint64_t lpn, ByteSpan data, Stream stream, bool retain);
+  // Writes one logical page (out-of-place; remaps if already mapped). A
+  // program media failure retires the block — surviving co-located pages
+  // are replayed onto fresh blocks byte-for-byte — and retries on a new
+  // allocation up to FtlConfig::max_program_retries times.
+  [[nodiscard]] Status Write(std::uint64_t lpn, ByteSpan data, Stream stream,
+                             bool retain);
 
-  Status Read(std::uint64_t lpn, MutByteSpan out);
+  [[nodiscard]] Status Read(std::uint64_t lpn, MutByteSpan out);
 
   bool IsMapped(std::uint64_t lpn) const { return map_.contains(lpn); }
 
   // Drops the mapping; the physical page becomes garbage for GC.
-  Status Trim(std::uint64_t lpn);
+  [[nodiscard]] Status Trim(std::uint64_t lpn);
 
   std::uint64_t free_blocks() const {
     return config_.stripe_across_dies ? free_count_ : free_blocks_.size();
@@ -65,10 +77,15 @@ class PageFtl {
   std::uint64_t mapped_pages() const { return map_.size(); }
   std::uint64_t bad_blocks() const { return bad_block_count_; }
   bool IsBad(std::uint64_t block) const { return bad_[block]; }
+  // Fault-handling outcomes (zero on a perfect device).
+  std::uint64_t program_failures() const { return program_failures_; }
+  std::uint64_t bad_block_remaps() const { return bad_block_remaps_; }
+  std::uint64_t erase_retirements() const { return erase_retirements_; }
+  std::uint64_t reserve_remaining() const { return reserve_blocks_.size(); }
 
   // Grown bad block (fault injection): relocates any valid pages, then
   // permanently excludes the block. Rejected for stream-active blocks.
-  Status MarkBad(std::uint64_t block);
+  [[nodiscard]] Status MarkBad(std::uint64_t block);
 
  private:
   static constexpr std::uint64_t kUnmapped = ~0ULL;
@@ -95,6 +112,12 @@ class PageFtl {
   Status RelocateValidPages(std::uint64_t block);
   bool IsActive(std::uint64_t block) const;
   void Invalidate(std::uint64_t ppn);
+  // Bad-block retirement: closes any stream pointer at `block`, relocates
+  // its surviving valid pages (the packed-layout replay), excludes it, and
+  // refills the free pool from the reserve when one is configured.
+  Status RetireBlock(std::uint64_t block);
+  void CloseActive(std::uint64_t block);
+  bool RefillFromReserve();
 
   nand::NandFlash* nand_;
   FtlConfig config_;
@@ -115,12 +138,17 @@ class PageFtl {
   std::vector<std::vector<ActiveBlock>> active_by_die_;
   std::uint64_t stripe_cursor_[kNumStreams] = {0, 0, 0};
   std::uint64_t bad_block_count_ = 0;
+  std::vector<std::uint64_t> reserve_blocks_;  // Bad-block remap pool.
 
   std::uint64_t gc_relocated_pages_ = 0;
   std::uint64_t gc_runs_ = 0;
+  std::uint64_t program_failures_ = 0;
+  std::uint64_t bad_block_remaps_ = 0;
+  std::uint64_t erase_retirements_ = 0;
 
   stats::Counter* stream_programs_[kNumStreams];
   stats::Counter* gc_relocations_;
+  stats::Counter* remaps_counter_;
 };
 
 }  // namespace bandslim::ftl

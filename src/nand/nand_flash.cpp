@@ -6,10 +6,12 @@
 namespace bandslim::nand {
 
 NandFlash::NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
-                     const sim::CostModel* cost, stats::MetricsRegistry* metrics)
+                     const sim::CostModel* cost, stats::MetricsRegistry* metrics,
+                     fault::FaultPlan* fault_plan)
     : geometry_(geometry),
       clock_(clock),
       cost_(cost),
+      fault_plan_(fault_plan),
       page_state_(geometry.total_pages(), 0),
       erase_counts_(geometry.total_blocks(), 0),
       die_free_at_(geometry.dies(), 0),
@@ -17,7 +19,9 @@ NandFlash::NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
       die_pending_(geometry.dies()),
       programs_(metrics->GetCounter("nand.pages_programmed")),
       reads_(metrics->GetCounter("nand.pages_read")),
-      erases_(metrics->GetCounter("nand.blocks_erased")) {}
+      erases_(metrics->GetCounter("nand.blocks_erased")),
+      program_failures_counter_(metrics->GetCounter("nand.program_failures")),
+      ecc_corrections_counter_(metrics->GetCounter("nand.ecc_corrections")) {}
 
 void NandFlash::WaitForDieSlot(std::uint64_t die) {
   std::deque<sim::Nanoseconds>& pending = die_pending_[die];
@@ -34,21 +38,7 @@ void NandFlash::WaitForDieSlot(std::uint64_t die) {
   }
 }
 
-Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
-                          bool retain_data) {
-  if (phys_page >= geometry_.total_pages()) {
-    return Status::InvalidArgument("program: physical page out of range");
-  }
-  if (data.size() > geometry_.page_size) {
-    return Status::InvalidArgument("program: data larger than a NAND page");
-  }
-  if (page_state_[phys_page] != 0) {
-    return Status::IoError("program-before-erase violation");
-  }
-  page_state_[phys_page] = 1;
-  if (retain_data && !data.empty()) {
-    data_[phys_page] = Bytes(data.begin(), data.end());
-  }
+void NandFlash::BookProgramTiming(std::uint64_t phys_page) {
   if (cost_->nand_async_program) {
     // Channel/way scheduler: the page crosses the channel bus, then the die
     // programs it; the issuing op does not wait unless the die's command
@@ -73,6 +63,39 @@ Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
     clock_->Advance(cost_->nand_program_ns);
     die_free_at_[die] = clock_->Now();
   }
+}
+
+Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
+                          bool retain_data) {
+  if (phys_page >= geometry_.total_pages()) {
+    return Status::InvalidArgument("program: physical page out of range");
+  }
+  if (data.size() > geometry_.page_size) {
+    return Status::InvalidArgument("program: data larger than a NAND page");
+  }
+  if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
+    return Status::IoError("program: power lost");
+  }
+  if (page_state_[phys_page] != 0) {
+    return Status::IoError("program-before-erase violation");
+  }
+  if (fault_plan_ != nullptr && fault_plan_->enabled() &&
+      fault_plan_->NextProgramFails(
+          erase_counts_[geometry_.BlockOf(phys_page)], phys_page)) {
+    // The die works (and stays busy) for the full program before reporting
+    // the failure; the page holds garbage until its block is erased.
+    page_state_[phys_page] = 1;
+    failed_pages_.insert(phys_page);
+    BookProgramTiming(phys_page);
+    ++program_failures_;
+    program_failures_counter_->Increment();
+    return Status::MediaError("program failed");
+  }
+  page_state_[phys_page] = 1;
+  if (retain_data && !data.empty()) {
+    data_[phys_page] = Bytes(data.begin(), data.end());
+  }
+  BookProgramTiming(phys_page);
   ++pages_programmed_;
   programs_->Increment();
   return Status::Ok();
@@ -85,8 +108,19 @@ Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
   if (out.size() > geometry_.page_size) {
     return Status::InvalidArgument("read: span larger than a NAND page");
   }
+  if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
+    return Status::IoError("read: power lost");
+  }
   if (page_state_[phys_page] == 0) {
     return Status::IoError("read of erased page");
+  }
+  if (failed_pages_.contains(phys_page)) {
+    return Status::MediaError("read of a failed-program page");
+  }
+  fault::FaultPlan::ReadOutcome outcome = fault::FaultPlan::ReadOutcome::kOk;
+  if (fault_plan_ != nullptr && fault_plan_->enabled()) {
+    outcome = fault_plan_->NextReadOutcome(
+        erase_counts_[geometry_.BlockOf(phys_page)], phys_page);
   }
   // An in-flight program must land before the page is readable.
   auto ready = page_ready_at_.find(phys_page);
@@ -127,6 +161,16 @@ Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
   }
   ++pages_read_;
   reads_->Increment();
+  if (outcome == fault::FaultPlan::ReadOutcome::kUncorrectable) {
+    ++read_uncorrectable_;
+    return Status::MediaError("uncorrectable read error");
+  }
+  if (outcome == fault::FaultPlan::ReadOutcome::kCorrectable) {
+    // ECC read-retry recovers the data at a latency penalty.
+    clock_->Advance(fault_plan_->config().ecc_retry_ns);
+    ++ecc_corrections_;
+    ecc_corrections_counter_->Increment();
+  }
   return Status::Ok();
 }
 
@@ -134,11 +178,27 @@ Status NandFlash::Erase(std::uint64_t block) {
   if (block >= geometry_.total_blocks()) {
     return Status::InvalidArgument("erase: block out of range");
   }
+  if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
+    return Status::IoError("erase: power lost");
+  }
+  if (fault_plan_ != nullptr && fault_plan_->enabled() &&
+      fault_plan_->NextEraseFails(erase_counts_[block], block)) {
+    // The die spends the erase time before reporting failure; page contents
+    // are left as-is and the block is expected to be retired by the FTL.
+    ++erase_counts_[block];
+    const std::uint64_t die = DieOf(block);
+    clock_->AdvanceTo(die_free_at_[die]);
+    clock_->Advance(cost_->nand_erase_ns);
+    die_free_at_[die] = clock_->Now();
+    ++erase_failures_;
+    return Status::MediaError("erase failed");
+  }
   const std::uint64_t first = geometry_.PageIndex(block, 0);
   for (std::uint32_t p = 0; p < geometry_.pages_per_block; ++p) {
     page_state_[first + p] = 0;
     data_.erase(first + p);
     page_ready_at_.erase(first + p);
+    failed_pages_.erase(first + p);
   }
   ++erase_counts_[block];
   if (cost_->nand_async_program) {

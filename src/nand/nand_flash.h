@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "fault/fault_plan.h"
 #include "nand/geometry.h"
 #include "sim/clock.h"
 #include "sim/cost_model.h"
@@ -29,18 +31,24 @@ enum class PageState : std::uint8_t { kErased = 0, kProgrammed = 1 };
 class NandFlash {
  public:
   NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
-            const sim::CostModel* cost, stats::MetricsRegistry* metrics);
+            const sim::CostModel* cost, stats::MetricsRegistry* metrics,
+            fault::FaultPlan* fault_plan = nullptr);
 
   const NandGeometry& geometry() const { return geometry_; }
 
   // Programs a physical page. `data` must be at most one page; shorter data
   // is implicitly zero-padded (the buffer always hands over full pages).
-  Status Program(std::uint64_t phys_page, ByteSpan data, bool retain_data);
+  // An injected program failure still occupies the die for the attempt,
+  // leaves the page unreadable, and returns Status::MediaError.
+  [[nodiscard]] Status Program(std::uint64_t phys_page, ByteSpan data,
+                               bool retain_data);
 
-  // Reads a physical page into `out` (up to one page).
-  Status Read(std::uint64_t phys_page, MutByteSpan out);
+  // Reads a physical page into `out` (up to one page). Injected ECC-
+  // correctable errors succeed after a read-retry latency penalty;
+  // uncorrectable errors return Status::MediaError.
+  [[nodiscard]] Status Read(std::uint64_t phys_page, MutByteSpan out);
 
-  Status Erase(std::uint64_t block);
+  [[nodiscard]] Status Erase(std::uint64_t block);
 
   PageState StateOf(std::uint64_t phys_page) const {
     return static_cast<PageState>(page_state_[phys_page]);
@@ -54,6 +62,11 @@ class NandFlash {
   std::uint64_t pages_programmed() const { return pages_programmed_; }
   std::uint64_t pages_read() const { return pages_read_; }
   std::uint64_t blocks_erased() const { return blocks_erased_; }
+  // Injected-fault outcomes (zero without a fault plan).
+  std::uint64_t program_failures() const { return program_failures_; }
+  std::uint64_t read_uncorrectable() const { return read_uncorrectable_; }
+  std::uint64_t ecc_corrections() const { return ecc_corrections_; }
+  std::uint64_t erase_failures() const { return erase_failures_; }
   std::uint32_t EraseCount(std::uint64_t block) const {
     return erase_counts_[block];
   }
@@ -87,14 +100,23 @@ class NandFlash {
   // Blocks until the die has a free command-queue slot (parallel dispatch;
   // models the bounded per-die queue in the flash controller).
   void WaitForDieSlot(std::uint64_t die);
+  // Books the timing of one program attempt (successful or failed — the die
+  // is busy either way).
+  void BookProgramTiming(std::uint64_t phys_page);
+  bool PowerLost() const {
+    return fault_plan_ != nullptr && fault_plan_->power_lost();
+  }
 
   NandGeometry geometry_;
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
+  fault::FaultPlan* fault_plan_;  // Optional; null = perfect media.
 
   std::vector<std::uint8_t> page_state_;       // One entry per physical page.
   std::vector<std::uint32_t> erase_counts_;    // One entry per block (wear).
   std::unordered_map<std::uint64_t, Bytes> data_;  // Sparse retained payloads.
+  // Pages whose program failed: unreadable until their block is erased.
+  std::unordered_set<std::uint64_t> failed_pages_;
 
   // Parallel dispatch: per-resource busy-until timelines (absolute virtual
   // time), per-die pending-completion queues (backpressure bound), and when
@@ -111,10 +133,16 @@ class NandFlash {
   sim::Nanoseconds read_stall_ns_ = 0;
   std::uint64_t die_queue_stalls_ = 0;
   sim::Nanoseconds die_queue_stall_ns_ = 0;
+  std::uint64_t program_failures_ = 0;
+  std::uint64_t read_uncorrectable_ = 0;
+  std::uint64_t ecc_corrections_ = 0;
+  std::uint64_t erase_failures_ = 0;
 
   stats::Counter* programs_;
   stats::Counter* reads_;
   stats::Counter* erases_;
+  stats::Counter* program_failures_counter_;
+  stats::Counter* ecc_corrections_counter_;
 };
 
 }  // namespace bandslim::nand

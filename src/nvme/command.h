@@ -61,6 +61,10 @@ enum class CqStatus : std::uint16_t {
   kIteratorExhausted,
   kOutOfSpace,
   kInternalError,
+  kMediaError,  // NAND failure survived FTL retry/remap (SCT 0x2).
+  // Synthesized by the *host* transport when a command never completes
+  // within its watchdog window; no device ever posts this on the wire.
+  kTimedOut,
 };
 
 struct CqEntry {
@@ -69,6 +73,22 @@ struct CqEntry {
   CqStatus status = CqStatus::kSuccess;
 
   bool ok() const { return status == CqStatus::kSuccess; }
+
+  // NVMe status field split, for hosts that dispatch on SCT before SC.
+  // Vendor KV statuses ride in the command-specific type (0x1); media
+  // failures report SCT 0x2 like a real drive; host-synthesized timeouts
+  // use path-related 0x3.
+  std::uint8_t status_code_type() const {
+    switch (status) {
+      case CqStatus::kSuccess: return 0x0;
+      case CqStatus::kMediaError: return 0x2;
+      case CqStatus::kTimedOut: return 0x3;
+      default: return 0x1;
+    }
+  }
+  std::uint8_t status_code() const {
+    return static_cast<std::uint8_t>(static_cast<std::uint16_t>(status) & 0xFF);
+  }
 };
 
 struct NvmeCommand {

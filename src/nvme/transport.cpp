@@ -7,11 +7,15 @@ namespace bandslim::nvme {
 
 NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cost,
                              pcie::PcieLink* link, stats::MetricsRegistry* metrics,
-                             std::uint16_t queue_depth, std::uint16_t num_queues)
+                             std::uint16_t queue_depth, std::uint16_t num_queues,
+                             fault::FaultPlan* fault_plan)
     : clock_(clock),
       cost_(cost),
       link_(link),
-      submit_counter_(metrics->GetCounter("nvme.commands_submitted")) {
+      fault_plan_(fault_plan),
+      submit_counter_(metrics->GetCounter("nvme.commands_submitted")),
+      timeout_counter_(metrics->GetCounter("nvme.timeouts")),
+      retry_counter_(metrics->GetCounter("nvme.retries")) {
   assert(num_queues >= 1);
   queues_.reserve(num_queues);
   for (std::uint16_t q = 0; q < num_queues; ++q) {
@@ -42,49 +46,103 @@ void NvmeTransport::ChargeCommand(bool first_in_batch) {
   }
 }
 
+CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
+                                 const NvmeCommand& cmd, bool first_in_batch) {
+  const std::uint32_t max_attempts =
+      fault_plan_ == nullptr ? 1
+                             : 1 + fault_plan_->config().max_command_retries;
+  for (std::uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // With power lost no completion will ever arrive: the host watchdog
+    // expires once and the command degrades to a synthetic timeout (a dead
+    // device is not worth retrying).
+    if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
+      clock_->Advance(fault_plan_->config().command_timeout_ns);
+      ++timeouts_;
+      timeout_counter_->Increment();
+      CqEntry dead;
+      dead.status = CqStatus::kTimedOut;
+      dead.cid = cmd.cid();
+      return dead;
+    }
+    NvmeCommand entry = cmd;
+    entry.set_cid(AllocateCid(&qp));
+    if (attempt > 0) {
+      // Resubmission rings its own doorbell (the caller paid the first).
+      link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
+                    cost_->mmio_doorbell_bytes);
+    }
+
+    // Host: write the SQ entry (host memory, not PCIe).
+    const bool pushed = qp.sq.Push(entry);
+    assert(pushed && "synchronous transport never fills the queue");
+    (void)pushed;
+
+    if (fault_plan_ != nullptr && fault_plan_->enabled() &&
+        fault_plan_->NextCommandDropped(entry.cid())) {
+      // The command is lost before the device fetches it: the host waits
+      // out the watchdog, reclaims the slot, and backs off exponentially
+      // before resubmitting.
+      NvmeCommand lost;
+      qp.sq.Pop(&lost);
+      qp.inflight_cids.erase(lost.cid());
+      clock_->Advance(fault_plan_->config().command_timeout_ns);
+      ++timeouts_;
+      timeout_counter_->Increment();
+      if (attempt + 1 >= max_attempts) break;
+      clock_->Advance(fault_plan_->config().retry_backoff_ns << attempt);
+      ++retries_;
+      retry_counter_->Increment();
+      continue;
+    }
+
+    // Device: fetch the command (and the PRP list page, if any) from host
+    // memory across PCIe.
+    NvmeCommand fetched;
+    qp.sq.Pop(&fetched);
+    link_->Record(pcie::TrafficClass::kCommandFetch,
+                  pcie::Direction::kHostToDevice,
+                  cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
+
+    // One round trip of latency per command (submit + fetch + interpret +
+    // complete + host wakeup); a resubmission always pays a full round
+    // trip. Device-side work (DMA, memcpy, NAND) advances the clock inside
+    // the handler.
+    ChargeCommand(first_in_batch || attempt > 0);
+
+    CqEntry cqe = device_->Handle(fetched, queue_id);
+    cqe.cid = fetched.cid();
+
+    // Device: post the completion entry to host memory across PCIe.
+    const bool cq_pushed = qp.cq.Push(cqe);
+    assert(cq_pushed);
+    (void)cq_pushed;
+    link_->Record(pcie::TrafficClass::kCompletion,
+                  pcie::Direction::kDeviceToHost, cost_->cqe_bytes);
+
+    CqEntry reaped;
+    qp.cq.Pop(&reaped);
+    qp.inflight_cids.erase(reaped.cid);
+    ++commands_submitted_;
+    submit_counter_->Increment();
+    return reaped;
+  }
+  // Retries exhausted: degrade gracefully to a host-synthesized timeout
+  // completion rather than asserting.
+  CqEntry timed_out;
+  timed_out.status = CqStatus::kTimedOut;
+  timed_out.cid = cmd.cid();
+  return timed_out;
+}
+
 CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
   assert(device_ != nullptr && "no device attached");
   assert(queue_id < queues_.size());
   QueuePair& qp = queues_[queue_id];
 
-  NvmeCommand entry = cmd;
-  entry.set_cid(AllocateCid(&qp));
-
-  // Host: write the SQ entry (host memory, not PCIe) and ring the doorbell.
-  const bool pushed = qp.sq.Push(entry);
-  assert(pushed && "synchronous transport never fills the queue");
-  (void)pushed;
+  // Host rings the doorbell for this submission.
   link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
                 cost_->mmio_doorbell_bytes);
-
-  // Device: fetch the command (and the PRP list page, if any) from host
-  // memory across PCIe.
-  NvmeCommand fetched;
-  qp.sq.Pop(&fetched);
-  link_->Record(pcie::TrafficClass::kCommandFetch, pcie::Direction::kHostToDevice,
-                cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
-
-  // One round trip of latency per command (submit + fetch + interpret +
-  // complete + host wakeup). Device-side work (DMA, memcpy, NAND) advances
-  // the clock inside the handler.
-  ChargeCommand(/*first_in_batch=*/true);
-
-  CqEntry cqe = device_->Handle(fetched, queue_id);
-  cqe.cid = fetched.cid();
-
-  // Device: post the completion entry to host memory across PCIe.
-  const bool cq_pushed = qp.cq.Push(cqe);
-  assert(cq_pushed);
-  (void)cq_pushed;
-  link_->Record(pcie::TrafficClass::kCompletion, pcie::Direction::kDeviceToHost,
-                cost_->cqe_bytes);
-
-  CqEntry reaped;
-  qp.cq.Pop(&reaped);
-  qp.inflight_cids.erase(reaped.cid);
-  ++commands_submitted_;
-  submit_counter_->Increment();
-  return reaped;
+  return SubmitOne(qp, queue_id, cmd, /*first_in_batch=*/true);
 }
 
 std::vector<CqEntry> NvmeTransport::SubmitPipelined(
@@ -102,34 +160,10 @@ std::vector<CqEntry> NvmeTransport::SubmitPipelined(
 
   bool first = true;
   for (const NvmeCommand& cmd : cmds) {
-    NvmeCommand entry = cmd;
-    entry.set_cid(AllocateCid(&qp));
     // The ring may be smaller than the batch; with the device draining
     // entries synchronously here, push/pop per command is equivalent.
-    const bool pushed = qp.sq.Push(entry);
-    assert(pushed);
-    (void)pushed;
-    NvmeCommand fetched;
-    qp.sq.Pop(&fetched);
-    link_->Record(pcie::TrafficClass::kCommandFetch,
-                  pcie::Direction::kHostToDevice,
-                  cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
-    ChargeCommand(first);
+    completions.push_back(SubmitOne(qp, queue_id, cmd, first));
     first = false;
-
-    CqEntry cqe = device_->Handle(fetched, queue_id);
-    cqe.cid = fetched.cid();
-    const bool cq_pushed = qp.cq.Push(cqe);
-    assert(cq_pushed);
-    (void)cq_pushed;
-    link_->Record(pcie::TrafficClass::kCompletion,
-                  pcie::Direction::kDeviceToHost, cost_->cqe_bytes);
-    CqEntry reaped;
-    qp.cq.Pop(&reaped);
-    qp.inflight_cids.erase(reaped.cid);
-    completions.push_back(reaped);
-    ++commands_submitted_;
-    submit_counter_->Increment();
   }
   return completions;
 }

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "nvme/command.h"
 #include "nvme/queue.h"
 #include "pcie/link.h"
@@ -35,7 +36,8 @@ class NvmeTransport {
  public:
   NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cost,
                 pcie::PcieLink* link, stats::MetricsRegistry* metrics,
-                std::uint16_t queue_depth = 64, std::uint16_t num_queues = 1);
+                std::uint16_t queue_depth = 64, std::uint16_t num_queues = 1,
+                fault::FaultPlan* fault_plan = nullptr);
 
   void AttachDevice(DeviceHandler* handler) { device_ = handler; }
 
@@ -60,6 +62,10 @@ class NvmeTransport {
                                        const std::vector<NvmeCommand>& cmds);
 
   std::uint64_t commands_submitted() const { return commands_submitted_; }
+  // Host-watchdog expirations (lost commands) and bounded resubmissions
+  // performed because of them; zero without a fault plan.
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries() const { return retries_; }
 
   // Multi-queue-pair timing: when on, submissions from different queue
   // pairs contend only on the controller's shared command fetch/interpret
@@ -86,16 +92,26 @@ class NvmeTransport {
   // Charges one command's latency: a full round trip serialized on the
   // clock (sync), or arbitration through the shared fetch unit (parallel).
   void ChargeCommand(bool first_in_batch);
+  // One command through the SQ/CQ machinery, including the watchdog/retry
+  // loop for injected command drops. The caller records the doorbell for
+  // the first attempt; resubmissions ring their own.
+  CqEntry SubmitOne(QueuePair& qp, std::uint16_t queue_id,
+                    const NvmeCommand& cmd, bool first_in_batch);
 
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
   pcie::PcieLink* link_;
+  fault::FaultPlan* fault_plan_;  // Optional; null = lossless link.
   DeviceHandler* device_ = nullptr;
   std::vector<QueuePair> queues_;
   bool parallel_arbitration_ = false;
   sim::Nanoseconds fetch_busy_until_ = 0;
   std::uint64_t commands_submitted_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
   stats::Counter* submit_counter_;
+  stats::Counter* timeout_counter_;
+  stats::Counter* retry_counter_;
 };
 
 }  // namespace bandslim::nvme

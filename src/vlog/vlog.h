@@ -27,14 +27,14 @@ class VLog {
 
   // Reads `out.size()` bytes starting at byte address `addr`, mixing buffer
   // and NAND segments as needed.
-  Status Read(VlogAddr addr, MutByteSpan out);
+  [[nodiscard]] Status Read(VlogAddr addr, MutByteSpan out);
 
   // Drains the buffer to NAND.
-  Status Drain() { return buffer_.FlushAll(); }
+  [[nodiscard]] Status Drain() { return buffer_.FlushAll(); }
 
   // Drops `count` flushed logical pages starting at `first_lpn` (all values
   // inside must have been relocated; used by vLog garbage collection).
-  Status TrimPages(std::uint64_t first_lpn, std::uint64_t count);
+  [[nodiscard]] Status TrimPages(std::uint64_t first_lpn, std::uint64_t count);
 
   // Payload bytes recorded per flushed page (GC accounting).
   std::uint64_t FlushedPageUsedBytes(std::uint64_t lpn) const;

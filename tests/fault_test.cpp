@@ -1,0 +1,473 @@
+// Fault-injection layer: deterministic campaigns, bad-block remapping that
+// preserves packed neighbor values, ECC behavior, command timeout/retry,
+// clean pool-exhaustion degradation, and the GET-after-crash consistency
+// sweep (a crash at any point in virtual time never yields a torn value).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/kvssd.h"
+#include "fault/fault_plan.h"
+#include "ftl/ftl.h"
+#include "nand/nand_flash.h"
+#include "workload/value_gen.h"
+
+namespace bandslim {
+namespace {
+
+using fault::FaultConfig;
+using fault::FaultSite;
+using fault::FaultTrigger;
+
+KvSsdOptions SmallOptions() {
+  KvSsdOptions o;
+  o.geometry.channels = 2;
+  o.geometry.ways = 2;
+  o.geometry.blocks_per_die = 256;
+  o.geometry.pages_per_block = 32;
+  o.buffer.num_entries = 16;
+  o.buffer.dlt_entries = 16;
+  o.lsm.memtable_limit_bytes = 8 * 1024;
+  return o;
+}
+
+// --- FaultPlan unit behavior -----------------------------------------------
+
+TEST(FaultPlanTest, NullPlanIsInert) {
+  fault::FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_FALSE(plan.NextProgramFails(0, 0));
+  EXPECT_FALSE(plan.NextEraseFails(1000, 0));
+  EXPECT_FALSE(plan.NextCommandDropped(0));
+  EXPECT_EQ(plan.NextReadOutcome(0, 0), fault::FaultPlan::ReadOutcome::kOk);
+  EXPECT_FALSE(plan.PowerLost(1'000'000'000));
+  EXPECT_TRUE(plan.TraceString().empty());
+}
+
+TEST(FaultPlanTest, TriggersFireAtExactOpIndex) {
+  FaultConfig cfg;
+  cfg.triggers.push_back({FaultSite::kNandProgram, 2});
+  fault::FaultPlan plan(cfg);
+  EXPECT_FALSE(plan.NextProgramFails(0, 10));  // op 0
+  EXPECT_FALSE(plan.NextProgramFails(0, 11));  // op 1
+  EXPECT_TRUE(plan.NextProgramFails(0, 12));   // op 2: trigger
+  EXPECT_FALSE(plan.NextProgramFails(0, 13));  // op 3
+  EXPECT_EQ(plan.fired_count(FaultSite::kNandProgram), 1u);
+  EXPECT_EQ(plan.TraceString(), "nand_program@2/12\n");
+}
+
+TEST(FaultPlanTest, SameSeedSameDecisions) {
+  FaultConfig cfg;
+  cfg.seed = 42;
+  cfg.program_fail_rate = 0.3;
+  cfg.read_uncorrectable_rate = 0.1;
+  fault::FaultPlan a(cfg), b(cfg);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.NextProgramFails(0, static_cast<std::uint64_t>(i)),
+              b.NextProgramFails(0, static_cast<std::uint64_t>(i)));
+    EXPECT_EQ(a.NextReadOutcome(0, static_cast<std::uint64_t>(i)),
+              b.NextReadOutcome(0, static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(a.TraceString(), b.TraceString());
+  EXPECT_GT(a.fired_count(FaultSite::kNandProgram), 0u);
+}
+
+TEST(FaultPlanTest, WearRaisesFailureRate) {
+  FaultConfig cfg;
+  cfg.program_fail_rate = 0.0;
+  cfg.wear_fail_raise = 0.01;  // 1% extra per erase; 100+ erases = certain.
+  fault::FaultPlan plan(cfg);
+  int fresh_failures = 0, worn_failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (plan.NextProgramFails(0, 0)) ++fresh_failures;
+    if (plan.NextProgramFails(150, 0)) ++worn_failures;
+  }
+  EXPECT_EQ(fresh_failures, 0);
+  EXPECT_EQ(worn_failures, 200);
+}
+
+// --- NAND + FTL: remapping and retirement ----------------------------------
+
+struct FtlRig {
+  sim::VirtualClock clock;
+  sim::CostModel cost;
+  stats::MetricsRegistry metrics;
+  fault::FaultPlan plan;
+  nand::NandFlash nand;
+  ftl::PageFtl ftl;
+
+  FtlRig(FaultConfig fault_cfg, ftl::FtlConfig ftl_cfg,
+         std::uint32_t blocks = 16, std::uint32_t pages = 4)
+      : plan(std::move(fault_cfg)),
+        nand(MakeGeometry(blocks, pages), &clock, &cost, &metrics, &plan),
+        ftl(&nand, &metrics, ftl_cfg) {}
+
+  static nand::NandGeometry MakeGeometry(std::uint32_t blocks,
+                                         std::uint32_t pages) {
+    nand::NandGeometry g;
+    g.channels = 1;
+    g.ways = 1;
+    g.blocks_per_die = blocks;
+    g.pages_per_block = pages;
+    return g;
+  }
+};
+
+TEST(FaultFtlTest, ProgramFailureRemapsTransparently) {
+  FaultConfig cfg;
+  cfg.triggers.push_back({FaultSite::kNandProgram, 5});
+  ftl::FtlConfig fcfg;
+  fcfg.reserved_blocks = 2;
+  FtlRig rig(cfg, fcfg);
+
+  const std::size_t page = rig.nand.geometry().page_size;
+  for (std::uint64_t lpn = 0; lpn < 20; ++lpn) {
+    Bytes data(page, static_cast<std::uint8_t>(0x40 + lpn));
+    ASSERT_TRUE(rig.ftl.Write(lpn, ByteSpan(data), ftl::Stream::kVlog, true).ok())
+        << "lpn " << lpn;
+  }
+  EXPECT_EQ(rig.ftl.program_failures(), 1u);
+  EXPECT_EQ(rig.ftl.bad_block_remaps(), 1u);
+  EXPECT_EQ(rig.nand.program_failures(), 1u);
+  // Every logical page — including neighbors of the failed program that had
+  // to be relocated off the retired block — reads back byte-exact.
+  Bytes out(page);
+  for (std::uint64_t lpn = 0; lpn < 20; ++lpn) {
+    ASSERT_TRUE(rig.ftl.Read(lpn, MutByteSpan(out)).ok());
+    EXPECT_EQ(out[0], static_cast<std::uint8_t>(0x40 + lpn)) << "lpn " << lpn;
+    EXPECT_EQ(out[page - 1], static_cast<std::uint8_t>(0x40 + lpn));
+  }
+}
+
+TEST(FaultFtlTest, EraseFailureRetiresBlock) {
+  FaultConfig cfg;
+  cfg.triggers.push_back({FaultSite::kNandErase, 0});
+  ftl::FtlConfig fcfg;
+  fcfg.reserved_blocks = 2;
+  fcfg.gc_low_watermark = 4;
+  FtlRig rig(cfg, fcfg, /*blocks=*/8, /*pages=*/4);
+
+  // Overwrite one logical page repeatedly: every page becomes garbage
+  // immediately, so GC erases fully-dead blocks. The first erase fails.
+  const std::size_t page = rig.nand.geometry().page_size;
+  Bytes data(page, 0xEE);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(rig.ftl.Write(0, ByteSpan(data), ftl::Stream::kVlog, false).ok())
+        << "write " << i;
+  }
+  EXPECT_EQ(rig.ftl.erase_retirements(), 1u);
+  EXPECT_EQ(rig.nand.erase_failures(), 1u);
+  EXPECT_GE(rig.ftl.bad_blocks(), 1u);
+}
+
+TEST(FaultFtlTest, PoolExhaustionDegradesToOutOfSpace) {
+  FaultConfig cfg;
+  cfg.program_fail_rate = 1.0;  // Every program fails; blocks retire fast.
+  ftl::FtlConfig fcfg;
+  fcfg.reserved_blocks = 2;
+  fcfg.max_program_retries = 4;
+  FtlRig rig(cfg, fcfg, /*blocks=*/8, /*pages=*/4);
+
+  const std::size_t page = rig.nand.geometry().page_size;
+  Bytes data(page, 0x11);
+  bool saw_out_of_space = false;
+  for (int i = 0; i < 20 && !saw_out_of_space; ++i) {
+    Status st = rig.ftl.Write(static_cast<std::uint64_t>(i), ByteSpan(data),
+                              ftl::Stream::kVlog, false);
+    ASSERT_FALSE(st.ok());
+    // Degradation must be clean: media errors while blocks remain, then a
+    // plain kOutOfSpace once the pool (including the reserve) is gone.
+    ASSERT_TRUE(st.IsMediaError() || st.code() == StatusCode::kOutOfSpace)
+        << st.ToString();
+    saw_out_of_space = st.code() == StatusCode::kOutOfSpace;
+  }
+  EXPECT_TRUE(saw_out_of_space);
+  EXPECT_EQ(rig.ftl.reserve_remaining(), 0u);
+  EXPECT_GT(rig.ftl.bad_block_remaps(), 0u);
+}
+
+// --- Full stack: packed pages, ECC, timeouts -------------------------------
+
+TEST(FaultStackTest, PackedPageSurvivesMidAppendProgramFailure) {
+  KvSsdOptions o = SmallOptions();
+  o.ftl.reserved_blocks = 4;
+  // Fail the second vLog page program of the run: its block already holds
+  // the first packed page, which must be relocated intact.
+  o.fault.triggers.push_back({FaultSite::kNandProgram, 1});
+  auto ssd = KvSsd::Open(o).value();
+
+  std::map<std::string, Bytes> model;
+  for (int i = 0; i < 24; ++i) {  // ~24 KiB: two packed 16 KiB pages.
+    const std::string key = "p" + std::to_string(i);
+    Bytes v = workload::MakeValue(1000, 7, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put(key, ByteSpan(v)).ok());
+    model[key] = v;
+  }
+  ASSERT_TRUE(ssd->Flush().ok());
+  const KvSsdStats stats = ssd->GetStats();
+  EXPECT_EQ(stats.nand_program_failures, 1u);
+  EXPECT_EQ(stats.bad_block_remaps, 1u);
+  // Re-mount from NAND so GETs are served by the remapped physical pages,
+  // not the DRAM window.
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  for (const auto& [key, expected] : model) {
+    auto v = ssd->Get(key);
+    ASSERT_TRUE(v.ok()) << key << ": " << v.status().ToString();
+    EXPECT_EQ(v.value(), expected) << key;
+  }
+}
+
+TEST(FaultStackTest, EccCorrectableErrorsRecoverData) {
+  KvSsdOptions o = SmallOptions();
+  o.buffer.num_entries = 2;  // Tiny window: early values must hit NAND.
+  o.fault.read_correctable_rate = 1.0;
+  auto ssd = KvSsd::Open(o).value();
+
+  std::map<std::string, Bytes> model;
+  for (int i = 0; i < 40; ++i) {  // ~80 KiB >> the 32 KiB window.
+    const std::string key = "e" + std::to_string(i);
+    Bytes v = workload::MakeValue(2000, 8, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put(key, ByteSpan(v)).ok());
+    model[key] = v;
+  }
+  for (const auto& [key, expected] : model) {
+    auto v = ssd->Get(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(v.value(), expected) << key;
+  }
+  EXPECT_GT(ssd->GetStats().ecc_corrections, 0u);
+}
+
+TEST(FaultStackTest, UncorrectableReadSurfacesMediaError) {
+  KvSsdOptions o = SmallOptions();
+  o.buffer.num_entries = 2;
+  o.fault.read_uncorrectable_rate = 1.0;
+  auto ssd = KvSsd::Open(o).value();
+
+  for (int i = 0; i < 40; ++i) {
+    Bytes v = workload::MakeValue(2000, 9, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put("u" + std::to_string(i), ByteSpan(v)).ok());
+  }
+  // The first value left the buffer window long ago; its NAND read fails
+  // beyond ECC and the error must reach the host as a media error, not an
+  // assert or a generic internal error.
+  auto v = ssd->Get("u0");
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsMediaError()) << v.status().ToString();
+}
+
+TEST(FaultStackTest, DroppedCommandIsRetriedTransparently) {
+  KvSsdOptions o = SmallOptions();
+  o.fault.triggers.push_back({FaultSite::kCommandDrop, 0});
+  auto ssd = KvSsd::Open(o).value();
+
+  Bytes v = workload::MakeValue(100, 10, 1);
+  ASSERT_TRUE(ssd->Put("retry", ByteSpan(v)).ok());
+  const KvSsdStats stats = ssd->GetStats();
+  EXPECT_EQ(stats.nvme_timeouts, 1u);
+  EXPECT_EQ(stats.nvme_retries, 1u);
+  auto back = ssd->Get("retry");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), v);
+}
+
+TEST(FaultStackTest, RetryExhaustionReturnsTimedOut) {
+  KvSsdOptions o = SmallOptions();
+  o.fault.command_drop_rate = 1.0;
+  o.fault.max_command_retries = 2;
+  auto ssd = KvSsd::Open(o).value();
+
+  Bytes v = workload::MakeValue(100, 11, 1);
+  Status st = ssd->Put("doomed", ByteSpan(v));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTimedOut()) << st.ToString();
+  const KvSsdStats stats = ssd->GetStats();
+  EXPECT_EQ(stats.nvme_timeouts, 3u);  // Initial attempt + 2 retries.
+  EXPECT_EQ(stats.nvme_retries, 2u);
+}
+
+// --- Determinism: same plan, same trace ------------------------------------
+
+struct CampaignResult {
+  std::string trace;
+  std::string statuses;
+  sim::Nanoseconds elapsed;
+};
+
+CampaignResult RunCampaign() {
+  KvSsdOptions o = SmallOptions();
+  o.ftl.reserved_blocks = 8;
+  o.fault.seed = 0xC0FFEE;
+  o.fault.program_fail_rate = 0.02;
+  o.fault.read_correctable_rate = 0.05;
+  o.fault.command_drop_rate = 0.01;
+  auto ssd = KvSsd::Open(o).value();
+
+  CampaignResult r;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "c" + std::to_string(i % 60);
+    Bytes v = workload::MakeValue(1 + (static_cast<std::size_t>(i) * 61) % 2000,
+                                  12, static_cast<std::uint64_t>(i));
+    r.statuses += Status::CodeName(ssd->Put(key, ByteSpan(v)).code()) + ";";
+    if (i % 50 == 49) {
+      r.statuses += Status::CodeName(ssd->Flush().code()) + "|";
+    }
+    if (i % 7 == 0) {
+      r.statuses += Status::CodeName(ssd->Get(key).status().code()) + ",";
+    }
+  }
+  r.trace = ssd->fault_plan().TraceString();
+  r.elapsed = ssd->clock().Now();
+  return r;
+}
+
+TEST(FaultDeterminismTest, SameSeedSameFailureTraceTwice) {
+  const CampaignResult a = RunCampaign();
+  const CampaignResult b = RunCampaign();
+  EXPECT_FALSE(a.trace.empty());
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.statuses, b.statuses);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(FaultDeterminismTest, ArmedButSilentPlanMatchesNullPlan) {
+  // A plan whose only configuration is a far-future crash makes decisions
+  // on every operation but must not perturb timing or results at all.
+  auto run = [](sim::Nanoseconds crash_at) {
+    KvSsdOptions o = SmallOptions();
+    o.fault.crash_at_ns = crash_at;
+    auto ssd = KvSsd::Open(o).value();
+    for (int i = 0; i < 200; ++i) {
+      Bytes v = workload::MakeValue(1 + (static_cast<std::size_t>(i) * 17) % 900,
+                                    13, static_cast<std::uint64_t>(i));
+      EXPECT_TRUE(ssd->Put("s" + std::to_string(i), ByteSpan(v)).ok());
+    }
+    EXPECT_TRUE(ssd->Flush().ok());
+    return ssd->clock().Now();
+  };
+  EXPECT_EQ(run(/*null plan*/ 0), run(/*armed, never reached*/ 1ll << 60));
+}
+
+// --- GET-after-crash consistency sweep -------------------------------------
+
+// One deterministic op sequence: 200 PUTs with a Flush (checkpoint) every
+// 25 ops. Before each Flush an "epoch" key records the checkpoint ordinal,
+// so the recovered state identifies which snapshot it must equal.
+class CrashSweep {
+ public:
+  static constexpr int kOps = 200;
+  static constexpr int kFlushEvery = 25;
+
+  static KvSsdOptions Options(sim::Nanoseconds crash_at) {
+    KvSsdOptions o;
+    o.geometry.channels = 2;
+    o.geometry.ways = 2;
+    o.geometry.blocks_per_die = 256;
+    o.geometry.pages_per_block = 32;
+    o.buffer.num_entries = 8;
+    o.buffer.dlt_entries = 16;
+    o.lsm.memtable_limit_bytes = 8 * 1024;
+    o.fault.crash_at_ns = crash_at;
+    return o;
+  }
+
+  static std::string KeyOf(int i) { return "k" + std::to_string(i % 40); }
+  static Bytes ValueOf(int i) {
+    return workload::MakeValue(1 + (static_cast<std::size_t>(i) * 137) % 3000,
+                               14, static_cast<std::uint64_t>(i));
+  }
+
+  struct RunOutcome {
+    // Model snapshot taken right before each *attempted* Flush: a crash
+    // mid-flush may or may not have landed the manifest, so any attempted
+    // checkpoint is a legal recovery target.
+    std::vector<std::map<std::string, Bytes>> snapshots;
+    bool any_flush_ok = false;  // At least one Flush() returned Ok.
+  };
+
+  // Runs the sequence until an op fails (dead device) or it completes.
+  static RunOutcome Run(KvSsd* ssd) {
+    RunOutcome out;
+    std::map<std::string, Bytes> model;
+    for (int i = 0; i < kOps; ++i) {
+      Bytes v = ValueOf(i);
+      if (!ssd->Put(KeyOf(i), ByteSpan(v)).ok()) return out;
+      model[KeyOf(i)] = v;
+      if (i % kFlushEvery == kFlushEvery - 1) {
+        const std::string epoch(1, static_cast<char>('A' + out.snapshots.size()));
+        if (!ssd->Put("epoch", std::string_view(epoch)).ok()) return out;
+        model["epoch"] = Bytes(epoch.begin(), epoch.end());
+        out.snapshots.push_back(model);
+        if (!ssd->Flush().ok()) return out;
+        out.any_flush_ok = true;
+      }
+    }
+    return out;
+  }
+};
+
+TEST(FaultCrashSweepTest, NoTornValueAtAnyOf100CrashPoints) {
+  // Reference run (no crash) measures the timeline to sweep.
+  sim::Nanoseconds total = 0;
+  {
+    auto ssd = KvSsd::Open(CrashSweep::Options(0)).value();
+    auto ref = CrashSweep::Run(ssd.get());
+    ASSERT_EQ(ref.snapshots.size(), static_cast<std::size_t>(
+                                        CrashSweep::kOps /
+                                        CrashSweep::kFlushEvery));
+    ASSERT_TRUE(ref.any_flush_ok);
+    total = ssd->clock().Now();
+  }
+  ASSERT_GT(total, 0);
+
+  for (int k = 1; k <= 100; ++k) {
+    const sim::Nanoseconds crash_at = total * k / 100;
+    auto ssd = KvSsd::Open(CrashSweep::Options(crash_at)).value();
+    const auto run = CrashSweep::Run(ssd.get());
+    const auto& snapshots = run.snapshots;
+
+    const Status recovered = ssd->Recover();
+    if (!recovered.ok()) {
+      // A clean mount failure is legal only when no checkpoint ever fully
+      // committed (the crash landed before the first manifest write); once
+      // a Flush has returned Ok, recovery must always succeed.
+      EXPECT_FALSE(run.any_flush_ok)
+          << "crash point " << k << ": " << recovered.ToString();
+      continue;
+    }
+    ASSERT_FALSE(snapshots.empty()) << "crash point " << k;
+
+    // Which checkpoint did we land on? The epoch key says; it must name a
+    // snapshot that was actually attempted.
+    auto epoch = ssd->Get("epoch");
+    ASSERT_TRUE(epoch.ok()) << "crash point " << k;
+    ASSERT_EQ(epoch.value().size(), 1u);
+    const std::size_t s = static_cast<std::size_t>(epoch.value()[0] - 'A');
+    ASSERT_LT(s, snapshots.size()) << "crash point " << k;
+    const auto& expect = snapshots[s];
+
+    // Every key of the recovered checkpoint must read back byte-exact —
+    // no torn tails, no bytes from a neighboring packed value — and keys
+    // beyond it must be cleanly absent.
+    for (int i = 0; i < CrashSweep::kOps; ++i) {
+      const std::string key = CrashSweep::KeyOf(i);
+      auto it = expect.find(key);
+      auto got = ssd->Get(key);
+      if (it == expect.end()) {
+        EXPECT_TRUE(got.status().IsNotFound())
+            << "crash point " << k << " key " << key << ": "
+            << got.status().ToString();
+      } else {
+        ASSERT_TRUE(got.ok()) << "crash point " << k << " key " << key << ": "
+                              << got.status().ToString();
+        EXPECT_EQ(got.value(), it->second)
+            << "torn value at crash point " << k << " key " << key;
+      }
+    }
+    EXPECT_EQ(ssd->GetStats().recovery_runs, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace bandslim
