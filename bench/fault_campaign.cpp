@@ -72,7 +72,7 @@ int Run(int argc, char** argv) {
                 " %8" PRIu64 " %9" PRIu64 "\n",
                 point.label, kops, secs * 1e3, s.nand_program_failures,
                 s.bad_block_remaps, s.nvme_retries, s.ecc_corrections,
-                ssd->ftl().reserve_remaining());
+                ssd->Inspect().ftl_reserve_blocks);
     if (failed_puts != 0) {
       std::printf("       (%" PRIu64 " of %" PRIu64 " PUTs failed)\n",
                   failed_puts, args.ops);
@@ -81,7 +81,7 @@ int Run(int argc, char** argv) {
             ",%" PRIu64,
             point.label, kops, secs * 1e3, s.nand_program_failures,
             s.bad_block_remaps, s.nvme_retries, s.ecc_corrections,
-            ssd->ftl().reserve_remaining());
+            ssd->Inspect().ftl_reserve_blocks);
   }
   return 0;
 }

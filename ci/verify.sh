@@ -26,8 +26,31 @@ fault_campaign() {
   "${build_dir}/bench/fault_campaign" --ops=5000
 }
 
+# Trace export: the bench itself enforces the exactness invariant (per-stage
+# sums == submit->completion window on every command, all three transfer
+# techniques, 1q and 2q) and exits nonzero on violation; jq then checks the
+# exported file is valid Chrome trace_event JSON with well-formed events.
+trace_export() {
+  local build_dir="$1"
+  echo "=== verify pass: trace export (${build_dir}) ==="
+  local out="${build_dir}/trace_breakdown.json"
+  "${build_dir}/bench/trace_breakdown" --ops=100 --export=chrome --out="${out}"
+  if command -v jq > /dev/null; then
+    jq -e '.traceEvents | type == "array" and length > 0' "${out}" > /dev/null
+    jq -e '[.traceEvents[] | select(.ph == "X")]
+           | length > 0 and all(has("name") and has("ts") and has("dur")
+                                and has("pid") and has("tid"))' \
+      "${out}" > /dev/null
+    echo "trace export: jq schema checks passed"
+  else
+    echo "trace export: jq not found, schema checks skipped"
+  fi
+}
+
 run_pass release "${prefix}-release" \
   -DCMAKE_BUILD_TYPE=Release
+
+trace_export "${prefix}-release"
 
 run_pass asan-ubsan "${prefix}-asan" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -35,5 +58,6 @@ run_pass asan-ubsan "${prefix}-asan" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 
 fault_campaign "${prefix}-asan"
+trace_export "${prefix}-asan"
 
 echo "=== verify: all passes green ==="

@@ -53,7 +53,7 @@ int main() {
   std::printf("  %10s  %-14s %s\n", "value size", "path", "NVMe commands");
   for (std::size_t size : {8u, 35u, 64u, 128u, 129u, 2048u, 4096u, 4128u,
                            4160u, 8192u, 12320u}) {
-    const auto decision = ssd.raw_driver().Decide(size);
+    const auto decision = ssd.Hooks().driver->Decide(size);
     std::uint64_t commands = 1;
     if (decision == driver::KvDriver::Decision::kPiggyback) {
       commands = nvme::codec::PiggybackCommandCount(size);

@@ -19,15 +19,19 @@ const char* PolicyName(PackingPolicy policy) {
 NandPageBuffer::NandPageBuffer(const BufferConfig& config,
                                sim::VirtualClock* clock,
                                const sim::CostModel* cost,
-                               stats::MetricsRegistry* metrics, FlushFn flush)
+                               stats::MetricsRegistry* metrics, FlushFn flush,
+                               trace::Tracer* tracer)
     : config_(config),
       clock_(clock),
       cost_(cost),
+      tracer_(tracer),
       flush_(std::move(flush)),
       dlt_(config.dlt_entries),
       memcpy_bytes_counter_(metrics->GetCounter("buffer.memcpy_bytes")),
       flushed_pages_counter_(metrics->GetCounter("buffer.flushed_pages")),
-      wasted_bytes_counter_(metrics->GetCounter("buffer.wasted_bytes")) {
+      wasted_bytes_counter_(metrics->GetCounter("buffer.wasted_bytes")),
+      dlt_evictions_counter_(
+          metrics->GetCounter("buffer.dlt_forced_evictions")) {
   assert(config_.num_entries >= 2 && "window must hold at least two entries");
   base_lpn_ = config_.initial_lpn;
   wp_ = base_lpn_ * kNandPageSize;
@@ -35,7 +39,10 @@ NandPageBuffer::NandPageBuffer(const BufferConfig& config,
 }
 
 void NandPageBuffer::ChargeMemcpy(std::uint64_t bytes) {
-  clock_->Advance(cost_->MemcpyCost(bytes));
+  {
+    trace::SpanScope span(tracer_, trace::Category::kBufferCopy, bytes);
+    clock_->Advance(cost_->MemcpyCost(bytes));
+  }
   memcpy_bytes_ += bytes;
   memcpy_bytes_counter_->Add(bytes);
 }
@@ -94,7 +101,10 @@ Status NandPageBuffer::EnsureCoverage(std::uint64_t end_addr) {
 Status NandPageBuffer::FlushFront() {
   assert(!entries_.empty());
   Entry& e = entries_.front();
-  BANDSLIM_RETURN_IF_ERROR(flush_(base_lpn_, ByteSpan(e.data), e.used));
+  {
+    trace::SpanScope span(tracer_, trace::Category::kVlogFlush, kNandPageSize);
+    BANDSLIM_RETURN_IF_ERROR(flush_(base_lpn_, ByteSpan(e.data), e.used));
+  }
   wasted_bytes_ += kNandPageSize - e.used;
   wasted_bytes_counter_->Add(kNandPageSize - e.used);
   ++flushed_pages_;
@@ -259,6 +269,7 @@ Result<std::uint64_t> NandPageBuffer::CommitDma(const DmaReservation& r) {
         wp_ = std::max(wp_, dlt_.Oldest()->end());
         dlt_.ConsumeOldest();
         ++dlt_forced_evictions_;
+        dlt_evictions_counter_->Increment();
       }
       dlt_.Push(r.dest_addr, r.total_size);
       break;

@@ -30,6 +30,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "stats/metrics.h"
+#include "trace/trace.h"
 
 namespace bandslim::buffer {
 
@@ -60,7 +61,7 @@ class NandPageBuffer {
  public:
   NandPageBuffer(const BufferConfig& config, sim::VirtualClock* clock,
                  const sim::CostModel* cost, stats::MetricsRegistry* metrics,
-                 FlushFn flush);
+                 FlushFn flush, trace::Tracer* tracer = nullptr);
 
   PackingPolicy policy() const { return config_.policy; }
 
@@ -149,6 +150,7 @@ class NandPageBuffer {
   BufferConfig config_;
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
+  trace::Tracer* tracer_;  // Optional; null = untraced.
   FlushFn flush_;
 
   std::deque<Entry> entries_;
@@ -165,6 +167,7 @@ class NandPageBuffer {
   stats::Counter* memcpy_bytes_counter_;
   stats::Counter* flushed_pages_counter_;
   stats::Counter* wasted_bytes_counter_;
+  stats::Counter* dlt_evictions_counter_;
 };
 
 }  // namespace bandslim::buffer

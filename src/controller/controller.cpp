@@ -34,8 +34,9 @@ CqStatus CqStatusFromStatus(const Status& st) {
 KvController::KvController(sim::VirtualClock* clock, const sim::CostModel* cost,
                            stats::MetricsRegistry* metrics, dma::DmaEngine* dma,
                            vlog::VLog* vlog, lsm::LsmTree* lsm,
-                           ControllerConfig config)
+                           ControllerConfig config, trace::Tracer* tracer)
     : clock_(clock),
+      tracer_(tracer),
       cost_(cost),
       dma_(dma),
       vlog_(vlog),
@@ -55,9 +56,14 @@ CqEntry KvController::Fail(CqStatus status, std::uint16_t queue_id) {
 CqEntry KvController::FailOp(CqStatus status) { return CqEntry{0, 0, status}; }
 
 CqEntry KvController::Handle(const NvmeCommand& cmd, std::uint16_t queue_id) {
+  // All device-side processing is kKvs self-time; nested DMA / buffer /
+  // NAND spans carve their own exclusive shares out of it.
+  trace::SpanScope span(tracer_, trace::Category::kKvs);
   switch (cmd.opcode()) {
     case Opcode::kKvWrite: return HandleWrite(cmd, queue_id);
     case Opcode::kKvBulkWrite: return HandleBulkWrite(cmd);
+    case Opcode::kKvBulkRead: return HandleBulkRead(cmd);
+    case Opcode::kKvBulkDelete: return HandleBulkDelete(cmd);
     case Opcode::kKvTransfer: return HandleTransfer(cmd, queue_id);
     case Opcode::kKvRead: return HandleRead(cmd);
     case Opcode::kKvDelete: return HandleDelete(cmd);
@@ -188,6 +194,120 @@ CqEntry KvController::HandleBulkWrite(const NvmeCommand& cmd) {
     ++records;
   }
   return CqEntry{records, 0, CqStatus::kSuccess};
+}
+
+std::vector<std::string> KvController::DecodeKeyBatch(
+    std::uint32_t payload_size) const {
+  // [u8 klen][key]* — an empty result signals a malformed payload (the
+  // wire format admits no legal empty batch; the driver never sends one).
+  std::vector<std::string> keys;
+  std::size_t off = 0;
+  while (off < payload_size) {
+    const std::size_t klen = bulk_staging_[off++];
+    if (klen == 0 || klen > kMaxKeySize || off + klen > payload_size) {
+      return {};
+    }
+    keys.emplace_back(reinterpret_cast<const char*>(&bulk_staging_[off]),
+                      klen);
+    off += klen;
+  }
+  return keys;
+}
+
+CqEntry KvController::HandleBulkRead(const NvmeCommand& cmd) {
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
+  const std::uint32_t payload_size = cmd.value_size();
+  if (payload_size == 0 || cmd.prp.empty() ||
+      cmd.prp.DmaBytes() < payload_size) {
+    return CqEntry{0, 0, CqStatus::kInvalidField};
+  }
+  if (bulk_staging_.size() < cmd.prp.DmaBytes()) {
+    bulk_staging_.resize(cmd.prp.DmaBytes());
+  }
+  Status dma_status = dma_->HostToDevice(cmd.prp, 0, [&](std::uint64_t off) {
+    return MutByteSpan(bulk_staging_).subspan(off, kMemPageSize);
+  });
+  if (!dma_status.ok()) return CqEntry{0, 0, CqStatus::kInternalError};
+  const std::vector<std::string> keys = DecodeKeyBatch(payload_size);
+  if (keys.empty()) return CqEntry{0, 0, CqStatus::kInvalidField};
+
+  // Pass 1: index lookups only, to size the response before touching the
+  // vLog. Each key costs the per-record KVS work exactly as a single GET.
+  std::vector<Result<lsm::ValueRef>> refs;
+  refs.reserve(keys.size());
+  std::uint64_t response_size = 0;
+  for (const std::string& key : keys) {
+    clock_->Advance(cost_->dev_kvs_ns);
+    refs.push_back(lsm_->Get(key));
+    response_size += 5;  // [u8 found][u32 vsize]
+    if (refs.back().ok()) response_size += refs.back().value().size;
+  }
+  if (cmd.prp.DmaBytes() < response_size) {
+    return CqEntry{static_cast<std::uint32_t>(response_size), 0,
+                   CqStatus::kBufferTooSmall};
+  }
+
+  // Pass 2: materialize values into a page-aligned bounce buffer and DMA
+  // the packed response back over the same PRP pages.
+  Bytes bounce(RoundUpPow2(response_size, kMemPageSize));
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!refs[i].ok()) {
+      if (!refs[i].status().IsNotFound()) {
+        return FailOp(CqStatusFromStatus(refs[i].status()));
+      }
+      bounce[off] = 0;
+      off += 5;  // found=0, vsize=0.
+      continue;
+    }
+    const lsm::ValueRef& ref = refs[i].value();
+    bounce[off++] = 1;
+    for (int b = 0; b < 4; ++b) {
+      bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * b));
+    }
+    const Status read_st =
+        vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size));
+    if (!read_st.ok()) return FailOp(CqStatusFromStatus(read_st));
+    clock_->Advance(cost_->MemcpyCost(ref.size));
+    read_memcpy_bytes_->Add(ref.size);
+    reads_counter_->Increment();
+    off += ref.size;
+  }
+  if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, response_size), 0,
+                          cmd.prp)
+           .ok()) {
+    return FailOp(CqStatus::kInternalError);
+  }
+  return CqEntry{static_cast<std::uint32_t>(response_size), 0,
+                 CqStatus::kSuccess};
+}
+
+CqEntry KvController::HandleBulkDelete(const NvmeCommand& cmd) {
+  if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
+  const std::uint32_t payload_size = cmd.value_size();
+  if (payload_size == 0 || cmd.prp.empty() ||
+      cmd.prp.DmaBytes() < payload_size) {
+    return CqEntry{0, 0, CqStatus::kInvalidField};
+  }
+  if (bulk_staging_.size() < cmd.prp.DmaBytes()) {
+    bulk_staging_.resize(cmd.prp.DmaBytes());
+  }
+  Status dma_status = dma_->HostToDevice(cmd.prp, 0, [&](std::uint64_t off) {
+    return MutByteSpan(bulk_staging_).subspan(off, kMemPageSize);
+  });
+  if (!dma_status.ok()) return CqEntry{0, 0, CqStatus::kInternalError};
+  const std::vector<std::string> keys = DecodeKeyBatch(payload_size);
+  if (keys.empty()) return CqEntry{0, 0, CqStatus::kInvalidField};
+
+  std::uint32_t removed = 0;
+  for (const std::string& key : keys) {
+    clock_->Advance(cost_->dev_kvs_ns);
+    const bool present = lsm_->Get(key).ok();
+    if (!present) continue;  // Absent keys are skipped, not an error.
+    if (!lsm_->Delete(key).ok()) return FailOp(CqStatus::kInternalError);
+    ++removed;
+  }
+  return CqEntry{removed, 0, CqStatus::kSuccess};
 }
 
 CqEntry KvController::HandleTransfer(const NvmeCommand& cmd,
@@ -429,6 +549,7 @@ std::uint64_t KvController::VlogTailCookie() const {
 }
 
 Result<std::uint64_t> KvController::CollectVlogSegment() {
+  trace::SpanScope span(tracer_, trace::Category::kFtlGc);
   if (!config_.nand_io_enabled) {
     return Status::Unsupported("NAND I/O disabled");
   }

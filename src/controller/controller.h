@@ -10,7 +10,9 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "buffer/page_buffer.h"
 #include "common/status.h"
@@ -37,7 +39,8 @@ class KvController : public nvme::DeviceHandler {
  public:
   KvController(sim::VirtualClock* clock, const sim::CostModel* cost,
                stats::MetricsRegistry* metrics, dma::DmaEngine* dma,
-               vlog::VLog* vlog, lsm::LsmTree* lsm, ControllerConfig config);
+               vlog::VLog* vlog, lsm::LsmTree* lsm, ControllerConfig config,
+               trace::Tracer* tracer = nullptr);
 
   nvme::CqEntry Handle(const nvme::NvmeCommand& cmd,
                        std::uint16_t queue_id) override;
@@ -66,6 +69,11 @@ class KvController : public nvme::DeviceHandler {
   nvme::CqEntry HandleWrite(const nvme::NvmeCommand& cmd,
                             std::uint16_t queue_id);
   nvme::CqEntry HandleBulkWrite(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleBulkRead(const nvme::NvmeCommand& cmd);
+  nvme::CqEntry HandleBulkDelete(const nvme::NvmeCommand& cmd);
+  // Decodes the [u8 klen][key]* request shared by bulk read/delete from
+  // bulk_staging_ (already DMA'd in); empty vector = malformed payload.
+  std::vector<std::string> DecodeKeyBatch(std::uint32_t payload_size) const;
   nvme::CqEntry HandleTransfer(const nvme::NvmeCommand& cmd,
                                std::uint16_t queue_id);
   nvme::CqEntry HandleRead(const nvme::NvmeCommand& cmd);
@@ -89,6 +97,7 @@ class KvController : public nvme::DeviceHandler {
   std::uint64_t VlogTailCookie() const;
 
   sim::VirtualClock* clock_;
+  trace::Tracer* tracer_;  // Optional; null = untraced.
   const sim::CostModel* cost_;
   dma::DmaEngine* dma_;
   vlog::VLog* vlog_;

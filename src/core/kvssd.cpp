@@ -3,20 +3,25 @@
 namespace bandslim {
 
 KvSsd::KvSsd(const KvSsdOptions& options)
-    : options_(options), fault_plan_(options.fault) {
+    : options_(options),
+      tracer_(&clock_, &metrics_, options.trace),
+      fault_plan_(options.fault) {
+  link_.AttachMetrics(&metrics_);
   transport_ = std::make_unique<nvme::NvmeTransport>(
       &clock_, &options_.cost, &link_, &metrics_, options_.queue_depth,
-      options_.num_queues, &fault_plan_);
+      options_.num_queues, &fault_plan_, &tracer_);
   dma_ = std::make_unique<dma::DmaEngine>(&clock_, &options_.cost, &link_,
                                           &host_memory_, &metrics_,
-                                          options_.dma, &fault_plan_);
+                                          options_.dma, &fault_plan_,
+                                          &tracer_);
   nand_ = std::make_unique<nand::NandFlash>(options_.geometry, &clock_,
                                             &options_.cost, &metrics_,
-                                            &fault_plan_);
-  ftl_ = std::make_unique<ftl::PageFtl>(nand_.get(), &metrics_, options_.ftl);
+                                            &fault_plan_, &tracer_);
+  ftl_ = std::make_unique<ftl::PageFtl>(nand_.get(), &metrics_, options_.ftl,
+                                        &tracer_);
   AssembleDevice(options_.buffer.initial_lpn);
   driver_ = std::make_unique<driver::KvDriver>(transport_.get(), &host_memory_,
-                                               options_.driver);
+                                               options_.driver, &tracer_);
 }
 
 KvSsd::~KvSsd() = default;
@@ -26,11 +31,11 @@ void KvSsd::AssembleDevice(std::uint64_t vlog_start_lpn) {
   buf.initial_lpn = vlog_start_lpn;
   vlog_ = std::make_unique<vlog::VLog>(ftl_.get(), &clock_, &options_.cost,
                                        &metrics_, buf,
-                                       options_.retain_payloads);
+                                       options_.retain_payloads, &tracer_);
   lsm_ = std::make_unique<lsm::LsmTree>(ftl_.get(), &metrics_, options_.lsm);
   controller_ = std::make_unique<controller::KvController>(
       &clock_, &options_.cost, &metrics_, dma_.get(), vlog_.get(), lsm_.get(),
-      options_.controller);
+      options_.controller, &tracer_);
   transport_->AttachDevice(controller_.get());
 }
 
@@ -51,7 +56,7 @@ Result<driver::KvDriver*> KvSsd::CreateQueueDriver(
   }
   config.queue_id = queue_id;
   extra_drivers_.push_back(std::make_unique<driver::KvDriver>(
-      transport_.get(), &host_memory_, config));
+      transport_.get(), &host_memory_, config, &tracer_));
   return extra_drivers_.back().get();
 }
 
@@ -65,8 +70,21 @@ Status KvSsd::Put(std::string_view key, std::string_view value) {
                     value.size()));
 }
 
-Status KvSsd::PutBatch(const std::vector<driver::KvDriver::KvPair>& batch) {
+Status KvSsd::PutBatch(std::span<const driver::KvDriver::KvPair> batch) {
   return driver_->PutBatch(batch);
+}
+
+Status KvSsd::PutBatch(std::initializer_list<driver::KvDriver::KvPair> batch) {
+  return driver_->PutBatch(batch);
+}
+
+Result<std::vector<driver::KvDriver::BatchGetResult>> KvSsd::GetBatch(
+    std::span<const std::string> keys) {
+  return driver_->GetBatch(keys);
+}
+
+Result<std::uint32_t> KvSsd::DeleteBatch(std::span<const std::string> keys) {
+  return driver_->DeleteBatch(keys);
 }
 
 Result<Bytes> KvSsd::Get(std::string_view key) { return driver_->Get(key); }
@@ -84,7 +102,10 @@ Result<driver::KvDriver::Iterator> KvSsd::Seek(std::string_view from) {
 }
 
 Result<std::uint64_t> KvSsd::CollectVlogGarbage() {
-  return controller_->CollectVlogSegment();
+  trace::OpScope op(&tracer_, trace::OpType::kGc, /*queue_id=*/0);
+  auto relocated = controller_->CollectVlogSegment();
+  op.set_ok(relocated.ok());
+  return relocated;
 }
 
 Status KvSsd::PowerCycle() {
@@ -101,6 +122,7 @@ Status KvSsd::PowerCycle() {
 }
 
 Status KvSsd::Recover() {
+  trace::OpScope op(&tracer_, trace::OpType::kRecovery, /*queue_id=*/0);
   // Power comes back: clear the latch so the remount's own NAND reads work,
   // then rebuild device DRAM state from the last durable checkpoint.
   fault_plan_.ClearCrash();
@@ -122,42 +144,82 @@ Status KvSsd::Recover() {
         }
       }));
   BANDSLIM_RETURN_IF_ERROR(torn);
-  ++recovery_runs_;
-  recovery_replayed_refs_ += live_refs;
+  metrics_.GetCounter("kvssd.recovery_runs")->Increment();
+  metrics_.GetCounter("kvssd.recovery_replayed_refs")->Add(live_refs);
   return Status::Ok();
 }
 
+// Every stat is assembled from named MetricsRegistry counters, so GetStats,
+// Inspect().counters and metrics().ToString() can never disagree. Registry
+// counters survive PowerCycle()/Recover() (the per-component objects are
+// rebuilt, the registry is not), so all stats are monotone for the device's
+// lifetime.
 KvSsdStats KvSsd::GetStats() const {
+  const auto c = [this](const char* name) {
+    return metrics_.CounterValue(name);
+  };
   KvSsdStats s;
   s.elapsed_ns = clock_.Now();
-  s.commands_submitted = transport_->commands_submitted();
-  s.pcie_h2d_bytes = link_.HostToDeviceBytes();
-  s.pcie_d2h_bytes = link_.DeviceToHostBytes();
-  s.mmio_bytes = link_.MmioBytes();
-  s.dma_h2d_bytes = link_.BytesOf(pcie::TrafficClass::kDmaData,
-                                  pcie::Direction::kHostToDevice);
-  s.nand_pages_programmed = nand_->pages_programmed();
-  s.nand_pages_read = nand_->pages_read();
-  s.nand_blocks_erased = nand_->blocks_erased();
-  s.vlog_pages_flushed = vlog_->flushed_pages();
-  s.lsm_pages_programmed = metrics_.CounterValue("ftl.programs.lsm");
-  s.gc_pages_programmed = metrics_.CounterValue("ftl.programs.gc");
-  s.device_memcpy_bytes = metrics_.CounterValue("buffer.memcpy_bytes") +
-                          metrics_.CounterValue("controller.read_memcpy_bytes");
-  s.buffer_wasted_bytes = vlog_->buffer().wasted_bytes();
-  s.dlt_forced_evictions = vlog_->buffer().dlt_forced_evictions();
-  s.values_written = controller_->values_written();
-  s.value_bytes_written = controller_->value_bytes_written();
-  s.lsm_compactions = lsm_->compactions_run();
-  s.memtable_flushes = lsm_->memtable_flushes();
-  s.nvme_timeouts = transport_->timeouts();
-  s.nvme_retries = transport_->retries();
-  s.nand_program_failures = nand_->program_failures();
-  s.ecc_corrections = nand_->ecc_corrections();
-  s.bad_block_remaps = ftl_->bad_block_remaps();
-  s.recovery_runs = recovery_runs_;
-  s.recovery_replayed_refs = recovery_replayed_refs_;
+  s.commands_submitted = c("nvme.commands_submitted");
+  s.pcie_h2d_bytes = c("pcie.mmio.h2d_bytes") + c("pcie.cmd_fetch.h2d_bytes") +
+                     c("pcie.dma_data.h2d_bytes") +
+                     c("pcie.completion.h2d_bytes");
+  s.pcie_d2h_bytes = c("pcie.mmio.d2h_bytes") + c("pcie.cmd_fetch.d2h_bytes") +
+                     c("pcie.dma_data.d2h_bytes") +
+                     c("pcie.completion.d2h_bytes");
+  s.mmio_bytes = c("pcie.mmio.h2d_bytes");
+  s.dma_h2d_bytes = c("pcie.dma_data.h2d_bytes");
+  s.nand_pages_programmed = c("nand.pages_programmed");
+  s.nand_pages_read = c("nand.pages_read");
+  s.nand_blocks_erased = c("nand.blocks_erased");
+  s.vlog_pages_flushed = c("buffer.flushed_pages");
+  s.lsm_pages_programmed = c("ftl.programs.lsm");
+  s.gc_pages_programmed = c("ftl.programs.gc");
+  s.device_memcpy_bytes =
+      c("buffer.memcpy_bytes") + c("controller.read_memcpy_bytes");
+  s.buffer_wasted_bytes = c("buffer.wasted_bytes");
+  s.dlt_forced_evictions = c("buffer.dlt_forced_evictions");
+  s.values_written = c("controller.values_written");
+  s.value_bytes_written = c("controller.value_bytes_written");
+  s.lsm_compactions = c("lsm.compactions");
+  s.memtable_flushes = c("lsm.memtable_flushes");
+  s.nvme_timeouts = c("nvme.timeouts");
+  s.nvme_retries = c("nvme.retries");
+  s.nand_program_failures = c("nand.program_failures");
+  s.ecc_corrections = c("nand.ecc_corrections");
+  s.bad_block_remaps = c("ftl.bad_block_remaps");
+  s.recovery_runs = c("kvssd.recovery_runs");
+  s.recovery_replayed_refs = c("kvssd.recovery_replayed_refs");
   return s;
+}
+
+DeviceSnapshot KvSsd::Inspect() const {
+  DeviceSnapshot snap;
+  snap.stats = GetStats();
+  for (const auto& q : transport_->QueueInfos()) {
+    snap.queues.push_back({q.queue_id, q.depth, q.submitted, q.inflight});
+  }
+  const buffer::NandPageBuffer& buf = vlog_->buffer();
+  snap.buffer_window_base = buf.window_base_addr();
+  snap.vlog_tail = buf.wp();
+  snap.buffer_dma_frontier = buf.dma_frontier();
+  snap.buffer_resident_bytes = buf.wp() - buf.window_base_addr();
+  snap.ftl_mapped_pages = ftl_->mapped_pages();
+  snap.ftl_free_blocks = ftl_->free_blocks();
+  snap.ftl_reserve_blocks = ftl_->reserve_remaining();
+  snap.ftl_bad_blocks = ftl_->bad_blocks();
+  snap.counters = metrics_.SnapshotCounters();
+  return snap;
+}
+
+KvSsd::TestHooks KvSsd::Hooks() {
+  TestHooks hooks;
+  hooks.clock = &clock_;
+  hooks.transport = transport_.get();
+  hooks.fault_plan = &fault_plan_;
+  hooks.driver = driver_.get();
+  hooks.tracer = &tracer_;
+  return hooks;
 }
 
 }  // namespace bandslim

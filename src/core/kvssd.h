@@ -11,8 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <map>
 #include <memory>
+#include <span>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "buffer/page_buffer.h"
 #include "common/status.h"
@@ -30,6 +35,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "stats/metrics.h"
+#include "trace/trace.h"
 #include "vlog/vlog.h"
 
 namespace bandslim {
@@ -46,6 +52,9 @@ struct KvSsdOptions {
   // Deterministic fault injection (src/fault). The default config is inert:
   // no PRNG draws, no timing perturbation, bit-identical fig* outputs.
   fault::FaultConfig fault;
+  // Per-command tracing (src/trace). Disabled by default: the stack then
+  // pays one branch per instrumentation site and records nothing.
+  trace::TraceConfig trace;
   // Keep value payloads in the NAND model so GET returns real bytes. Turn
   // off for multi-GiB write-only benches (reads then return zeros).
   bool retain_payloads = true;
@@ -90,6 +99,36 @@ struct KvSsdStats {
   std::uint64_t recovery_replayed_refs = 0;
 };
 
+// Read-only, value-typed snapshot of the assembled device: the stats block
+// plus the live structural state a test or bench may want to assert on.
+// Produced by KvSsd::Inspect(); holds no pointers into the device.
+struct DeviceSnapshot {
+  KvSsdStats stats;
+
+  struct QueueInfo {
+    std::uint16_t queue_id = 0;
+    std::uint16_t depth = 0;        // Configured SQ/CQ depth.
+    std::uint64_t submitted = 0;    // Commands ever submitted on this queue.
+    std::uint64_t inflight = 0;     // Currently outstanding (unreaped).
+  };
+  std::vector<QueueInfo> queues;
+
+  // NAND page buffer / vLog tail window (byte addresses into the vLog).
+  std::uint64_t buffer_window_base = 0;   // First still-resident byte.
+  std::uint64_t vlog_tail = 0;            // Next append address (buffer WP).
+  std::uint64_t buffer_dma_frontier = 0;  // Page-aligned DMA high-water mark.
+  std::uint64_t buffer_resident_bytes = 0;  // vlog_tail - buffer_window_base.
+
+  // FTL block accounting.
+  std::uint64_t ftl_mapped_pages = 0;
+  std::uint64_t ftl_free_blocks = 0;
+  std::uint64_t ftl_reserve_blocks = 0;  // Spare blocks left for remapping.
+  std::uint64_t ftl_bad_blocks = 0;
+
+  // Full registry dump (every named counter, sorted by name).
+  std::map<std::string, std::uint64_t> counters;
+};
+
 class KvSsd {
  public:
   static Result<std::unique_ptr<KvSsd>> Open(const KvSsdOptions& options = {});
@@ -101,8 +140,16 @@ class KvSsd {
   // --- KV API --------------------------------------------------------------
   Status Put(std::string_view key, ByteSpan value);
   Status Put(std::string_view key, std::string_view value);
-  // Host-side batching comparator (Dotori/KV-CSD style, Section 1).
-  Status PutBatch(const std::vector<driver::KvDriver::KvPair>& batch);
+  // Host-side batching comparator (Dotori/KV-CSD style, Section 1). One
+  // command carries the whole batch; see KvDriver for the trade-off notes.
+  Status PutBatch(std::span<const driver::KvDriver::KvPair> batch);
+  Status PutBatch(std::initializer_list<driver::KvDriver::KvPair> batch);
+  // Bulk GET: one result per key, in key order (absent keys -> !found).
+  Result<std::vector<driver::KvDriver::BatchGetResult>> GetBatch(
+      std::span<const std::string> keys);
+  // Bulk DELETE: removes every present key (absent keys are skipped, not an
+  // error) and returns how many were actually removed.
+  Result<std::uint32_t> DeleteBatch(std::span<const std::string> keys);
   Result<Bytes> Get(std::string_view key);
   Status Delete(std::string_view key);
   Result<std::uint32_t> Exists(std::string_view key);
@@ -128,23 +175,66 @@ class KvSsd {
   Status Recover();
 
   // --- Introspection --------------------------------------------------------
+  // One-call observation point: everything a test, bench or operator
+  // dashboard needs, as plain values. Replaces the old per-component
+  // reference accessors (see the deprecated block below).
+  DeviceSnapshot Inspect() const;
   KvSsdStats GetStats() const;
   const sim::VirtualClock& clock() const { return clock_; }
   const pcie::PcieLink& link() const { return link_; }
   const stats::MetricsRegistry& metrics() const { return metrics_; }
-  const nand::NandFlash& nand() const { return *nand_; }
-  const ftl::PageFtl& ftl() const { return *ftl_; }
-  const buffer::NandPageBuffer& page_buffer() const { return vlog_->buffer(); }
-  const lsm::LsmTree& lsm() const { return *lsm_; }
+  // Per-command trace sink (records only while options().trace.enabled or
+  // Hooks().tracer->SetEnabled(true)); feed to trace::ToChromeTraceJson /
+  // trace::ToBreakdownCsv for export.
+  const trace::Tracer& tracer() const { return tracer_; }
   const KvSsdOptions& options() const { return options_; }
-  driver::KvDriver& raw_driver() { return *driver_; }
-  // Multi-queue machinery (sharded workload runner): the runner enters each
-  // stream's time frame before calling into its driver, and toggles the
-  // transport's parallel arbitration for the run.
-  sim::VirtualClock& mutable_clock() { return clock_; }
-  nvme::NvmeTransport& transport() { return *transport_; }
-  const fault::FaultPlan& fault_plan() const { return fault_plan_; }
-  fault::FaultPlan& mutable_fault_plan() { return fault_plan_; }
+
+  // Narrow escape hatch for tests and benches that must *mutate* device
+  // internals: time-frame juggling (multi-queue runner), arbitration
+  // toggles, fault-plan arming, direct driver calls, trace control.
+  // Production code should need none of these.
+  struct TestHooks {
+    sim::VirtualClock* clock = nullptr;
+    nvme::NvmeTransport* transport = nullptr;
+    fault::FaultPlan* fault_plan = nullptr;
+    driver::KvDriver* driver = nullptr;  // The built-in queue-0 driver.
+    trace::Tracer* tracer = nullptr;
+  };
+  TestHooks Hooks();
+
+  // --- Deprecated accessors (pre-Inspect API). These leak mutable or
+  // deep-structure references; use Inspect() for observation and Hooks()
+  // for the few legitimate mutation points. Scheduled for removal.
+  [[deprecated("use Inspect()")]] const nand::NandFlash& nand() const {
+    return *nand_;
+  }
+  [[deprecated("use Inspect()")]] const ftl::PageFtl& ftl() const {
+    return *ftl_;
+  }
+  [[deprecated("use Inspect()")]] const buffer::NandPageBuffer& page_buffer()
+      const {
+    return vlog_->buffer();
+  }
+  [[deprecated("use Inspect()")]] const lsm::LsmTree& lsm() const {
+    return *lsm_;
+  }
+  [[deprecated("use Hooks().driver")]] driver::KvDriver& raw_driver() {
+    return *driver_;
+  }
+  [[deprecated("use Hooks().clock")]] sim::VirtualClock& mutable_clock() {
+    return clock_;
+  }
+  [[deprecated("use Hooks().transport")]] nvme::NvmeTransport& transport() {
+    return *transport_;
+  }
+  [[deprecated("use Hooks().fault_plan")]] const fault::FaultPlan& fault_plan()
+      const {
+    return fault_plan_;
+  }
+  [[deprecated("use Hooks().fault_plan")]] fault::FaultPlan&
+  mutable_fault_plan() {
+    return fault_plan_;
+  }
 
   // Attaches an additional host driver bound to `queue_id` (must be
   // < options().num_queues). Lives as long as the device.
@@ -158,11 +248,10 @@ class KvSsd {
   KvSsdOptions options_;
   stats::MetricsRegistry metrics_;
   sim::VirtualClock clock_;
+  trace::Tracer tracer_;  // Shared sink for every layer of the stack.
   pcie::PcieLink link_;
   nvme::HostMemory host_memory_;
   fault::FaultPlan fault_plan_;  // Shared by transport, DMA, and NAND.
-  std::uint64_t recovery_runs_ = 0;
-  std::uint64_t recovery_replayed_refs_ = 0;
   std::unique_ptr<nvme::NvmeTransport> transport_;
   std::unique_ptr<dma::DmaEngine> dma_;
   std::unique_ptr<nand::NandFlash> nand_;

@@ -8,13 +8,14 @@ namespace bandslim::dma {
 DmaEngine::DmaEngine(sim::VirtualClock* clock, const sim::CostModel* cost,
                      pcie::PcieLink* link, nvme::HostMemory* host,
                      stats::MetricsRegistry* metrics, DmaConfig config,
-                     fault::FaultPlan* fault_plan)
+                     fault::FaultPlan* fault_plan, trace::Tracer* tracer)
     : clock_(clock),
       cost_(cost),
       link_(link),
       host_(host),
       config_(config),
       fault_plan_(fault_plan),
+      tracer_(tracer),
       dma_bytes_(metrics->GetCounter("dma.bytes")),
       dma_transfers_(metrics->GetCounter("dma.transfers")) {}
 
@@ -51,7 +52,10 @@ Status DmaEngine::HostToDevice(const nvme::PrpList& prp,
   }
   link_->Record(pcie::TrafficClass::kDmaData, pcie::Direction::kHostToDevice,
                 bytes);
-  clock_->Advance(cost_->DmaCost(bytes));
+  {
+    trace::SpanScope span(tracer_, trace::Category::kDma, bytes);
+    clock_->Advance(cost_->DmaCost(bytes));
+  }
   dma_bytes_->Add(bytes);
   dma_transfers_->Increment();
   ++transfers_;
@@ -79,7 +83,10 @@ Status DmaEngine::DeviceToHost(ByteSpan src, std::uint64_t device_addr,
   }
   link_->Record(pcie::TrafficClass::kDmaData, pcie::Direction::kDeviceToHost,
                 bytes);
-  clock_->Advance(cost_->DmaCost(bytes));
+  {
+    trace::SpanScope span(tracer_, trace::Category::kDma, bytes);
+    clock_->Advance(cost_->DmaCost(bytes));
+  }
   dma_bytes_->Add(bytes);
   dma_transfers_->Increment();
   ++transfers_;

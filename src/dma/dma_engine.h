@@ -17,6 +17,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "stats/metrics.h"
+#include "trace/trace.h"
 
 namespace bandslim::dma {
 
@@ -31,7 +32,8 @@ class DmaEngine {
   DmaEngine(sim::VirtualClock* clock, const sim::CostModel* cost,
             pcie::PcieLink* link, nvme::HostMemory* host,
             stats::MetricsRegistry* metrics, DmaConfig config = {},
-            fault::FaultPlan* fault_plan = nullptr);
+            fault::FaultPlan* fault_plan = nullptr,
+            trace::Tracer* tracer = nullptr);
 
   // Destination resolver: returns the 4 KiB device-memory span for the page
   // at `byte_offset` within the transfer. Device buffers expose 16 KiB
@@ -61,6 +63,7 @@ class DmaEngine {
   nvme::HostMemory* host_;
   DmaConfig config_;
   fault::FaultPlan* fault_plan_;  // Optional; null = never loses power.
+  trace::Tracer* tracer_;         // Optional; null = untraced.
   std::uint64_t transfers_ = 0;
   stats::Counter* dma_bytes_;
   stats::Counter* dma_transfers_;

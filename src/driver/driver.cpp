@@ -23,8 +23,8 @@ const char* MethodName(TransferMethod method) {
 }
 
 KvDriver::KvDriver(nvme::NvmeTransport* transport, nvme::HostMemory* host,
-                   DriverConfig config)
-    : transport_(transport), host_(host), config_(config) {}
+                   DriverConfig config, trace::Tracer* tracer)
+    : transport_(transport), host_(host), config_(config), tracer_(tracer) {}
 
 Status KvDriver::StatusFromCq(const CqEntry& cqe) {
   switch (cqe.status) {
@@ -163,6 +163,14 @@ Status KvDriver::PutHybrid(std::string_view key, ByteSpan value) {
 }
 
 Status KvDriver::Put(std::string_view key, ByteSpan value) {
+  trace::OpScope op(tracer_, trace::OpType::kPut, config_.queue_id,
+                    value.size());
+  const Status st = PutImpl(key, value);
+  op.set_ok(st.ok());
+  return st;
+}
+
+Status KvDriver::PutImpl(std::string_view key, ByteSpan value) {
   if (key.empty() || key.size() > kMaxKeySize) {
     return Status::InvalidArgument("key must be 1..16 bytes");
   }
@@ -178,7 +186,17 @@ Status KvDriver::Put(std::string_view key, ByteSpan value) {
   return Status::InvalidArgument("unreachable");
 }
 
-Status KvDriver::PutBatch(const std::vector<KvPair>& batch) {
+Status KvDriver::PutBatch(std::span<const KvPair> batch) {
+  std::uint64_t payload_bytes = 0;
+  for (const KvPair& kv : batch) payload_bytes += kv.value.size();
+  trace::OpScope op(tracer_, trace::OpType::kPutBatch, config_.queue_id,
+                    payload_bytes);
+  const Status st = PutBatchImpl(batch);
+  op.set_ok(st.ok());
+  return st;
+}
+
+Status KvDriver::PutBatchImpl(std::span<const KvPair> batch) {
   if (batch.empty()) return Status::Ok();
   // Wire format, repeated per record: [u8 klen][key][u32 vsize][value].
   Bytes payload;
@@ -237,7 +255,130 @@ Result<std::uint32_t> KvDriver::SubmitRead(NvmeCommand cmd, Bytes* payload,
   return Status::IoError("receive buffer negotiation failed");
 }
 
+Result<Bytes> KvDriver::EncodeKeyBatch(std::span<const std::string> keys) {
+  // Wire format, repeated per key: [u8 klen][key].
+  Bytes payload;
+  for (const std::string& key : keys) {
+    if (key.empty() || key.size() > kMaxKeySize) {
+      return Status::InvalidArgument("key must be 1..16 bytes");
+    }
+    payload.push_back(static_cast<std::uint8_t>(key.size()));
+    payload.insert(payload.end(), key.begin(), key.end());
+  }
+  return payload;
+}
+
+Result<std::vector<KvDriver::BatchGetResult>> KvDriver::GetBatch(
+    std::span<const std::string> keys) {
+  trace::OpScope op(tracer_, trace::OpType::kGetBatch, config_.queue_id);
+  auto result = GetBatchImpl(keys);
+  op.set_ok(result.ok());
+  return result;
+}
+
+Result<std::vector<KvDriver::BatchGetResult>> KvDriver::GetBatchImpl(
+    std::span<const std::string> keys) {
+  std::vector<BatchGetResult> results;
+  if (keys.empty()) return results;
+  auto request = EncodeKeyBatch(keys);
+  if (!request.ok()) return request.status();
+  const Bytes& req = request.value();
+
+  // The PRP buffer is used in both directions: the device fetches the key
+  // list from it, then overwrites it with the response. Renegotiate its
+  // size on kBufferTooSmall like any PRP read.
+  std::size_t pages = CeilDiv(req.size(), kMemPageSize);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    auto ids = host_->AllocatePages(pages);
+    Status st = host_->WriteToPages(ids, ByteSpan(req));
+    if (!st.ok()) {
+      host_->FreePages(ids);
+      return st;
+    }
+    NvmeCommand cmd;
+    cmd.set_opcode(Opcode::kKvBulkRead);
+    cmd.set_nsid(1);
+    cmd.set_value_size(static_cast<std::uint32_t>(req.size()));
+    nvme::codec::SetPrpPointers(cmd, nvme::PrpList(ids));
+    const CqEntry cqe = transport_->Submit(config_.queue_id, cmd);
+    if (cqe.status == CqStatus::kBufferTooSmall) {
+      host_->FreePages(ids);
+      pages = std::max<std::size_t>(pages, CeilDiv(cqe.result, kMemPageSize));
+      continue;
+    }
+    st = StatusFromCq(cqe);
+    if (!st.ok()) {
+      host_->FreePages(ids);
+      return st;
+    }
+    Bytes payload(cqe.result);
+    st = host_->ReadFromPages(ids, MutByteSpan(payload));
+    host_->FreePages(ids);
+    BANDSLIM_RETURN_IF_ERROR(st);
+    // Decode: [u8 found][u32 vsize][value]* — one record per requested key.
+    std::size_t off = 0;
+    results.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (off + 5 > payload.size()) {
+        return Status::Corruption("truncated bulk-read response");
+      }
+      BatchGetResult r;
+      r.found = payload[off++] != 0;
+      std::uint32_t vsize = 0;
+      for (int b = 0; b < 4; ++b) {
+        vsize |= static_cast<std::uint32_t>(payload[off++]) << (8 * b);
+      }
+      if (off + vsize > payload.size()) {
+        return Status::Corruption("bulk-read record size mismatch");
+      }
+      r.value.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                     payload.begin() + static_cast<std::ptrdiff_t>(off + vsize));
+      off += vsize;
+      results.push_back(std::move(r));
+    }
+    return results;
+  }
+  return Status::IoError("receive buffer negotiation failed");
+}
+
+Result<std::uint32_t> KvDriver::DeleteBatch(std::span<const std::string> keys) {
+  trace::OpScope op(tracer_, trace::OpType::kDeleteBatch, config_.queue_id);
+  auto result = DeleteBatchImpl(keys);
+  op.set_ok(result.ok());
+  return result;
+}
+
+Result<std::uint32_t> KvDriver::DeleteBatchImpl(
+    std::span<const std::string> keys) {
+  if (keys.empty()) return 0u;
+  auto request = EncodeKeyBatch(keys);
+  if (!request.ok()) return request.status();
+  const Bytes& req = request.value();
+  auto ids = host_->AllocatePages(CeilDiv(req.size(), kMemPageSize));
+  Status st = host_->WriteToPages(ids, ByteSpan(req));
+  if (!st.ok()) {
+    host_->FreePages(ids);
+    return st;
+  }
+  NvmeCommand cmd;
+  cmd.set_opcode(Opcode::kKvBulkDelete);
+  cmd.set_nsid(1);
+  cmd.set_value_size(static_cast<std::uint32_t>(req.size()));
+  nvme::codec::SetPrpPointers(cmd, nvme::PrpList(ids));
+  const CqEntry cqe = transport_->Submit(config_.queue_id, cmd);
+  host_->FreePages(ids);
+  BANDSLIM_RETURN_IF_ERROR(StatusFromCq(cqe));
+  return cqe.result;
+}
+
 Result<Bytes> KvDriver::Get(std::string_view key) {
+  trace::OpScope op(tracer_, trace::OpType::kGet, config_.queue_id);
+  auto result = GetImpl(key);
+  op.set_ok(result.ok());
+  return result;
+}
+
+Result<Bytes> KvDriver::GetImpl(std::string_view key) {
   if (key.empty() || key.size() > kMaxKeySize) {
     return Status::InvalidArgument("key must be 1..16 bytes");
   }
@@ -252,31 +393,47 @@ Result<Bytes> KvDriver::Get(std::string_view key) {
 }
 
 Status KvDriver::Delete(std::string_view key) {
+  trace::OpScope op(tracer_, trace::OpType::kDelete, config_.queue_id);
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvDelete);
   cmd.set_nsid(1);
   cmd.set_key(AsBytes(std::string(key)));
-  return StatusFromCq(transport_->Submit(config_.queue_id, cmd));
+  const Status st = StatusFromCq(transport_->Submit(config_.queue_id, cmd));
+  op.set_ok(st.ok());
+  return st;
 }
 
 Result<std::uint32_t> KvDriver::Exists(std::string_view key) {
+  trace::OpScope op(tracer_, trace::OpType::kExists, config_.queue_id);
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvExists);
   cmd.set_nsid(1);
   cmd.set_key(AsBytes(std::string(key)));
   const CqEntry cqe = transport_->Submit(config_.queue_id, cmd);
-  BANDSLIM_RETURN_IF_ERROR(StatusFromCq(cqe));
+  const Status st = StatusFromCq(cqe);
+  op.set_ok(st.ok());
+  BANDSLIM_RETURN_IF_ERROR(st);
   return cqe.result;
 }
 
 Status KvDriver::Flush() {
+  trace::OpScope op(tracer_, trace::OpType::kFlush, config_.queue_id);
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvFlush);
   cmd.set_nsid(1);
-  return StatusFromCq(transport_->Submit(config_.queue_id, cmd));
+  const Status st = StatusFromCq(transport_->Submit(config_.queue_id, cmd));
+  op.set_ok(st.ok());
+  return st;
 }
 
 Result<KvDriver::Iterator> KvDriver::Seek(std::string_view from) {
+  trace::OpScope op(tracer_, trace::OpType::kSeek, config_.queue_id);
+  auto result = SeekImpl(from);
+  op.set_ok(result.ok());
+  return result;
+}
+
+Result<KvDriver::Iterator> KvDriver::SeekImpl(std::string_view from) {
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvIterSeek);
   cmd.set_nsid(1);
@@ -331,6 +488,8 @@ Status KvDriver::Iterator::FetchBatch() {
 
 Status KvDriver::Iterator::Next() {
   if (driver_ == nullptr) return Status::InvalidArgument("closed iterator");
+  trace::OpScope op(driver_->tracer_, trace::OpType::kNext,
+                    driver_->config_.queue_id);
   if (pending_.empty()) {
     BANDSLIM_RETURN_IF_ERROR(FetchBatch());
   }
@@ -347,6 +506,8 @@ Status KvDriver::Iterator::Next() {
 
 void KvDriver::Iterator::Close() {
   if (driver_ == nullptr) return;
+  trace::OpScope op(driver_->tracer_, trace::OpType::kOther,
+                    driver_->config_.queue_id);
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvIterClose);
   cmd.set_nsid(1);

@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "common/types.h"
 #include "nvme/host_memory.h"
 #include "nvme/transport.h"
+#include "trace/trace.h"
 
 namespace bandslim::driver {
 
@@ -50,7 +53,7 @@ struct DriverConfig {
 class KvDriver {
  public:
   KvDriver(nvme::NvmeTransport* transport, nvme::HostMemory* host,
-           DriverConfig config = {});
+           DriverConfig config = {}, trace::Tracer* tracer = nullptr);
 
   // Which transfer path a value of `size` bytes takes (exposed for tests
   // and the calibration benchmark).
@@ -68,7 +71,23 @@ class KvDriver {
     std::string key;
     Bytes value;
   };
-  Status PutBatch(const std::vector<KvPair>& batch);
+  Status PutBatch(std::span<const KvPair> batch);
+  Status PutBatch(std::initializer_list<KvPair> batch) {
+    return PutBatch(std::span<const KvPair>(batch.begin(), batch.size()));
+  }
+
+  // Bulk counterparts of GET/DELETE so host-side batching covers every op
+  // type symmetrically. One command carries all keys in its PRP payload;
+  // GetBatch returns one entry per key, in key order.
+  struct BatchGetResult {
+    bool found = false;
+    Bytes value;
+  };
+  Result<std::vector<BatchGetResult>> GetBatch(
+      std::span<const std::string> keys);
+  // Deletes every present key (absent keys are skipped, not an error);
+  // returns how many were actually removed.
+  Result<std::uint32_t> DeleteBatch(std::span<const std::string> keys);
 
   Result<Bytes> Get(std::string_view key);
   Status Delete(std::string_view key);
@@ -116,6 +135,16 @@ class KvDriver {
   std::uint64_t puts_issued() const { return puts_issued_; }
 
  private:
+  Status PutImpl(std::string_view key, ByteSpan value);
+  Status PutBatchImpl(std::span<const KvPair> batch);
+  Result<std::vector<BatchGetResult>> GetBatchImpl(
+      std::span<const std::string> keys);
+  Result<std::uint32_t> DeleteBatchImpl(std::span<const std::string> keys);
+  Result<Bytes> GetImpl(std::string_view key);
+  Result<KvDriver::Iterator> SeekImpl(std::string_view from);
+  // Encodes the bulk-key request ([u8 klen][key]*) shared by GetBatch and
+  // DeleteBatch; fails on malformed keys.
+  static Result<Bytes> EncodeKeyBatch(std::span<const std::string> keys);
   Status PutPiggyback(std::string_view key, ByteSpan value);
   Status PutPrp(std::string_view key, ByteSpan value);
   Status PutHybrid(std::string_view key, ByteSpan value);
@@ -135,6 +164,7 @@ class KvDriver {
   nvme::NvmeTransport* transport_;
   nvme::HostMemory* host_;
   DriverConfig config_;
+  trace::Tracer* tracer_;  // Optional; null = untraced.
   std::uint64_t puts_issued_ = 0;
 };
 

@@ -8,8 +8,9 @@
 namespace bandslim::ftl {
 
 PageFtl::PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
-                 FtlConfig config)
+                 FtlConfig config, trace::Tracer* tracer)
     : nand_(nand),
+      tracer_(tracer),
       config_(config),
       rmap_(nand->geometry().total_pages(), kUnmapped),
       valid_pages_(nand->geometry().total_blocks(), 0),
@@ -169,6 +170,7 @@ Status PageFtl::MaybeCollect() {
 }
 
 Status PageFtl::RelocateValidPages(std::uint64_t block) {
+  trace::SpanScope span(tracer_, trace::Category::kFtlGc);
   const auto& geom = nand_->geometry();
   Bytes tmp(geom.page_size);
   const std::uint64_t first = geom.PageIndex(block, 0);
@@ -221,6 +223,7 @@ bool PageFtl::IsActive(std::uint64_t block) const {
 }
 
 Status PageFtl::CollectOneBlock() {
+  trace::SpanScope span(tracer_, trace::Category::kFtlGc);
   const auto& geom = nand_->geometry();
   // Victim selection: greedy on valid pages, optionally penalizing worn
   // blocks (static wear leveling, FtlConfig::wear_weight).

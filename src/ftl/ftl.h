@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "nand/nand_flash.h"
 #include "stats/metrics.h"
+#include "trace/trace.h"
 
 namespace bandslim::ftl {
 
@@ -53,7 +54,7 @@ struct FtlConfig {
 class PageFtl {
  public:
   PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
-          FtlConfig config = {});
+          FtlConfig config = {}, trace::Tracer* tracer = nullptr);
 
   // Writes one logical page (out-of-place; remaps if already mapped). A
   // program media failure retires the block — surviving co-located pages
@@ -120,6 +121,7 @@ class PageFtl {
   bool RefillFromReserve();
 
   nand::NandFlash* nand_;
+  trace::Tracer* tracer_;  // Optional; null = untraced.
   FtlConfig config_;
 
   std::unordered_map<std::uint64_t, std::uint64_t> map_;  // lpn -> ppn.

@@ -7,11 +7,12 @@ namespace bandslim::nand {
 
 NandFlash::NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
                      const sim::CostModel* cost, stats::MetricsRegistry* metrics,
-                     fault::FaultPlan* fault_plan)
+                     fault::FaultPlan* fault_plan, trace::Tracer* tracer)
     : geometry_(geometry),
       clock_(clock),
       cost_(cost),
       fault_plan_(fault_plan),
+      tracer_(tracer),
       page_state_(geometry.total_pages(), 0),
       erase_counts_(geometry.total_blocks(), 0),
       die_free_at_(geometry.dies(), 0),
@@ -67,6 +68,8 @@ void NandFlash::BookProgramTiming(std::uint64_t phys_page) {
 
 Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
                           bool retain_data) {
+  trace::SpanScope span(tracer_, trace::Category::kNandProgram,
+                        geometry_.page_size);
   if (phys_page >= geometry_.total_pages()) {
     return Status::InvalidArgument("program: physical page out of range");
   }
@@ -102,6 +105,7 @@ Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
 }
 
 Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
+  trace::SpanScope span(tracer_, trace::Category::kNandRead, out.size());
   if (phys_page >= geometry_.total_pages()) {
     return Status::InvalidArgument("read: physical page out of range");
   }
@@ -175,6 +179,7 @@ Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
 }
 
 Status NandFlash::Erase(std::uint64_t block) {
+  trace::SpanScope span(tracer_, trace::Category::kNandErase);
   if (block >= geometry_.total_blocks()) {
     return Status::InvalidArgument("erase: block out of range");
   }

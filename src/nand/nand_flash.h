@@ -23,6 +23,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "stats/metrics.h"
+#include "trace/trace.h"
 
 namespace bandslim::nand {
 
@@ -32,7 +33,8 @@ class NandFlash {
  public:
   NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
             const sim::CostModel* cost, stats::MetricsRegistry* metrics,
-            fault::FaultPlan* fault_plan = nullptr);
+            fault::FaultPlan* fault_plan = nullptr,
+            trace::Tracer* tracer = nullptr);
 
   const NandGeometry& geometry() const { return geometry_; }
 
@@ -111,6 +113,7 @@ class NandFlash {
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
   fault::FaultPlan* fault_plan_;  // Optional; null = perfect media.
+  trace::Tracer* tracer_;         // Optional; null = untraced.
 
   std::vector<std::uint8_t> page_state_;       // One entry per physical page.
   std::vector<std::uint32_t> erase_counts_;    // One entry per block (wear).

@@ -49,6 +49,12 @@ enum class Opcode : std::uint8_t {
   // Range-query batching (after [22]): fills the PRP receive buffer with as
   // many (key, value) records as fit, instead of one record per command.
   kKvIterNextBatch = 0xCB,
+  // Bulk GET/DELETE counterparts of kKvBulkWrite: the PRP payload carries
+  // [u8 klen][key]* . BulkRead reuses the same PRP buffer for its response
+  // ([u8 found][u32 vsize][value]* , renegotiated on kBufferTooSmall);
+  // BulkDelete returns the number of keys removed in the CQ result.
+  kKvBulkRead = 0xCC,
+  kKvBulkDelete = 0xCD,
 };
 
 // Completion queue entry status codes (vendor-specific command set).

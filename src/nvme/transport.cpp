@@ -8,11 +8,13 @@ namespace bandslim::nvme {
 NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cost,
                              pcie::PcieLink* link, stats::MetricsRegistry* metrics,
                              std::uint16_t queue_depth, std::uint16_t num_queues,
-                             fault::FaultPlan* fault_plan)
+                             fault::FaultPlan* fault_plan, trace::Tracer* tracer)
     : clock_(clock),
       cost_(cost),
       link_(link),
       fault_plan_(fault_plan),
+      tracer_(tracer),
+      queue_depth_(queue_depth),
       submit_counter_(metrics->GetCounter("nvme.commands_submitted")),
       timeout_counter_(metrics->GetCounter("nvme.timeouts")),
       retry_counter_(metrics->GetCounter("nvme.retries")) {
@@ -56,7 +58,10 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
     // expires once and the command degrades to a synthetic timeout (a dead
     // device is not worth retrying).
     if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
-      clock_->Advance(fault_plan_->config().command_timeout_ns);
+      {
+        trace::SpanScope wait(tracer_, trace::Category::kTimeout);
+        clock_->Advance(fault_plan_->config().command_timeout_ns);
+      }
       ++timeouts_;
       timeout_counter_->Increment();
       CqEntry dead;
@@ -66,10 +71,15 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
     }
     NvmeCommand entry = cmd;
     entry.set_cid(AllocateCid(&qp));
+    if (trace::Active(tracer_)) tracer_->SetCommandCid(entry.cid());
     if (attempt > 0) {
       // Resubmission rings its own doorbell (the caller paid the first).
       link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
                     cost_->mmio_doorbell_bytes);
+      if (trace::Active(tracer_)) {
+        tracer_->InstantSpan(trace::Category::kDoorbell,
+                             cost_->mmio_doorbell_bytes);
+      }
     }
 
     // Host: write the SQ entry (host memory, not PCIe).
@@ -85,11 +95,17 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
       NvmeCommand lost;
       qp.sq.Pop(&lost);
       qp.inflight_cids.erase(lost.cid());
-      clock_->Advance(fault_plan_->config().command_timeout_ns);
+      {
+        trace::SpanScope wait(tracer_, trace::Category::kTimeout);
+        clock_->Advance(fault_plan_->config().command_timeout_ns);
+      }
       ++timeouts_;
       timeout_counter_->Increment();
       if (attempt + 1 >= max_attempts) break;
-      clock_->Advance(fault_plan_->config().retry_backoff_ns << attempt);
+      {
+        trace::SpanScope backoff(tracer_, trace::Category::kRetryBackoff);
+        clock_->Advance(fault_plan_->config().retry_backoff_ns << attempt);
+      }
       ++retries_;
       retry_counter_->Increment();
       continue;
@@ -99,15 +115,22 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
     // memory across PCIe.
     NvmeCommand fetched;
     qp.sq.Pop(&fetched);
+    const std::uint64_t fetch_bytes =
+        cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes();
     link_->Record(pcie::TrafficClass::kCommandFetch,
-                  pcie::Direction::kHostToDevice,
-                  cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes());
+                  pcie::Direction::kHostToDevice, fetch_bytes);
+    if (trace::Active(tracer_)) {
+      tracer_->InstantSpan(trace::Category::kCmdFetch, fetch_bytes);
+    }
 
     // One round trip of latency per command (submit + fetch + interpret +
     // complete + host wakeup); a resubmission always pays a full round
     // trip. Device-side work (DMA, memcpy, NAND) advances the clock inside
     // the handler.
-    ChargeCommand(first_in_batch || attempt > 0);
+    {
+      trace::SpanScope arb(tracer_, trace::Category::kSubmission);
+      ChargeCommand(first_in_batch || attempt > 0);
+    }
 
     CqEntry cqe = device_->Handle(fetched, queue_id);
     cqe.cid = fetched.cid();
@@ -118,11 +141,15 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
     (void)cq_pushed;
     link_->Record(pcie::TrafficClass::kCompletion,
                   pcie::Direction::kDeviceToHost, cost_->cqe_bytes);
+    if (trace::Active(tracer_)) {
+      tracer_->InstantSpan(trace::Category::kCompletion, cost_->cqe_bytes);
+    }
 
     CqEntry reaped;
     qp.cq.Pop(&reaped);
     qp.inflight_cids.erase(reaped.cid);
     ++commands_submitted_;
+    ++qp.submitted;
     submit_counter_->Increment();
     return reaped;
   }
@@ -139,10 +166,18 @@ CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
   assert(queue_id < queues_.size());
   QueuePair& qp = queues_[queue_id];
 
+  trace::CommandScope scope(tracer_, queue_id,
+                            static_cast<std::uint8_t>(cmd.opcode()));
   // Host rings the doorbell for this submission.
   link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
                 cost_->mmio_doorbell_bytes);
-  return SubmitOne(qp, queue_id, cmd, /*first_in_batch=*/true);
+  if (trace::Active(tracer_)) {
+    tracer_->InstantSpan(trace::Category::kDoorbell,
+                         cost_->mmio_doorbell_bytes);
+  }
+  const CqEntry reaped = SubmitOne(qp, queue_id, cmd, /*first_in_batch=*/true);
+  scope.Finish(static_cast<std::uint16_t>(reaped.status));
+  return reaped;
 }
 
 std::vector<CqEntry> NvmeTransport::SubmitPipelined(
@@ -154,18 +189,41 @@ std::vector<CqEntry> NvmeTransport::SubmitPipelined(
   if (cmds.empty()) return completions;  // Nothing fetched; device untouched.
   assert(device_ != nullptr && "no device attached");
 
-  // One doorbell ring covers the whole batch.
-  link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
-                cost_->mmio_doorbell_bytes);
-
   bool first = true;
   for (const NvmeCommand& cmd : cmds) {
+    trace::CommandScope scope(tracer_, queue_id,
+                              static_cast<std::uint8_t>(cmd.opcode()));
+    if (first) {
+      // One doorbell ring covers the whole batch; attribute it to the
+      // first command's window.
+      link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
+                    cost_->mmio_doorbell_bytes);
+      if (trace::Active(tracer_)) {
+        tracer_->InstantSpan(trace::Category::kDoorbell,
+                             cost_->mmio_doorbell_bytes);
+      }
+    }
     // The ring may be smaller than the batch; with the device draining
     // entries synchronously here, push/pop per command is equivalent.
     completions.push_back(SubmitOne(qp, queue_id, cmd, first));
+    scope.Finish(static_cast<std::uint16_t>(completions.back().status));
     first = false;
   }
   return completions;
+}
+
+std::vector<NvmeTransport::QueueInfo> NvmeTransport::QueueInfos() const {
+  std::vector<QueueInfo> infos;
+  infos.reserve(queues_.size());
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    QueueInfo info;
+    info.queue_id = static_cast<std::uint16_t>(q);
+    info.depth = queue_depth_;
+    info.submitted = queues_[q].submitted;
+    info.inflight = queues_[q].inflight_cids.size();
+    infos.push_back(info);
+  }
+  return infos;
 }
 
 }  // namespace bandslim::nvme

@@ -19,6 +19,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "stats/metrics.h"
+#include "trace/trace.h"
 
 namespace bandslim::nvme {
 
@@ -37,7 +38,8 @@ class NvmeTransport {
   NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cost,
                 pcie::PcieLink* link, stats::MetricsRegistry* metrics,
                 std::uint16_t queue_depth = 64, std::uint16_t num_queues = 1,
-                fault::FaultPlan* fault_plan = nullptr);
+                fault::FaultPlan* fault_plan = nullptr,
+                trace::Tracer* tracer = nullptr);
 
   void AttachDevice(DeviceHandler* handler) { device_ = handler; }
 
@@ -76,6 +78,15 @@ class NvmeTransport {
   void SetParallelArbitration(bool on) { parallel_arbitration_ = on; }
   bool parallel_arbitration() const { return parallel_arbitration_; }
 
+  // Read-only per-queue-pair state for DeviceSnapshot.
+  struct QueueInfo {
+    std::uint16_t queue_id = 0;
+    std::uint16_t depth = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t inflight = 0;
+  };
+  std::vector<QueueInfo> QueueInfos() const;
+
  private:
   struct QueuePair {
     SubmissionQueue sq;
@@ -84,6 +95,7 @@ class NvmeTransport {
     // and tracks which are in flight so reuse trips an assert.
     std::uint16_t next_cid = 0;
     std::unordered_set<std::uint16_t> inflight_cids;
+    std::uint64_t submitted = 0;
     QueuePair(std::uint16_t depth) : sq(depth), cq(depth) {}
   };
 
@@ -102,7 +114,9 @@ class NvmeTransport {
   const sim::CostModel* cost_;
   pcie::PcieLink* link_;
   fault::FaultPlan* fault_plan_;  // Optional; null = lossless link.
+  trace::Tracer* tracer_;         // Optional; null = untraced.
   DeviceHandler* device_ = nullptr;
+  std::uint16_t queue_depth_;
   std::vector<QueuePair> queues_;
   bool parallel_arbitration_ = false;
   sim::Nanoseconds fetch_busy_until_ = 0;

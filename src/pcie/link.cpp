@@ -17,6 +17,21 @@ const char* ClassName(TrafficClass cls) {
 
 }  // namespace
 
+void PcieLink::AttachMetrics(stats::MetricsRegistry* metrics) {
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    for (int d = 0; d < 2; ++d) {
+      const auto cls = static_cast<TrafficClass>(c);
+      const auto dir = static_cast<Direction>(d);
+      const std::string name = std::string("pcie.") + ClassName(cls) +
+                               (d == 0 ? ".h2d_bytes" : ".d2h_bytes");
+      mirror_[Index(cls, dir)] = metrics->GetCounter(name);
+      // Back-fill traffic recorded before attachment so counter and
+      // internal totals agree no matter when the mirror is installed.
+      mirror_[Index(cls, dir)]->Add(BytesOf(cls, dir));
+    }
+  }
+}
+
 std::uint64_t PcieLink::HostToDeviceBytes() const {
   std::uint64_t total = 0;
   for (int c = 0; c < kNumTrafficClasses; ++c) {

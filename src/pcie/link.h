@@ -10,6 +10,7 @@
 #include <string>
 
 #include "stats/counter.h"
+#include "stats/metrics.h"
 
 namespace bandslim::pcie {
 
@@ -33,9 +34,17 @@ enum class Direction : int {
 // completions move device state into host memory.
 class PcieLink {
  public:
+  // Mirror every subsequent Record() into registry counters named
+  // "pcie.<class>.<h2d|d2h>_bytes", so device-level stats can be assembled
+  // purely from the MetricsRegistry. Call before any traffic flows.
+  void AttachMetrics(stats::MetricsRegistry* metrics);
+
   void Record(TrafficClass cls, Direction dir, std::uint64_t bytes) {
     bytes_[Index(cls, dir)].Add(bytes);
     transactions_[Index(cls, dir)].Increment();
+    if (mirror_[Index(cls, dir)] != nullptr) {
+      mirror_[Index(cls, dir)]->Add(bytes);
+    }
   }
 
   std::uint64_t BytesOf(TrafficClass cls, Direction dir) const {
@@ -70,6 +79,7 @@ class PcieLink {
 
   std::array<stats::Counter, kNumTrafficClasses * 2> bytes_;
   std::array<stats::Counter, kNumTrafficClasses * 2> transactions_;
+  std::array<stats::Counter*, kNumTrafficClasses * 2> mirror_{};
 };
 
 }  // namespace bandslim::pcie

@@ -23,6 +23,18 @@ std::map<std::string, std::uint64_t> MetricsRegistry::SnapshotCounters() const {
   return out;
 }
 
+std::map<std::string, HistogramSnapshot> MetricsRegistry::SnapshotHistograms()
+    const {
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    out.emplace(name,
+                HistogramSnapshot{h.count(), h.sum(), h.min(), h.max(),
+                                  h.Mean(), h.Percentile(50.0),
+                                  h.Percentile(99.0)});
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   for (auto& [name, c] : counters_) c.Reset();
   for (auto& [name, h] : histograms_) h.Reset();

@@ -13,6 +13,17 @@
 
 namespace bandslim::stats {
 
+// Point-in-time summary of one histogram, detached from the live object.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
 class MetricsRegistry {
  public:
   // Returns the counter/histogram with `name`, creating it on first use.
@@ -24,6 +35,10 @@ class MetricsRegistry {
 
   // Flat snapshot of every counter (name -> value), sorted by name.
   std::map<std::string, std::uint64_t> SnapshotCounters() const;
+
+  // Summary snapshot of every histogram (name -> summary), sorted by name.
+  // Empty histograms are included (count = 0).
+  std::map<std::string, HistogramSnapshot> SnapshotHistograms() const;
 
   void ResetAll();
 

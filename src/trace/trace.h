@@ -1,0 +1,296 @@
+// Per-command tracing and latency attribution (DESIGN.md 2.3).
+//
+// A Tracer stamps every host operation (PUT/GET/...) and every NVMe command
+// with begin/end timestamps from the shared sim::VirtualClock, and records
+// typed spans as the command flows driver -> transport -> controller ->
+// DMA -> page buffer / vLog -> FTL -> NAND. Attribution is *exclusive*
+// (self-time): a span's nanoseconds exclude time spent in spans nested
+// inside it, so for every command
+//
+//     sum over categories of stages.ns[c]  ==  end_ns - start_ns   exactly,
+//
+// with Category::kOther holding the residual that no instrumented span
+// covered. Timestamps come from the virtual clock, so traces are
+// deterministic and bit-reproducible across runs.
+//
+// Zero overhead when disabled: every component holds a `Tracer*` that is
+// nullptr (or a disabled tracer) by default, and each RAII scope checks
+// `Active(tracer)` exactly once at construction — one predictable branch
+// on the hot path, no allocation, no clock read.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/clock.h"
+#include "stats/metrics.h"
+
+namespace bandslim::trace {
+
+// Span taxonomy. One category per stage of the stack that can consume
+// virtual time or move bytes. Leaf stages (DMA, NAND, buffer copies) are
+// charged exclusively; composite stages (kKvs) keep only their self-time.
+enum class Category : std::uint8_t {
+  kDoorbell = 0,    // Host doorbell MMIO ring (bytes only; MMIO is untimed).
+  kCmdFetch,        // SQ entry + PRP list fetch over PCIe (bytes only).
+  kSubmission,      // SQ wait + command fetch/arbitration latency.
+  kCompletion,      // CQ entry posting (bytes only).
+  kTimeout,         // Host watchdog waiting out a dropped command.
+  kRetryBackoff,    // Exponential backoff before a resubmission.
+  kKvs,             // Controller KV processing (index ops, persist barrier).
+  kDma,             // PRP data DMA, either direction.
+  kBufferCopy,      // NAND page buffer memcpy (value packing / staging).
+  kVlogFlush,       // Page buffer eviction flushing a 16 KiB page.
+  kVlogRead,        // vLog read miss serviced from NAND.
+  kFtlGc,           // FTL garbage collection / failure relocation.
+  kNandProgram,     // NAND page program (includes die/channel stalls).
+  kNandRead,        // NAND page read (includes stalls + ECC retry).
+  kNandErase,       // NAND block erase.
+  kOther,           // Residual: command window not covered by any span.
+};
+inline constexpr int kNumCategories = 16;
+const char* CategoryName(Category c);
+
+enum class OpType : std::uint8_t {
+  kPut = 0,
+  kGet,
+  kDelete,
+  kExists,
+  kFlush,
+  kSeek,
+  kNext,
+  kPutBatch,
+  kGetBatch,
+  kDeleteBatch,
+  kGc,
+  kRecovery,
+  kOther,
+};
+const char* OpTypeName(OpType t);
+
+struct TraceConfig {
+  bool enabled = false;
+  // Ring capacities; the oldest record is dropped (and counted) on overflow.
+  std::size_t op_capacity = 1u << 15;
+  std::size_t command_capacity = 1u << 16;
+  std::size_t span_capacity = 1u << 18;
+};
+
+inline constexpr std::uint64_t kNoSeq = ~0ULL;
+
+// Per-category exclusive nanoseconds and byte counts.
+struct StageBreakdown {
+  std::array<std::uint64_t, kNumCategories> ns{};
+  std::array<std::uint64_t, kNumCategories> bytes{};
+
+  std::uint64_t TotalNs() const;
+  std::uint64_t TotalBytes() const;
+  void Accumulate(const StageBreakdown& other);
+};
+
+// One host-visible operation (a driver API call). Aggregates the stage
+// breakdowns of every command it issued; `commands_ns` is the sum of the
+// individual command windows (host-side framing is the remainder).
+struct OpRecord {
+  std::uint64_t seq = kNoSeq;
+  OpType type = OpType::kOther;
+  std::uint16_t queue_id = 0;
+  bool ok = true;
+  std::uint64_t payload_bytes = 0;
+  sim::Nanoseconds start_ns = 0;
+  sim::Nanoseconds end_ns = 0;
+  std::uint32_t num_commands = 0;
+  std::uint64_t commands_ns = 0;
+  StageBreakdown stages;
+};
+
+// One NVMe command, submit doorbell to completion reap. The breakdown's
+// category sum equals end_ns - start_ns exactly (kOther is the residual).
+struct CommandRecord {
+  std::uint64_t seq = kNoSeq;
+  std::uint64_t op_seq = kNoSeq;
+  std::uint16_t queue_id = 0;
+  std::uint16_t cid = 0;
+  std::uint8_t opcode = 0;
+  std::uint16_t cq_status = 0;
+  sim::Nanoseconds start_ns = 0;
+  sim::Nanoseconds end_ns = 0;
+  StageBreakdown stages;
+};
+
+// One raw span as recorded by an instrumentation site. `depth` is the
+// nesting depth within the enclosing command (0 = direct child).
+struct SpanRecord {
+  std::uint64_t cmd_seq = kNoSeq;
+  std::uint64_t op_seq = kNoSeq;
+  Category category = Category::kOther;
+  std::uint16_t queue_id = 0;
+  std::uint16_t cid = 0;
+  std::uint16_t depth = 0;
+  sim::Nanoseconds start_ns = 0;
+  sim::Nanoseconds end_ns = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Tracer {
+ public:
+  Tracer(sim::VirtualClock* clock, stats::MetricsRegistry* metrics,
+         TraceConfig config = {});
+
+  bool enabled() const { return enabled_; }
+  // Toggling mid-operation is not supported: all scopes must be closed.
+  void SetEnabled(bool on);
+  const TraceConfig& config() const { return config_; }
+
+  // --- Operation lifecycle (driver API calls). Ops may nest (e.g. a
+  // recovery op replaying PUTs); inner ops fold into the outermost one.
+  void BeginOp(OpType type, std::uint16_t queue_id,
+               std::uint64_t payload_bytes);
+  void SetOpResult(bool ok);
+  void EndOp();
+
+  // --- Command lifecycle (transport). Commands never nest.
+  void BeginCommand(std::uint16_t queue_id, std::uint8_t opcode);
+  void SetCommandCid(std::uint16_t cid);
+  void EndCommand(std::uint16_t cq_status);
+
+  // --- Spans. OpenSpan/CloseSpan must be balanced; `bytes` is attributed
+  // at open. InstantSpan records a zero-duration byte-accounting event.
+  void OpenSpan(Category category, std::uint64_t bytes);
+  void CloseSpan();
+  void InstantSpan(Category category, std::uint64_t bytes);
+
+  // --- Sinks (bounded rings; oldest dropped first).
+  const std::deque<OpRecord>& ops() const { return ops_; }
+  const std::deque<CommandRecord>& commands() const { return commands_; }
+  const std::deque<SpanRecord>& spans() const { return spans_; }
+  std::uint64_t dropped_ops() const { return dropped_ops_; }
+  std::uint64_t dropped_commands() const { return dropped_commands_; }
+  std::uint64_t dropped_spans() const { return dropped_spans_; }
+  // Spans recorded outside any command or op (should stay 0).
+  std::uint64_t orphan_spans() const { return orphan_spans_; }
+  bool command_active() const { return cmd_active_; }
+  bool op_active() const { return op_active_; }
+
+  // Aggregate breakdown over all retained commands.
+  StageBreakdown AggregateCommandStages() const;
+
+  void Clear();
+
+ private:
+  struct OpenSpanState {
+    Category category;
+    sim::Nanoseconds start_ns;
+    std::uint64_t bytes;
+    std::uint64_t child_ns;
+    std::uint16_t depth;
+  };
+
+  void RecordStageHistograms(const StageBreakdown& stages,
+                             sim::Nanoseconds total_ns);
+
+  sim::VirtualClock* clock_;
+  TraceConfig config_;
+  bool enabled_;
+
+  std::deque<OpRecord> ops_;
+  std::deque<CommandRecord> commands_;
+  std::deque<SpanRecord> spans_;
+  std::uint64_t dropped_ops_ = 0;
+  std::uint64_t dropped_commands_ = 0;
+  std::uint64_t dropped_spans_ = 0;
+  std::uint64_t orphan_spans_ = 0;
+
+  std::vector<OpenSpanState> span_stack_;
+  bool op_active_ = false;
+  int op_nesting_ = 0;
+  OpRecord cur_op_;
+  bool cmd_active_ = false;
+  CommandRecord cur_cmd_;
+  std::uint64_t next_op_seq_ = 0;
+  std::uint64_t next_cmd_seq_ = 0;
+
+  stats::Histogram* op_latency_hist_;
+  stats::Histogram* cmd_latency_hist_;
+  std::array<stats::Histogram*, kNumCategories> stage_hists_;
+};
+
+// Single hot-path check shared by all scopes and instrumentation sites.
+inline bool Active(const Tracer* t) { return t != nullptr && t->enabled(); }
+
+class SpanScope {
+ public:
+  SpanScope(Tracer* tracer, Category category, std::uint64_t bytes = 0)
+      : tracer_(Active(tracer) ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->OpenSpan(category, bytes);
+  }
+  ~SpanScope() {
+    if (tracer_ != nullptr) tracer_->CloseSpan();
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+class OpScope {
+ public:
+  OpScope(Tracer* tracer, OpType type, std::uint16_t queue_id,
+          std::uint64_t payload_bytes = 0)
+      : tracer_(Active(tracer) ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->BeginOp(type, queue_id, payload_bytes);
+  }
+  ~OpScope() {
+    if (tracer_ != nullptr) tracer_->EndOp();
+  }
+  void set_ok(bool ok) {
+    if (tracer_ != nullptr) tracer_->SetOpResult(ok);
+  }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+class CommandScope {
+ public:
+  CommandScope(Tracer* tracer, std::uint16_t queue_id, std::uint8_t opcode)
+      : tracer_(Active(tracer) ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->BeginCommand(queue_id, opcode);
+  }
+  void SetCid(std::uint16_t cid) {
+    if (tracer_ != nullptr) tracer_->SetCommandCid(cid);
+  }
+  void Finish(std::uint16_t cq_status) {
+    if (tracer_ != nullptr) {
+      tracer_->EndCommand(cq_status);
+      tracer_ = nullptr;
+    }
+  }
+  ~CommandScope() {
+    if (tracer_ != nullptr) tracer_->EndCommand(/*cq_status=*/0);
+  }
+  CommandScope(const CommandScope&) = delete;
+  CommandScope& operator=(const CommandScope&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+// --- Deterministic exports. Both produce byte-identical output for
+// identical runs (virtual timestamps, fixed formatting, stable sort).
+
+// Chrome trace_event JSON ("traceEvents" array of ph:"X" complete events,
+// pid = 1, tid = queue_id, ts/dur in microseconds with fixed 3-decimal
+// nanosecond precision). Loadable in chrome://tracing and Perfetto.
+std::string ToChromeTraceJson(const Tracer& tracer);
+
+// Per-command CSV: one row per command with start/latency and the full
+// per-category exclusive ns + bytes breakdown.
+std::string ToBreakdownCsv(const Tracer& tracer);
+
+}  // namespace bandslim::trace

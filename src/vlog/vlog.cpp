@@ -6,13 +6,16 @@ namespace bandslim::vlog {
 
 VLog::VLog(ftl::PageFtl* ftl, sim::VirtualClock* clock,
            const sim::CostModel* cost, stats::MetricsRegistry* metrics,
-           const buffer::BufferConfig& buf_config, bool retain_payloads)
+           const buffer::BufferConfig& buf_config, bool retain_payloads,
+           trace::Tracer* tracer)
     : ftl_(ftl),
+      tracer_(tracer),
       retain_payloads_(retain_payloads),
       buffer_(buf_config, clock, cost, metrics,
               [this](std::uint64_t lpn, ByteSpan page, std::uint32_t used) {
                 return FlushPage(lpn, page, used);
-              }) {}
+              },
+              tracer) {}
 
 Status VLog::FlushPage(std::uint64_t lpn, ByteSpan page,
                        std::uint32_t used_bytes) {
@@ -35,7 +38,11 @@ Status VLog::Read(VlogAddr addr, MutByteSpan out) {
       if (lpn != cached_lpn_) {
         if (cached_page_.empty()) cached_page_.resize(kNandPageSize);
         cached_lpn_ = ~0ULL;  // Stay invalid if the FTL read fails.
-        BANDSLIM_RETURN_IF_ERROR(ftl_->Read(lpn, MutByteSpan(cached_page_)));
+        {
+          trace::SpanScope span(tracer_, trace::Category::kVlogRead,
+                                kNandPageSize);
+          BANDSLIM_RETURN_IF_ERROR(ftl_->Read(lpn, MutByteSpan(cached_page_)));
+        }
         cached_lpn_ = lpn;
       } else {
         ++read_cache_hits_;

@@ -19,7 +19,7 @@ class VLog {
  public:
   VLog(ftl::PageFtl* ftl, sim::VirtualClock* clock, const sim::CostModel* cost,
        stats::MetricsRegistry* metrics, const buffer::BufferConfig& buf_config,
-       bool retain_payloads);
+       bool retain_payloads, trace::Tracer* tracer = nullptr);
 
   // The controller drives the write path directly through the buffer.
   buffer::NandPageBuffer& buffer() { return buffer_; }
@@ -46,6 +46,7 @@ class VLog {
   Status FlushPage(std::uint64_t lpn, ByteSpan page, std::uint32_t used_bytes);
 
   ftl::PageFtl* ftl_;
+  trace::Tracer* tracer_;  // Optional; null = untraced.
   bool retain_payloads_;
   std::unordered_map<std::uint64_t, std::uint32_t> page_used_;
   // Single-page read cache (device DRAM): sequential scans and co-located

@@ -101,16 +101,17 @@ RunResult RunShardedPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
 
   // Stream s gets ops s, s+S, s+2S, ... and its own driver/queue pair;
   // stream 0 rides the device's built-in queue-0 driver.
-  std::vector<driver::KvDriver*> drivers(num_streams, &ssd.raw_driver());
+  KvSsd::TestHooks hooks = ssd.Hooks();
+  std::vector<driver::KvDriver*> drivers(num_streams, hooks.driver);
   for (std::uint16_t s = 1; s < num_streams; ++s) {
     auto d = ssd.CreateQueueDriver(s, ssd.options().driver);
     assert(d.ok());
     drivers[s] = d.value();
   }
 
-  sim::VirtualClock& clock = ssd.mutable_clock();
-  const bool was_parallel = ssd.transport().parallel_arbitration();
-  ssd.transport().SetParallelArbitration(true);
+  sim::VirtualClock& clock = *hooks.clock;
+  const bool was_parallel = hooks.transport->parallel_arbitration();
+  hooks.transport->SetParallelArbitration(true);
 
   const KvSsdStats before = ssd.GetStats();
   const sim::Nanoseconds start = clock.Now();
@@ -163,7 +164,7 @@ RunResult RunShardedPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
   // Leave the clock at the run's end (the last event may have been an
   // earlier-finishing stream's frame).
   clock.SetTime(std::max(clock.Now(), latest_finish));
-  ssd.transport().SetParallelArbitration(was_parallel);
+  hooks.transport->SetParallelArbitration(was_parallel);
 
   result.elapsed_ns = latest_finish - start;
   result.delta = StatsDelta(ssd.GetStats(), before);

@@ -32,7 +32,7 @@ std::unique_ptr<KvSsd> OpenWith(TransferMethod method,
 
 TEST(DriverDecisionTest, AdaptiveThresholds) {
   auto ssd = OpenWith(TransferMethod::kAdaptive);
-  auto& drv = ssd->raw_driver();
+  auto& drv = *ssd->Hooks().driver;
   using D = KvDriver::Decision;
   // <=128 B piggybacks (the paper's threshold1 with alpha = 1).
   EXPECT_EQ(drv.Decide(8), D::kPiggyback);
@@ -53,7 +53,7 @@ TEST(DriverDecisionTest, AlphaBetaScaleThresholds) {
   o.driver.alpha = 2.0;  // Traffic-prioritizing user (Section 3.2).
   o.driver.beta = 4.0;
   auto ssd = KvSsd::Open(o).value();
-  auto& drv = ssd->raw_driver();
+  auto& drv = *ssd->Hooks().driver;
   using D = KvDriver::Decision;
   EXPECT_EQ(drv.Decide(256), D::kPiggyback);   // 256 <= 2*128.
   EXPECT_EQ(drv.Decide(257), D::kPrp);
@@ -63,13 +63,13 @@ TEST(DriverDecisionTest, AlphaBetaScaleThresholds) {
 
 TEST(DriverDecisionTest, FixedMethods) {
   using D = KvDriver::Decision;
-  EXPECT_EQ(OpenWith(TransferMethod::kPrp)->raw_driver().Decide(8), D::kPrp);
-  EXPECT_EQ(OpenWith(TransferMethod::kPiggyback)->raw_driver().Decide(8192),
+  EXPECT_EQ(OpenWith(TransferMethod::kPrp)->Hooks().driver->Decide(8), D::kPrp);
+  EXPECT_EQ(OpenWith(TransferMethod::kPiggyback)->Hooks().driver->Decide(8192),
             D::kPiggyback);
   auto hybrid = OpenWith(TransferMethod::kHybrid);
-  EXPECT_EQ(hybrid->raw_driver().Decide(4097), D::kHybrid);
-  EXPECT_EQ(hybrid->raw_driver().Decide(4096), D::kPrp);  // No remainder.
-  EXPECT_EQ(hybrid->raw_driver().Decide(100), D::kPrp);   // No full page.
+  EXPECT_EQ(hybrid->Hooks().driver->Decide(4097), D::kHybrid);
+  EXPECT_EQ(hybrid->Hooks().driver->Decide(4096), D::kPrp);  // No remainder.
+  EXPECT_EQ(hybrid->Hooks().driver->Decide(100), D::kPrp);   // No full page.
 }
 
 TEST(DriverCommandCountTest, PiggybackCommandsPerPut) {

@@ -317,7 +317,7 @@ CampaignResult RunCampaign() {
       r.statuses += Status::CodeName(ssd->Get(key).status().code()) + ",";
     }
   }
-  r.trace = ssd->fault_plan().TraceString();
+  r.trace = ssd->Hooks().fault_plan->TraceString();
   r.elapsed = ssd->clock().Now();
   return r;
 }

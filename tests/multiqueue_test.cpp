@@ -207,7 +207,7 @@ TEST(MultiQueueFacadeTest, InterleavedLoadStaysConsistent) {
     const std::string key = "m" + std::to_string(i);
     Bytes v = workload::MakeValue(1 + rng.Below(4000), 5,
                                   static_cast<std::uint64_t>(i));
-    driver::KvDriver& drv = (i % 2 == 0) ? ssd->raw_driver() : *d1.value();
+    driver::KvDriver& drv = (i % 2 == 0) ? *ssd->Hooks().driver : *d1.value();
     ASSERT_TRUE(drv.Put(key, ByteSpan(v)).ok()) << i;
     model[key] = std::move(v);
   }
