@@ -1,0 +1,241 @@
+// Timeline report: the paper's rates-over-time view, produced from telemetry
+// alone. Replays a fig08/fig11-style PUT workload (piggyback transfer, All
+// packing, NAND on) whose value size shifts mid-run, so throughput, PCIe
+// traffic, and the TAF/WAF curves visibly change shape, then prints the
+// timeline and cross-checks every derived series against the device's final
+// counters:
+//
+//   1. Reconciliation — per-interval deltas telescoped over all samples must
+//      equal GetStats() exactly (ops, H2D/D2H bytes, NAND pages, value bytes).
+//   2. Determinism — the whole run is executed twice; the Prometheus, JSONL
+//      and CSV exports must be byte-identical.
+//   3. Watchdog — zero alerts on the clean run; with --faults (a command-drop
+//      storm) the retry-storm rule must fire and timeout events must appear.
+//
+// Any violation prints CHECK FAILED and exits nonzero, making this bench a
+// CI gate (ci/verify.sh). --export=PREFIX writes PREFIX.prom / .jsonl / .csv.
+#include <fstream>
+
+#include "bench_util.h"
+#include "telemetry/export.h"
+#include "workload/value_gen.h"
+
+using namespace bandslim;
+using namespace bandslim::bench;
+
+namespace {
+
+int failures = 0;
+
+void Check(bool ok, const char* what, std::uint64_t got, std::uint64_t want) {
+  if (ok) {
+    std::printf("CHECK ok: %-44s %llu\n", what,
+                static_cast<unsigned long long>(got));
+  } else {
+    std::fprintf(stderr, "CHECK FAILED: %s: got %llu want %llu\n", what,
+                 static_cast<unsigned long long>(got),
+                 static_cast<unsigned long long>(want));
+    ++failures;
+  }
+}
+
+std::uint64_t SumSeries(const telemetry::Sampler& sampler,
+                        const std::string& name) {
+  const std::int64_t id = sampler.series().Find(name);
+  if (id < 0) return 0;
+  std::uint64_t sum = 0;
+  for (const telemetry::Sample& s : sampler.samples()) {
+    sum += s.Value(static_cast<std::uint32_t>(id));
+  }
+  return sum;
+}
+
+// Per-channel busy permille columns are the heatmap's raw data (the bench
+// geometry has 4 channels).
+const std::vector<std::string> kCsvSeries = {
+    "delta.ops",
+    "rate.ops_per_sec_milli",
+    "rate.pcie.h2d_bytes_per_sec",
+    "rate.taf_milli",
+    "rate.waf_milli",
+    "total.taf_milli",
+    "gauge.ftl.free_blocks",
+    "gauge.buffer.resident_bytes",
+    "gauge.nand.ch0.busy_permille",
+    "gauge.nand.ch1.busy_permille",
+    "gauge.nand.ch2.busy_permille",
+    "gauge.nand.ch3.busy_permille",
+};
+
+struct RunOutput {
+  std::string prom, jsonl, csv;
+  KvSsdStats stats;
+  std::uint64_t alerts_fired = 0;
+  std::uint64_t timeout_events = 0;
+};
+
+KvSsdOptions ReportOptions(bool faults) {
+  KvSsdOptions o = DefaultBenchOptions();
+  o.driver.method = driver::TransferMethod::kPiggyback;
+  o.buffer.policy = buffer::PackingPolicy::kAll;
+  o.telemetry.enabled = true;
+  o.telemetry.sample_interval_ns = 50 * sim::kMicrosecond;
+  // Clean runs must stay silent on both rules; the fault storm trips the
+  // retry rule on the first interval containing a resubmission.
+  o.telemetry.rules = {telemetry::RetryStormRule(/*retries=*/1, /*n=*/1),
+                      telemetry::ZeroOpStallRule(/*n=*/10)};
+  if (faults) o.fault.command_drop_rate = 0.1;
+  return o;
+}
+
+// The workload: ops/2 small values (fig08's fine-grained regime), then ops/2
+// at 2 KiB (approaching the crossover), so every over-time curve has a step.
+RunOutput RunTimeline(std::uint64_t ops, bool faults) {
+  auto ssd = KvSsd::Open(ReportOptions(faults)).value();
+  std::uint64_t put_errors = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::size_t size = i < ops / 2 ? 64 : 2048;
+    Bytes value = workload::MakeValue(size, 11, i);
+    // Under the drop storm a command can exhaust its retries; that surfaced
+    // timeout IS the scenario the watchdog watches, not a harness failure.
+    if (!ssd->Put("tl" + std::to_string(i), ByteSpan(value)).ok()) {
+      ++put_errors;
+    }
+  }
+  const bool flushed = ssd->Flush().ok();
+  if (!faults && (put_errors != 0 || !flushed)) {
+    std::fprintf(stderr, "CHECK FAILED: clean run rejected %llu PUT(s)%s\n",
+                 static_cast<unsigned long long>(put_errors),
+                 flushed ? "" : " and the flush");
+    ++failures;
+  }
+  if (faults && put_errors != 0) {
+    std::printf("fault storm surfaced %llu host-visible PUT timeout(s)\n",
+                static_cast<unsigned long long>(put_errors));
+  }
+  ssd->Hooks().sampler->Finalize();
+
+  RunOutput out;
+  const telemetry::Sampler& t = ssd->telemetry();
+  out.prom = telemetry::ToPrometheusText(t);
+  out.jsonl = telemetry::ToJsonl(t);
+  out.csv = telemetry::ToTimeSeriesCsv(t, kCsvSeries);
+  out.stats = ssd->GetStats();
+  out.timeout_events = t.event_log().count(telemetry::EventType::kTimeout);
+  for (const auto& alert : ssd->Inspect().alerts) {
+    out.alerts_fired += alert.fired;
+  }
+
+  // Reconciliation: deltas telescope to the final counters (the closing
+  // sample is stamped at run end, so nothing falls off either edge).
+  Check(t.dropped_samples() == 0, "no samples dropped", t.dropped_samples(),
+        0);
+  Check(SumSeries(t, "delta.ops") == out.stats.commands_submitted,
+        "sum(delta.ops) == commands_submitted",
+        SumSeries(t, "delta.ops"), out.stats.commands_submitted);
+  Check(SumSeries(t, "delta.pcie.h2d_bytes") == out.stats.pcie_h2d_bytes,
+        "sum(delta.pcie.h2d_bytes) == pcie_h2d_bytes",
+        SumSeries(t, "delta.pcie.h2d_bytes"), out.stats.pcie_h2d_bytes);
+  Check(SumSeries(t, "delta.pcie.d2h_bytes") == out.stats.pcie_d2h_bytes,
+        "sum(delta.pcie.d2h_bytes) == pcie_d2h_bytes",
+        SumSeries(t, "delta.pcie.d2h_bytes"), out.stats.pcie_d2h_bytes);
+  Check(SumSeries(t, "delta.nand.pages_programmed") ==
+            out.stats.nand_pages_programmed,
+        "sum(delta.nand.pages) == nand_pages_programmed",
+        SumSeries(t, "delta.nand.pages_programmed"),
+        out.stats.nand_pages_programmed);
+  Check(SumSeries(t, "delta.value_bytes") == out.stats.value_bytes_written,
+        "sum(delta.value_bytes) == value_bytes_written",
+        SumSeries(t, "delta.value_bytes"), out.stats.value_bytes_written);
+  Check(t.Latest("pcie.h2d_bytes") == out.stats.pcie_h2d_bytes,
+        "last sample cumulative == pcie_h2d_bytes",
+        t.Latest("pcie.h2d_bytes"), out.stats.pcie_h2d_bytes);
+
+  // The timeline table, printed from the samples alone.
+  if (!faults) {
+    const auto& samples = t.samples();
+    std::printf("\n%9s %9s %10s %8s %8s %8s %10s\n", "t_ms", "kops/s",
+                "H2D MB/s", "TAF", "WAF", "cumTAF", "free_blk");
+    const std::size_t stride = std::max<std::size_t>(1, samples.size() / 12);
+    for (std::size_t i = 0; i < samples.size();
+         i = (i + stride < samples.size() || i + 1 == samples.size())
+                 ? i + stride
+                 : samples.size() - 1) {
+      const telemetry::Sample& s = samples[i];
+      const auto val = [&](const char* name) -> std::uint64_t {
+        const std::int64_t id = t.series().Find(name);
+        return id < 0 ? 0 : s.Value(static_cast<std::uint32_t>(id));
+      };
+      std::printf("%9.2f %9.1f %10.1f %8.2f %8.2f %8.2f %10llu\n",
+                  static_cast<double>(s.t_ns) / 1e6,
+                  static_cast<double>(val("rate.ops_per_sec_milli")) / 1e6,
+                  static_cast<double>(val("rate.pcie.h2d_bytes_per_sec")) /
+                      1e6,
+                  static_cast<double>(val("rate.taf_milli")) / 1e3,
+                  static_cast<double>(val("rate.waf_milli")) / 1e3,
+                  static_cast<double>(val("total.taf_milli")) / 1e3,
+                  static_cast<unsigned long long>(
+                      val("gauge.ftl.free_blocks")));
+      if (i + 1 == samples.size()) break;
+    }
+    std::printf("samples=%zu events=%llu\n\n", samples.size(),
+                static_cast<unsigned long long>(
+                    t.event_log().total_emitted()));
+  }
+  return out;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "CHECK FAILED: cannot write %s\n", path.c_str());
+    ++failures;
+    return;
+  }
+  out << content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv, /*default_ops=*/20000);
+  std::string export_prefix;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--export=", 9) == 0) export_prefix = argv[i] + 9;
+  }
+  PrintPlatform("Timeline report: telemetry over virtual time",
+                ReportOptions(false), args);
+
+  std::printf("\n--- clean run (pass 1) ---\n");
+  RunOutput a = RunTimeline(args.ops, /*faults=*/false);
+  std::printf("--- clean run (pass 2: determinism) ---\n");
+  RunOutput b = RunTimeline(args.ops, /*faults=*/false);
+  Check(a.prom == b.prom, "double-run Prometheus byte-identical",
+        a.prom.size(), b.prom.size());
+  Check(a.jsonl == b.jsonl, "double-run JSONL byte-identical",
+        a.jsonl.size(), b.jsonl.size());
+  Check(a.csv == b.csv, "double-run CSV byte-identical", a.csv.size(),
+        b.csv.size());
+  Check(a.alerts_fired == 0, "clean run raises no alerts", a.alerts_fired, 0);
+
+  std::printf("--- fault storm (command drops) ---\n");
+  RunOutput f = RunTimeline(args.ops / 4, /*faults=*/true);
+  Check(f.alerts_fired >= 1, "fault storm fires the retry-storm rule",
+        f.alerts_fired, 1);
+  Check(f.timeout_events >= 1, "timeout events logged under faults",
+        f.timeout_events, 1);
+
+  if (!export_prefix.empty()) {
+    WriteFile(export_prefix + ".prom", a.prom);
+    WriteFile(export_prefix + ".jsonl", a.jsonl);
+    WriteFile(export_prefix + ".csv", a.csv);
+    std::printf("exported %s.{prom,jsonl,csv}\n", export_prefix.c_str());
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "\ntimeline_report: %d check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\ntimeline_report: all checks passed\n");
+  return 0;
+}

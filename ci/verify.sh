@@ -47,17 +47,64 @@ trace_export() {
   fi
 }
 
+# Telemetry timeline: the bench itself enforces the hard invariants
+# (telescoped per-interval deltas == final counters, double-run
+# byte-identical exports, watchdog firing under the drop storm and silent on
+# the clean run) and exits nonzero on violation; here we additionally
+# validate the exported formats — Prometheus text exposition via promtool
+# when installed (falling back to a line-grammar check), and the JSONL
+# stream's per-line schema and timestamp ordering via jq.
+telemetry_timeline() {
+  local build_dir="$1"
+  echo "=== verify pass: telemetry timeline (${build_dir}) ==="
+  local out="${build_dir}/timeline"
+  "${build_dir}/bench/timeline_report" --ops=2000 --export="${out}"
+  if command -v promtool > /dev/null; then
+    promtool check metrics < "${out}.prom"
+    echo "telemetry: promtool exposition check passed"
+  else
+    # Exposition format 0.0.4: comment lines, or
+    #   metric_name[{labels}] value [timestamp_ms]
+    awk '
+      /^#/ { next }
+      /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+( [0-9]+)?$/ { next }
+      { print "bad exposition line " NR ": " $0; bad = 1 }
+      END { exit bad }
+    ' "${out}.prom"
+    echo "telemetry: exposition line-grammar check passed (promtool not found)"
+  fi
+  if command -v jq > /dev/null; then
+    jq -e -s '
+      length > 0
+      and all(has("kind") and has("t_ns") and has("seq"))
+      and all(select(.kind == "sample")
+              | has("interval_ns") and (.values | type == "object"))
+      and all(select(.kind == "event")
+              | (.type | type == "string") and has("a") and has("b"))
+      and ([.[].t_ns] as $t | $t == ($t | sort))
+    ' "${out}.jsonl" > /dev/null
+    echo "telemetry: jq JSONL schema checks passed"
+  else
+    echo "telemetry: jq not found, JSONL schema checks skipped"
+  fi
+}
+
+# New code must use Inspect()/Hooks(): calling a [[deprecated]] accessor is a
+# build error in CI, so the legacy API can only shrink.
 run_pass release "${prefix}-release" \
-  -DCMAKE_BUILD_TYPE=Release
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-Werror=deprecated-declarations"
 
 trace_export "${prefix}-release"
+telemetry_timeline "${prefix}-release"
 
 run_pass asan-ubsan "${prefix}-asan" \
   -DCMAKE_BUILD_TYPE=Debug \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_CXX_FLAGS="-Werror=deprecated-declarations -fsanitize=address,undefined -fno-sanitize-recover=all" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 
 fault_campaign "${prefix}-asan"
 trace_export "${prefix}-asan"
+telemetry_timeline "${prefix}-asan"
 
 echo "=== verify: all passes green ==="

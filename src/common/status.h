@@ -20,6 +20,7 @@ enum class StatusCode {
   kResourceExhausted,
   kTimedOut,     // Command exceeded its virtual-time deadline (host watchdog).
   kMediaError,   // NAND program/read/erase failure (injected or grown defect).
+  kAlreadyExists,  // Named resource (e.g. registry counter) already taken.
 };
 
 class Status {
@@ -56,11 +57,15 @@ class Status {
   static Status MediaError(std::string m) {
     return {StatusCode::kMediaError, std::move(m)};
   }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsMediaError() const { return code_ == StatusCode::kMediaError; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -81,6 +86,7 @@ class Status {
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kTimedOut: return "TimedOut";
       case StatusCode::kMediaError: return "MediaError";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
     }
     return "Unknown";
   }

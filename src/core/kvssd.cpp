@@ -7,9 +7,18 @@ KvSsd::KvSsd(const KvSsdOptions& options)
       tracer_(&clock_, &metrics_, options.trace),
       fault_plan_(options.fault) {
   link_.AttachMetrics(&metrics_);
+  sampler_ = std::make_unique<telemetry::Sampler>(&clock_,
+                                                  options_.telemetry);
+  // Event-log taps stay null on a disabled sampler: every emit site is then
+  // a single pointer test and the log stays empty.
+  telemetry::EventLog* elog =
+      sampler_->enabled() ? &sampler_->event_log() : nullptr;
+  fault_plan_.SetEventLog(elog);
   transport_ = std::make_unique<nvme::NvmeTransport>(
       &clock_, &options_.cost, &link_, &metrics_, options_.queue_depth,
       options_.num_queues, &fault_plan_, &tracer_);
+  transport_->SetEventLog(elog);
+  if (sampler_->enabled()) transport_->SetSampler(sampler_.get());
   dma_ = std::make_unique<dma::DmaEngine>(&clock_, &options_.cost, &link_,
                                           &host_memory_, &metrics_,
                                           options_.dma, &fault_plan_,
@@ -18,10 +27,11 @@ KvSsd::KvSsd(const KvSsdOptions& options)
                                             &options_.cost, &metrics_,
                                             &fault_plan_, &tracer_);
   ftl_ = std::make_unique<ftl::PageFtl>(nand_.get(), &metrics_, options_.ftl,
-                                        &tracer_);
+                                        &tracer_, elog);
   AssembleDevice(options_.buffer.initial_lpn);
   driver_ = std::make_unique<driver::KvDriver>(transport_.get(), &host_memory_,
                                                options_.driver, &tracer_);
+  BindTelemetry();
 }
 
 KvSsd::~KvSsd() = default;
@@ -37,6 +47,18 @@ void KvSsd::AssembleDevice(std::uint64_t vlog_start_lpn) {
       &clock_, &options_.cost, &metrics_, dma_.get(), vlog_.get(), lsm_.get(),
       options_.controller, &tracer_);
   transport_->AttachDevice(controller_.get());
+}
+
+void KvSsd::BindTelemetry() {
+  if (!sampler_->enabled()) return;
+  telemetry::Sampler::Sources src;
+  src.metrics = &metrics_;
+  src.link = &link_;
+  src.transport = transport_.get();
+  src.nand = nand_.get();
+  src.ftl = ftl_.get();
+  src.buffer = &vlog_->buffer();
+  sampler_->Bind(src);
 }
 
 Result<std::unique_ptr<KvSsd>> KvSsd::Open(const KvSsdOptions& options) {
@@ -105,6 +127,13 @@ Result<std::uint64_t> KvSsd::CollectVlogGarbage() {
   trace::OpScope op(&tracer_, trace::OpType::kGc, /*queue_id=*/0);
   auto relocated = controller_->CollectVlogSegment();
   op.set_ok(relocated.ok());
+  if (sampler_->enabled()) {
+    if (relocated.ok()) {
+      sampler_->event_log().Emit(telemetry::EventType::kVlogGc,
+                                 relocated.value());
+    }
+    sampler_->Poll();
+  }
   return relocated;
 }
 
@@ -118,6 +147,12 @@ Status KvSsd::PowerCycle() {
   AssembleDevice(cookie.value());
   auto again = lsm_->Restore();
   if (!again.ok()) return again.status();
+  // The vLog (and so the sampler's buffer source) was rebuilt: re-bind.
+  BindTelemetry();
+  if (sampler_->enabled()) {
+    sampler_->event_log().Emit(telemetry::EventType::kPowerCycle);
+    sampler_->Poll();
+  }
   return Status::Ok();
 }
 
@@ -146,6 +181,10 @@ Status KvSsd::Recover() {
   BANDSLIM_RETURN_IF_ERROR(torn);
   metrics_.GetCounter("kvssd.recovery_runs")->Increment();
   metrics_.GetCounter("kvssd.recovery_replayed_refs")->Add(live_refs);
+  if (sampler_->enabled()) {
+    sampler_->event_log().Emit(telemetry::EventType::kRecover, live_refs);
+    sampler_->Poll();
+  }
   return Status::Ok();
 }
 
@@ -209,6 +248,14 @@ DeviceSnapshot KvSsd::Inspect() const {
   snap.ftl_reserve_blocks = ftl_->reserve_remaining();
   snap.ftl_bad_blocks = ftl_->bad_blocks();
   snap.counters = metrics_.SnapshotCounters();
+  snap.telemetry_samples = sampler_->samples_emitted();
+  snap.telemetry_events = sampler_->event_log().total_emitted();
+  const telemetry::Watchdog& wd = sampler_->watchdog();
+  for (std::size_t i = 0; i < wd.rules().size(); ++i) {
+    const telemetry::AlertState& st = wd.states()[i];
+    snap.alerts.push_back({wd.rules()[i].name, st.fired, st.active,
+                           st.last_value, st.last_fire_ns});
+  }
   return snap;
 }
 
@@ -219,6 +266,7 @@ KvSsd::TestHooks KvSsd::Hooks() {
   hooks.fault_plan = &fault_plan_;
   hooks.driver = driver_.get();
   hooks.tracer = &tracer_;
+  hooks.sampler = sampler_.get();
   return hooks;
 }
 

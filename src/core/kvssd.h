@@ -35,6 +35,7 @@
 #include "sim/clock.h"
 #include "sim/cost_model.h"
 #include "stats/metrics.h"
+#include "telemetry/telemetry.h"
 #include "trace/trace.h"
 #include "vlog/vlog.h"
 
@@ -55,6 +56,11 @@ struct KvSsdOptions {
   // Per-command tracing (src/trace). Disabled by default: the stack then
   // pays one branch per instrumentation site and records nothing.
   trace::TraceConfig trace;
+  // Continuous telemetry (src/telemetry): virtual-time periodic sampling,
+  // structured event log, and watchdog alert rules. Disabled by default —
+  // the stack then pays one branch per poll site, records nothing, and
+  // simulated outcomes are bit-identical to a telemetry-free build.
+  telemetry::TelemetryConfig telemetry;
   // Keep value payloads in the NAND model so GET returns real bytes. Turn
   // off for multi-GiB write-only benches (reads then return zeros).
   bool retain_payloads = true;
@@ -127,6 +133,20 @@ struct DeviceSnapshot {
 
   // Full registry dump (every named counter, sorted by name).
   std::map<std::string, std::uint64_t> counters;
+
+  // Watchdog alert state, one entry per configured rule (empty when
+  // telemetry is disabled or no rules are set).
+  struct AlertInfo {
+    std::string rule;
+    std::uint64_t fired = 0;     // Edge-triggered fire count.
+    bool active = false;         // Condition currently holding.
+    std::uint64_t last_value = 0;
+    sim::Nanoseconds last_fire_ns = 0;
+  };
+  std::vector<AlertInfo> alerts;
+  // Telemetry stream sizes (0 when disabled).
+  std::uint64_t telemetry_samples = 0;
+  std::uint64_t telemetry_events = 0;
 };
 
 class KvSsd {
@@ -187,6 +207,11 @@ class KvSsd {
   // Hooks().tracer->SetEnabled(true)); feed to trace::ToChromeTraceJson /
   // trace::ToBreakdownCsv for export.
   const trace::Tracer& tracer() const { return tracer_; }
+  // Telemetry sample stream / event log / watchdog (records only while
+  // options().telemetry.enabled); feed to telemetry::ToPrometheusText /
+  // ToJsonl / ToTimeSeriesCsv for export. Call Hooks().sampler->Finalize()
+  // before exporting so the closing sample reconciles with GetStats().
+  const telemetry::Sampler& telemetry() const { return *sampler_; }
   const KvSsdOptions& options() const { return options_; }
 
   // Narrow escape hatch for tests and benches that must *mutate* device
@@ -199,6 +224,7 @@ class KvSsd {
     fault::FaultPlan* fault_plan = nullptr;
     driver::KvDriver* driver = nullptr;  // The built-in queue-0 driver.
     trace::Tracer* tracer = nullptr;
+    telemetry::Sampler* sampler = nullptr;
   };
   TestHooks Hooks();
 
@@ -244,6 +270,9 @@ class KvSsd {
  private:
   explicit KvSsd(const KvSsdOptions& options);
   void AssembleDevice(std::uint64_t vlog_start_lpn);
+  // (Re)binds the sampler's observation points; the buffer pointer changes
+  // whenever AssembleDevice rebuilds the vLog.
+  void BindTelemetry();
 
   KvSsdOptions options_;
   stats::MetricsRegistry metrics_;
@@ -252,6 +281,9 @@ class KvSsd {
   pcie::PcieLink link_;
   nvme::HostMemory host_memory_;
   fault::FaultPlan fault_plan_;  // Shared by transport, DMA, and NAND.
+  // Owns the event log and watchdog; components hold pointers into it, so
+  // it outlives (is declared before) every component below.
+  std::unique_ptr<telemetry::Sampler> sampler_;
   std::unique_ptr<nvme::NvmeTransport> transport_;
   std::unique_ptr<dma::DmaEngine> dma_;
   std::unique_ptr<nand::NandFlash> nand_;

@@ -16,8 +16,8 @@ DmaEngine::DmaEngine(sim::VirtualClock* clock, const sim::CostModel* cost,
       config_(config),
       fault_plan_(fault_plan),
       tracer_(tracer),
-      dma_bytes_(metrics->GetCounter("dma.bytes")),
-      dma_transfers_(metrics->GetCounter("dma.transfers")) {}
+      dma_bytes_(metrics->RegisterCounter("dma.bytes")),
+      dma_transfers_(metrics->RegisterCounter("dma.transfers")) {}
 
 Status DmaEngine::CheckAlignment(std::uint64_t device_addr,
                                  std::uint64_t bytes) const {

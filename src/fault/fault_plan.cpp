@@ -112,8 +112,12 @@ bool FaultPlan::PowerLost(sim::Nanoseconds now) {
   if (crashed_) return true;
   if (crash_at_ != 0 && now >= crash_at_) {
     crashed_ = true;
-    Record(FaultSite::kCrash, op_counts_[static_cast<int>(FaultSite::kCrash)]++,
-           static_cast<std::uint64_t>(now));
+    const std::uint64_t op =
+        op_counts_[static_cast<int>(FaultSite::kCrash)]++;
+    Record(FaultSite::kCrash, op, static_cast<std::uint64_t>(now));
+    if (event_log_ != nullptr) {
+      event_log_->Emit(telemetry::EventType::kCrash, op);
+    }
     return true;
   }
   return false;

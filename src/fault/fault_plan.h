@@ -24,6 +24,7 @@
 
 #include "common/random.h"
 #include "sim/clock.h"
+#include "telemetry/event_log.h"
 
 namespace bandslim::fault {
 
@@ -119,6 +120,10 @@ class FaultPlan {
     crash_at_ = 0;
   }
 
+  // Telemetry tap (optional): the power-loss latch emits a kCrash event the
+  // moment it trips, giving the interleaved timeline an exact crash point.
+  void SetEventLog(telemetry::EventLog* log) { event_log_ = log; }
+
   // --- Reproducibility audit ------------------------------------------------
   std::uint64_t fired_count(FaultSite site) const {
     return fired_[static_cast<int>(site)];
@@ -134,6 +139,7 @@ class FaultPlan {
   void Record(FaultSite site, std::uint64_t op_index, std::uint64_t detail);
 
   FaultConfig config_;
+  telemetry::EventLog* event_log_ = nullptr;  // Optional; null = untapped.
   bool enabled_ = false;
   bool crashed_ = false;
   sim::Nanoseconds crash_at_ = 0;

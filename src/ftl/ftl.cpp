@@ -8,16 +8,18 @@
 namespace bandslim::ftl {
 
 PageFtl::PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
-                 FtlConfig config, trace::Tracer* tracer)
+                 FtlConfig config, trace::Tracer* tracer,
+                 telemetry::EventLog* event_log)
     : nand_(nand),
       tracer_(tracer),
+      event_log_(event_log),
       config_(config),
       rmap_(nand->geometry().total_pages(), kUnmapped),
       valid_pages_(nand->geometry().total_blocks(), 0),
       block_full_(nand->geometry().total_blocks(), false),
       bad_(nand->geometry().total_blocks(), false),
-      gc_relocations_(metrics->GetCounter("ftl.gc_relocated_pages")),
-      remaps_counter_(metrics->GetCounter("ftl.bad_block_remaps")) {
+      gc_relocations_(metrics->RegisterCounter("ftl.gc_relocated_pages")),
+      remaps_counter_(metrics->RegisterCounter("ftl.bad_block_remaps")) {
   const std::uint64_t blocks = nand->geometry().total_blocks();
   if (config_.bad_block_rate > 0.0) {
     Xoshiro256 rng(config_.bad_block_seed);
@@ -68,9 +70,9 @@ PageFtl::PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
     reserve_blocks_.push_back(list->front());
     list->erase(list->begin());
   }
-  stream_programs_[0] = metrics->GetCounter("ftl.programs.vlog");
-  stream_programs_[1] = metrics->GetCounter("ftl.programs.lsm");
-  stream_programs_[2] = metrics->GetCounter("ftl.programs.gc");
+  stream_programs_[0] = metrics->RegisterCounter("ftl.programs.vlog");
+  stream_programs_[1] = metrics->RegisterCounter("ftl.programs.lsm");
+  stream_programs_[2] = metrics->RegisterCounter("ftl.programs.gc");
 }
 
 void PageFtl::Invalidate(std::uint64_t ppn) {
@@ -163,8 +165,22 @@ Result<std::uint64_t> PageFtl::AllocatePage(Stream stream) {
 }
 
 Status PageFtl::MaybeCollect() {
+  if (!below_watermark_ && free_blocks() < config_.gc_low_watermark) {
+    below_watermark_ = true;
+    if (event_log_ != nullptr) {
+      event_log_->Emit(telemetry::EventType::kWatermarkLow, free_blocks(),
+                       config_.gc_low_watermark);
+    }
+  }
   while (free_blocks() < config_.gc_low_watermark) {
     BANDSLIM_RETURN_IF_ERROR(CollectOneBlock());
+  }
+  if (below_watermark_) {
+    below_watermark_ = false;
+    if (event_log_ != nullptr) {
+      event_log_->Emit(telemetry::EventType::kWatermarkCleared, free_blocks(),
+                       config_.gc_low_watermark);
+    }
   }
   return Status::Ok();
 }
@@ -252,6 +268,11 @@ Status PageFtl::CollectOneBlock() {
     return Status::OutOfSpace("GC found no reclaimable block");
   }
 
+  if (event_log_ != nullptr) {
+    event_log_->Emit(telemetry::EventType::kGcStart, victim,
+                     valid_pages_[victim]);
+  }
+  const std::uint64_t relocated_before = gc_relocated_pages_;
   BANDSLIM_RETURN_IF_ERROR(RelocateValidPages(victim));
   const Status erased = nand_->Erase(victim);
   if (erased.IsMediaError()) {
@@ -261,12 +282,20 @@ Status PageFtl::CollectOneBlock() {
     ++erase_retirements_;
     BANDSLIM_RETURN_IF_ERROR(RetireBlock(victim));
     ++gc_runs_;
+    if (event_log_ != nullptr) {
+      event_log_->Emit(telemetry::EventType::kGcEnd, victim,
+                       gc_relocated_pages_ - relocated_before);
+    }
     return Status::Ok();
   }
   BANDSLIM_RETURN_IF_ERROR(erased);
   block_full_[victim] = false;
   PushFree(victim);
   ++gc_runs_;
+  if (event_log_ != nullptr) {
+    event_log_->Emit(telemetry::EventType::kGcEnd, victim,
+                     gc_relocated_pages_ - relocated_before);
+  }
   return Status::Ok();
 }
 
@@ -295,7 +324,11 @@ Status PageFtl::RetireBlock(std::uint64_t block) {
   remaps_counter_->Increment();
   // With the reserve exhausted, usable capacity just shrinks; allocation
   // reports kOutOfSpace when the free pool eventually drains.
-  RefillFromReserve();
+  const bool replaced = RefillFromReserve();
+  if (event_log_ != nullptr) {
+    event_log_->Emit(telemetry::EventType::kBlockRetired, block,
+                     replaced ? 1 : 0);
+  }
   return Status::Ok();
 }
 

@@ -14,6 +14,7 @@
 #include "common/types.h"
 #include "nand/nand_flash.h"
 #include "stats/metrics.h"
+#include "telemetry/event_log.h"
 #include "trace/trace.h"
 
 namespace bandslim::ftl {
@@ -54,7 +55,8 @@ struct FtlConfig {
 class PageFtl {
  public:
   PageFtl(nand::NandFlash* nand, stats::MetricsRegistry* metrics,
-          FtlConfig config = {}, trace::Tracer* tracer = nullptr);
+          FtlConfig config = {}, trace::Tracer* tracer = nullptr,
+          telemetry::EventLog* event_log = nullptr);
 
   // Writes one logical page (out-of-place; remaps if already mapped). A
   // program media failure retires the block — surviving co-located pages
@@ -121,8 +123,12 @@ class PageFtl {
   bool RefillFromReserve();
 
   nand::NandFlash* nand_;
-  trace::Tracer* tracer_;  // Optional; null = untraced.
+  trace::Tracer* tracer_;              // Optional; null = untraced.
+  telemetry::EventLog* event_log_;     // Optional; null = no event stream.
   FtlConfig config_;
+  // Latched while the free pool sits below gc_low_watermark, so the event
+  // log records one kWatermarkLow/kWatermarkCleared pair per excursion.
+  bool below_watermark_ = false;
 
   std::unordered_map<std::uint64_t, std::uint64_t> map_;  // lpn -> ppn.
   std::vector<std::uint64_t> rmap_;                       // ppn -> lpn.

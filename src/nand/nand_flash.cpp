@@ -17,12 +17,16 @@ NandFlash::NandFlash(const NandGeometry& geometry, sim::VirtualClock* clock,
       erase_counts_(geometry.total_blocks(), 0),
       die_free_at_(geometry.dies(), 0),
       channel_free_at_(geometry.channels, 0),
+      die_busy_ns_(geometry.dies(), 0),
+      channel_busy_ns_(geometry.channels, 0),
       die_pending_(geometry.dies()),
-      programs_(metrics->GetCounter("nand.pages_programmed")),
-      reads_(metrics->GetCounter("nand.pages_read")),
-      erases_(metrics->GetCounter("nand.blocks_erased")),
-      program_failures_counter_(metrics->GetCounter("nand.program_failures")),
-      ecc_corrections_counter_(metrics->GetCounter("nand.ecc_corrections")) {}
+      programs_(metrics->RegisterCounter("nand.pages_programmed")),
+      reads_(metrics->RegisterCounter("nand.pages_read")),
+      erases_(metrics->RegisterCounter("nand.blocks_erased")),
+      program_failures_counter_(
+          metrics->RegisterCounter("nand.program_failures")),
+      ecc_corrections_counter_(
+          metrics->RegisterCounter("nand.ecc_corrections")) {}
 
 void NandFlash::WaitForDieSlot(std::uint64_t die) {
   std::deque<sim::Nanoseconds>& pending = die_pending_[die];
@@ -50,9 +54,11 @@ void NandFlash::BookProgramTiming(std::uint64_t phys_page) {
     const sim::Nanoseconds xfer_start =
         std::max(clock_->Now(), channel_free_at_[channel]);
     channel_free_at_[channel] = xfer_start + cost_->nand_channel_xfer_ns;
+    channel_busy_ns_[channel] += cost_->nand_channel_xfer_ns;
     const sim::Nanoseconds prog_start =
         std::max(channel_free_at_[channel], die_free_at_[die]);
     die_free_at_[die] = prog_start + cost_->nand_program_ns;
+    die_busy_ns_[die] += cost_->nand_program_ns;
     page_ready_at_[phys_page] = die_free_at_[die];
     die_pending_[die].push_back(die_free_at_[die]);
   } else {
@@ -63,6 +69,7 @@ void NandFlash::BookProgramTiming(std::uint64_t phys_page) {
     clock_->AdvanceTo(die_free_at_[die]);
     clock_->Advance(cost_->nand_program_ns);
     die_free_at_[die] = clock_->Now();
+    die_busy_ns_[die] += cost_->nand_program_ns;
   }
 }
 
@@ -153,15 +160,18 @@ Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
     clock_->AdvanceTo(die_free_at_[die]);
     const sim::Nanoseconds sense_end = clock_->Now() + cost_->nand_read_ns;
     die_free_at_[die] = sense_end;
+    die_busy_ns_[die] += cost_->nand_read_ns;
     const sim::Nanoseconds xfer_start =
         std::max(sense_end, channel_free_at_[channel]);
     channel_free_at_[channel] = xfer_start + cost_->nand_channel_xfer_ns;
+    channel_busy_ns_[channel] += cost_->nand_channel_xfer_ns;
     clock_->AdvanceTo(channel_free_at_[channel]);
   } else {
     const std::uint64_t die = DieOf(geometry_.BlockOf(phys_page));
     clock_->AdvanceTo(die_free_at_[die]);
     clock_->Advance(cost_->nand_read_ns);
     die_free_at_[die] = clock_->Now();
+    die_busy_ns_[die] += cost_->nand_read_ns;
   }
   ++pages_read_;
   reads_->Increment();
@@ -195,6 +205,7 @@ Status NandFlash::Erase(std::uint64_t block) {
     clock_->AdvanceTo(die_free_at_[die]);
     clock_->Advance(cost_->nand_erase_ns);
     die_free_at_[die] = clock_->Now();
+    die_busy_ns_[die] += cost_->nand_erase_ns;
     ++erase_failures_;
     return Status::MediaError("erase failed");
   }
@@ -213,12 +224,14 @@ Status NandFlash::Erase(std::uint64_t block) {
     const sim::Nanoseconds start =
         std::max(clock_->Now(), die_free_at_[die]);
     die_free_at_[die] = start + cost_->nand_erase_ns;
+    die_busy_ns_[die] += cost_->nand_erase_ns;
     die_pending_[die].push_back(die_free_at_[die]);
   } else {
     const std::uint64_t die = DieOf(block);
     clock_->AdvanceTo(die_free_at_[die]);
     clock_->Advance(cost_->nand_erase_ns);
     die_free_at_[die] = clock_->Now();
+    die_busy_ns_[die] += cost_->nand_erase_ns;
   }
   ++blocks_erased_;
   erases_->Increment();

@@ -97,6 +97,16 @@ class NandFlash {
   sim::Nanoseconds channel_free_at(std::uint32_t channel) const {
     return channel_free_at_[channel];
   }
+  // Cumulative busy time booked on a resource over the device's lifetime
+  // (program/read/erase occupancy on dies, transfer occupancy on channel
+  // buses; failed attempts occupy the hardware and count too). The telemetry
+  // sampler differences these into per-interval utilization.
+  sim::Nanoseconds die_busy_ns(std::uint64_t die) const {
+    return die_busy_ns_[die];
+  }
+  sim::Nanoseconds channel_busy_ns(std::uint32_t channel) const {
+    return channel_busy_ns_[channel];
+  }
 
  private:
   // Blocks until the die has a free command-queue slot (parallel dispatch;
@@ -126,6 +136,8 @@ class NandFlash {
   // each in-flight page becomes readable.
   std::vector<sim::Nanoseconds> die_free_at_;
   std::vector<sim::Nanoseconds> channel_free_at_;
+  std::vector<sim::Nanoseconds> die_busy_ns_;
+  std::vector<sim::Nanoseconds> channel_busy_ns_;
   std::vector<std::deque<sim::Nanoseconds>> die_pending_;
   std::unordered_map<std::uint64_t, sim::Nanoseconds> page_ready_at_;
 

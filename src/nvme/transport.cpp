@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/telemetry.h"
+
 namespace bandslim::nvme {
 
 NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cost,
@@ -15,9 +17,9 @@ NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cos
       fault_plan_(fault_plan),
       tracer_(tracer),
       queue_depth_(queue_depth),
-      submit_counter_(metrics->GetCounter("nvme.commands_submitted")),
-      timeout_counter_(metrics->GetCounter("nvme.timeouts")),
-      retry_counter_(metrics->GetCounter("nvme.retries")) {
+      submit_counter_(metrics->RegisterCounter("nvme.commands_submitted")),
+      timeout_counter_(metrics->RegisterCounter("nvme.timeouts")),
+      retry_counter_(metrics->RegisterCounter("nvme.retries")) {
   assert(num_queues >= 1);
   queues_.reserve(num_queues);
   for (std::uint16_t q = 0; q < num_queues; ++q) {
@@ -64,6 +66,9 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
       }
       ++timeouts_;
       timeout_counter_->Increment();
+      if (event_log_ != nullptr) {
+        event_log_->Emit(telemetry::EventType::kTimeout, queue_id, attempt);
+      }
       CqEntry dead;
       dead.status = CqStatus::kTimedOut;
       dead.cid = cmd.cid();
@@ -101,6 +106,9 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
       }
       ++timeouts_;
       timeout_counter_->Increment();
+      if (event_log_ != nullptr) {
+        event_log_->Emit(telemetry::EventType::kTimeout, queue_id, attempt);
+      }
       if (attempt + 1 >= max_attempts) break;
       {
         trace::SpanScope backoff(tracer_, trace::Category::kRetryBackoff);
@@ -108,6 +116,10 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
       }
       ++retries_;
       retry_counter_->Increment();
+      if (event_log_ != nullptr) {
+        event_log_->Emit(telemetry::EventType::kRetryBackoff, queue_id,
+                         attempt);
+      }
       continue;
     }
 
@@ -177,6 +189,7 @@ CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
   }
   const CqEntry reaped = SubmitOne(qp, queue_id, cmd, /*first_in_batch=*/true);
   scope.Finish(static_cast<std::uint16_t>(reaped.status));
+  if (sampler_ != nullptr) sampler_->Poll();
   return reaped;
 }
 
@@ -207,6 +220,7 @@ std::vector<CqEntry> NvmeTransport::SubmitPipelined(
     // entries synchronously here, push/pop per command is equivalent.
     completions.push_back(SubmitOne(qp, queue_id, cmd, first));
     scope.Finish(static_cast<std::uint16_t>(completions.back().status));
+    if (sampler_ != nullptr) sampler_->Poll();
     first = false;
   }
   return completions;

@@ -21,6 +21,13 @@
 #include "stats/metrics.h"
 #include "trace/trace.h"
 
+// Forward-declared: telemetry.h includes this header, so the transport only
+// holds pointers and the .cpp includes the full definitions.
+namespace bandslim::telemetry {
+class EventLog;
+class Sampler;
+}  // namespace bandslim::telemetry
+
 namespace bandslim::nvme {
 
 // Implemented by the device-side controller. `queue_id` identifies the
@@ -87,6 +94,14 @@ class NvmeTransport {
   };
   std::vector<QueueInfo> QueueInfos() const;
 
+  // Telemetry taps (optional, null = untapped). The transport is the one
+  // deterministic choke point every host op funnels through — including
+  // sharded-runner drivers that bypass KvSsd's public API — so the sampler
+  // polls here after every command completes, and the event log records
+  // watchdog timeouts and retry backoffs as they happen.
+  void SetEventLog(telemetry::EventLog* log) { event_log_ = log; }
+  void SetSampler(telemetry::Sampler* sampler) { sampler_ = sampler; }
+
  private:
   struct QueuePair {
     SubmissionQueue sq;
@@ -115,6 +130,8 @@ class NvmeTransport {
   pcie::PcieLink* link_;
   fault::FaultPlan* fault_plan_;  // Optional; null = lossless link.
   trace::Tracer* tracer_;         // Optional; null = untraced.
+  telemetry::EventLog* event_log_ = nullptr;  // Optional; null = untapped.
+  telemetry::Sampler* sampler_ = nullptr;     // Optional; null = unsampled.
   DeviceHandler* device_ = nullptr;
   std::uint16_t queue_depth_;
   std::vector<QueuePair> queues_;

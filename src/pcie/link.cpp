@@ -24,7 +24,7 @@ void PcieLink::AttachMetrics(stats::MetricsRegistry* metrics) {
       const auto dir = static_cast<Direction>(d);
       const std::string name = std::string("pcie.") + ClassName(cls) +
                                (d == 0 ? ".h2d_bytes" : ".d2h_bytes");
-      mirror_[Index(cls, dir)] = metrics->GetCounter(name);
+      mirror_[Index(cls, dir)] = metrics->RegisterCounter(name);
       // Back-fill traffic recorded before attachment so counter and
       // internal totals agree no matter when the mirror is installed.
       mirror_[Index(cls, dir)]->Add(BytesOf(cls, dir));

@@ -1,5 +1,6 @@
 #include "stats/metrics.h"
 
+#include <cassert>
 #include <sstream>
 
 namespace bandslim::stats {
@@ -10,6 +11,37 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   return &histograms_[name];
+}
+
+Result<Counter*> MetricsRegistry::TryRegisterCounter(const std::string& name) {
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (!inserted) {
+    return Status::AlreadyExists("counter '" + name +
+                                 "' is already registered");
+  }
+  return &it->second;
+}
+
+Result<Histogram*> MetricsRegistry::TryRegisterHistogram(
+    const std::string& name) {
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (!inserted) {
+    return Status::AlreadyExists("histogram '" + name +
+                                 "' is already registered");
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name) {
+  auto result = TryRegisterCounter(name);
+  assert(result.ok() && "duplicate counter registration");
+  return result.ok() ? result.value() : GetCounter(name);
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name) {
+  auto result = TryRegisterHistogram(name);
+  assert(result.ok() && "duplicate histogram registration");
+  return result.ok() ? result.value() : GetHistogram(name);
 }
 
 std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {

@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "common/status.h"
 #include "stats/counter.h"
 #include "stats/histogram.h"
 
@@ -27,9 +28,24 @@ struct HistogramSnapshot {
 class MetricsRegistry {
  public:
   // Returns the counter/histogram with `name`, creating it on first use.
-  // Pointers remain valid for the registry's lifetime.
+  // Pointers remain valid for the registry's lifetime. Find-or-create is the
+  // RE-ATTACH path: components that are rebuilt over the device's lifetime
+  // (PowerCycle recreates the vLog/LSM/controller/buffer) use it to pick
+  // their live counters back up. Components that exist once per registry
+  // must use RegisterCounter/RegisterHistogram instead, so two writers
+  // accidentally sharing a name fail loudly instead of silently summing
+  // into one counter.
   Counter* GetCounter(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
+
+  // Registration path for once-per-registry owners: creating a name that
+  // already exists is an error. TryRegister* reports kAlreadyExists;
+  // Register* asserts (and, with assertions compiled out, degrades to the
+  // find-or-create alias rather than crashing a release binary).
+  Result<Counter*> TryRegisterCounter(const std::string& name);
+  Result<Histogram*> TryRegisterHistogram(const std::string& name);
+  Counter* RegisterCounter(const std::string& name);
+  Histogram* RegisterHistogram(const std::string& name);
 
   std::uint64_t CounterValue(const std::string& name) const;
 

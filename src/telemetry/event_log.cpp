@@ -1,0 +1,23 @@
+#include "telemetry/event_log.h"
+
+namespace bandslim::telemetry {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kGcStart: return "gc_start";
+    case EventType::kGcEnd: return "gc_end";
+    case EventType::kVlogGc: return "vlog_gc";
+    case EventType::kBlockRetired: return "block_retired";
+    case EventType::kTimeout: return "timeout";
+    case EventType::kRetryBackoff: return "retry_backoff";
+    case EventType::kCrash: return "crash";
+    case EventType::kRecover: return "recover";
+    case EventType::kPowerCycle: return "power_cycle";
+    case EventType::kWatermarkLow: return "watermark_low";
+    case EventType::kWatermarkCleared: return "watermark_cleared";
+    case EventType::kAlert: return "alert";
+  }
+  return "unknown";
+}
+
+}  // namespace bandslim::telemetry

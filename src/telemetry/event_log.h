@@ -1,0 +1,90 @@
+// Structured event log (DESIGN.md 2.4). Components append typed, fixed-shape
+// records — GC start/end, block retirement, command timeout/backoff, crash
+// and recovery, free-pool watermark crossings, watchdog alerts — stamped
+// from the shared sim::VirtualClock. The log is the discrete counterpart of
+// the periodic sample stream: exporters interleave the two by virtual
+// timestamp, so a TAF spike in the time series can be lined up with the GC
+// run or timeout storm that caused it.
+//
+// This header depends only on sim/clock.h so that low layers (fault, nand,
+// ftl, nvme) can hold an EventLog* without pulling in the sampler, which
+// itself includes their headers. A null EventLog* is the disabled state:
+// every emit site is a single pointer test.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "sim/clock.h"
+
+namespace bandslim::telemetry {
+
+enum class EventType : std::uint8_t {
+  kGcStart = 0,      // a = victim block, b = valid pages to relocate.
+  kGcEnd,            // a = victim block, b = pages relocated.
+  kVlogGc,           // a = values relocated out of the oldest segment.
+  kBlockRetired,     // a = block, b = 1 if replaced from the reserve pool.
+  kTimeout,          // a = queue id, b = attempt index.
+  kRetryBackoff,     // a = queue id, b = attempt index.
+  kCrash,            // a = per-site op index at the power-loss latch.
+  kRecover,          // a = live references verified at mount.
+  kPowerCycle,       // Planned power cycle (device DRAM rebuilt).
+  kWatermarkLow,     // a = free blocks, b = configured low watermark.
+  kWatermarkCleared, // a = free blocks, b = configured low watermark.
+  kAlert,            // a = watchdog rule index, b = observed series value.
+};
+inline constexpr int kNumEventTypes = 12;
+
+const char* EventTypeName(EventType type);
+
+// One fixed-shape record. `a`/`b` are type-specific details (see EventType);
+// keeping them integral keeps the log allocation-free and its export
+// byte-deterministic.
+struct EventRecord {
+  sim::Nanoseconds t_ns = 0;
+  std::uint64_t seq = 0;  // Global emit order; tie-break for equal t_ns.
+  EventType type = EventType::kGcStart;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class EventLog {
+ public:
+  EventLog(const sim::VirtualClock* clock, std::size_t capacity)
+      : clock_(clock), capacity_(capacity) {}
+
+  void Emit(EventType type, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (records_.size() == capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+    records_.push_back(EventRecord{clock_->Now(), next_seq_++, type, a, b});
+    ++counts_[static_cast<int>(type)];
+  }
+
+  const std::deque<EventRecord>& records() const { return records_; }
+  // Total emits of `type` over the log's lifetime (not clipped by the ring).
+  std::uint64_t count(EventType type) const {
+    return counts_[static_cast<int>(type)];
+  }
+  std::uint64_t total_emitted() const { return next_seq_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  void Clear() {
+    records_.clear();
+    counts_.fill(0);
+    next_seq_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  const sim::VirtualClock* clock_;
+  std::size_t capacity_;
+  std::deque<EventRecord> records_;
+  std::array<std::uint64_t, kNumEventTypes> counts_{};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace bandslim::telemetry

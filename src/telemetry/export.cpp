@@ -1,0 +1,121 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+namespace bandslim::telemetry {
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string ToPrometheusText(const Sampler& sampler) {
+  std::ostringstream os;
+  os << "# HELP bandslim_telemetry_samples_total Samples emitted by the "
+        "virtual-time sampler.\n";
+  os << "# TYPE bandslim_telemetry_samples_total counter\n";
+  os << "bandslim_telemetry_samples_total " << sampler.samples_emitted()
+     << "\n";
+  if (!sampler.samples().empty()) {
+    const Sample& last = sampler.samples().back();
+    const std::uint64_t ts_ms = last.t_ns / sim::kMillisecond;
+    // Stable order: sort the latest sample's series by name.
+    std::map<std::string, std::uint64_t> by_name;
+    for (const auto& [id, value] : last.values) {
+      by_name.emplace(SanitizeMetricName(sampler.series().NameOf(id)), value);
+    }
+    for (const auto& [name, value] : by_name) {
+      os << "# TYPE bandslim_" << name << " gauge\n";
+      os << "bandslim_" << name << " " << value << " " << ts_ms << "\n";
+    }
+  }
+  const Watchdog& wd = sampler.watchdog();
+  for (std::size_t i = 0; i < wd.rules().size(); ++i) {
+    if (i == 0) {
+      os << "# HELP bandslim_watchdog_alerts_total Edge-triggered watchdog "
+            "rule fires.\n";
+      os << "# TYPE bandslim_watchdog_alerts_total counter\n";
+    }
+    os << "bandslim_watchdog_alerts_total{rule=\""
+       << SanitizeMetricName(wd.rules()[i].name) << "\"} "
+       << wd.states()[i].fired << "\n";
+  }
+  return os.str();
+}
+
+std::string ToJsonl(const Sampler& sampler) {
+  std::ostringstream os;
+  const auto& samples = sampler.samples();
+  const auto& events = sampler.event_log().records();
+  const auto& rules = sampler.watchdog().rules();
+
+  const auto emit_event = [&](const EventRecord& e) {
+    os << "{\"kind\":\"event\",\"t_ns\":" << e.t_ns << ",\"seq\":" << e.seq
+       << ",\"type\":\"" << EventTypeName(e.type) << "\"";
+    if (e.type == EventType::kAlert && e.a < rules.size()) {
+      os << ",\"rule\":\"" << rules[static_cast<std::size_t>(e.a)].name
+         << "\"";
+    }
+    os << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+  };
+  const auto emit_sample = [&](const Sample& s) {
+    os << "{\"kind\":\"sample\",\"t_ns\":" << s.t_ns << ",\"seq\":" << s.seq
+       << ",\"interval_ns\":" << s.interval_ns << ",\"values\":{";
+    bool first = true;
+    for (const auto& [id, value] : s.values) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << sampler.series().NameOf(id) << "\":" << value;
+    }
+    os << "}}\n";
+  };
+
+  // Merge by timestamp. An event at t belongs to the interval that a sample
+  // stamped >= t closes, so events sort before an equal-stamped sample.
+  std::size_t si = 0, ei = 0;
+  while (si < samples.size() || ei < events.size()) {
+    const bool take_event =
+        ei < events.size() &&
+        (si >= samples.size() || events[ei].t_ns <= samples[si].t_ns);
+    if (take_event) {
+      emit_event(events[ei++]);
+    } else {
+      emit_sample(samples[si++]);
+    }
+  }
+  return os.str();
+}
+
+std::string ToTimeSeriesCsv(const Sampler& sampler,
+                            const std::vector<std::string>& series_names) {
+  std::ostringstream os;
+  os << "t_ns,interval_ns";
+  std::vector<std::int64_t> ids;
+  ids.reserve(series_names.size());
+  for (const std::string& name : series_names) {
+    os << "," << name;
+    ids.push_back(sampler.series().Find(name));
+  }
+  os << "\n";
+  for (const Sample& s : sampler.samples()) {
+    os << s.t_ns << "," << s.interval_ns;
+    for (std::int64_t id : ids) {
+      os << ","
+         << (id < 0 ? 0 : s.Value(static_cast<std::uint32_t>(id)));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bandslim::telemetry

@@ -1,0 +1,43 @@
+// Deterministic exporters for the telemetry sample stream and event log.
+// All three formats are produced from the same in-memory data with fixed
+// integer formatting and stable ordering, so two runs of the same workload
+// write byte-identical files.
+//
+//  * Prometheus text exposition (one scrape of the LATEST sample, plus
+//    watchdog alert totals) — what a /metrics endpoint would serve.
+//  * JSONL: the full time series, samples and typed events interleaved by
+//    virtual timestamp (events sort before the sample that closes their
+//    interval; ties break on emit order).
+//  * CSV: selected series as columns, one row per sample — the shape the
+//    fig* plots consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace bandslim::telemetry {
+
+// Prometheus text exposition format (version 0.0.4): `# TYPE` header per
+// metric, `bandslim_<sanitized_series>` gauge lines carrying the latest
+// sample's values with millisecond timestamps, and
+// `bandslim_watchdog_alerts_total{rule="..."}` counters. Empty sampler
+// yields only the build-info line.
+std::string ToPrometheusText(const Sampler& sampler);
+
+// One JSON object per line:
+//   {"kind":"sample","t_ns":..,"seq":..,"interval_ns":..,"values":{..}}
+//   {"kind":"event","t_ns":..,"seq":..,"type":"gc_start","a":..,"b":..}
+// Alert events additionally carry "rule":"<name>".
+std::string ToJsonl(const Sampler& sampler);
+
+// Time-series CSV with the named series as columns (missing values print
+// as 0). The first two columns are always t_ns and interval_ns.
+std::string ToTimeSeriesCsv(const Sampler& sampler,
+                            const std::vector<std::string>& series_names);
+
+// "a.b-c" -> "a_b_c": Prometheus metric names admit [a-zA-Z0-9_:] only.
+std::string SanitizeMetricName(const std::string& name);
+
+}  // namespace bandslim::telemetry

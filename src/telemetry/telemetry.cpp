@@ -1,0 +1,263 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <string>
+
+namespace bandslim::telemetry {
+
+namespace {
+
+// Integer rate helpers. All quantities fit 64 bits comfortably: deltas are
+// bounded by bytes-per-interval (<= GB) and intervals by the run length, so
+// the largest intermediate (delta * 1e12) stays under 2^63 for any workload
+// the benches run.
+std::uint64_t PerSecond(std::uint64_t delta, sim::Nanoseconds interval_ns) {
+  if (interval_ns == 0) return 0;
+  return delta * sim::kSecond / interval_ns;
+}
+
+std::uint64_t PerSecondMilli(std::uint64_t delta,
+                             sim::Nanoseconds interval_ns) {
+  if (interval_ns == 0) return 0;
+  return delta * sim::kSecond / interval_ns * kMilliScale +
+         delta * sim::kSecond % interval_ns * kMilliScale / interval_ns;
+}
+
+std::uint64_t RatioMilli(std::uint64_t numer, std::uint64_t denom) {
+  if (denom == 0) return 0;
+  return numer * kMilliScale / denom;
+}
+
+const char* PcieClassName(pcie::TrafficClass cls) {
+  switch (cls) {
+    case pcie::TrafficClass::kMmio: return "mmio";
+    case pcie::TrafficClass::kCommandFetch: return "cmd_fetch";
+    case pcie::TrafficClass::kDmaData: return "dma_data";
+    case pcie::TrafficClass::kCompletion: return "completion";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Sampler::Sampler(const sim::VirtualClock* clock, const TelemetryConfig& config)
+    : clock_(clock),
+      config_(config),
+      event_log_(clock, config.event_capacity),
+      watchdog_(config.rules) {}
+
+void Sampler::Bind(const Sources& sources) {
+  src_ = sources;
+  if (!anchored_) {
+    anchored_ = true;
+    anchor_ns_ = clock_->Now();
+    last_sample_ns_ = anchor_ns_;
+    next_boundary_ns_ = anchor_ns_ + config_.sample_interval_ns;
+  }
+}
+
+void Sampler::Poll() {
+  if (!config_.enabled || !anchored_) return;
+  const sim::Nanoseconds now = clock_->Now();
+  if (now < next_boundary_ns_) return;
+  // Stamp at the last boundary the clock has passed; everything since the
+  // previous sample is attributed to the single interval ending there.
+  const sim::Nanoseconds stamp =
+      anchor_ns_ +
+      (now - anchor_ns_) / config_.sample_interval_ns *
+          config_.sample_interval_ns;
+  TakeSample(stamp);
+  next_boundary_ns_ = stamp + config_.sample_interval_ns;
+}
+
+void Sampler::Finalize() {
+  if (!config_.enabled || !anchored_) return;
+  const sim::Nanoseconds now = clock_->Now();
+  if (now <= last_sample_ns_ && next_seq_ > 0) return;
+  TakeSample(now);
+  if (next_boundary_ns_ <= now) {
+    next_boundary_ns_ =
+        anchor_ns_ +
+        ((now - anchor_ns_) / config_.sample_interval_ns + 1) *
+            config_.sample_interval_ns;
+  }
+}
+
+std::uint64_t Sampler::Latest(const std::string& name) const {
+  if (samples_.empty()) return 0;
+  const std::int64_t id = series_.Find(name);
+  if (id < 0) return 0;
+  return samples_.back().Value(static_cast<std::uint32_t>(id));
+}
+
+void Sampler::TakeSample(sim::Nanoseconds stamp) {
+  Sample s;
+  s.t_ns = stamp;
+  s.interval_ns = stamp - last_sample_ns_;
+  s.seq = next_seq_++;
+  const Sample* prev = samples_.empty() ? nullptr : &samples_.back();
+  // Reads a cumulative series' value at the previous sample (0 before the
+  // first one), for delta derivation.
+  const auto prev_of = [&](std::uint32_t id) -> std::uint64_t {
+    return prev == nullptr ? 0 : prev->Value(id);
+  };
+  const auto set = [&](const std::string& name, std::uint64_t value) {
+    s.Set(series_.Intern(name), value);
+  };
+  // Interns a cumulative series, records its current value, and returns the
+  // per-interval delta.
+  const auto cumulative = [&](const std::string& name,
+                              std::uint64_t value) -> std::uint64_t {
+    const std::uint32_t id = series_.Intern(name);
+    s.Set(id, value);
+    return value - prev_of(id);
+  };
+
+  // --- Metrics registry: every named counter, verbatim -------------------
+  std::uint64_t cum_ops = 0, cum_value_bytes = 0, cum_pages = 0;
+  std::uint64_t cum_timeouts = 0, cum_retries = 0, cum_prog_fail = 0,
+                cum_ecc = 0;
+  std::uint64_t d_ops = 0, d_value_bytes = 0, d_pages = 0, d_timeouts = 0,
+                d_retries = 0, d_prog_fail = 0, d_ecc = 0;
+  if (src_.metrics != nullptr) {
+    for (const auto& [name, value] : src_.metrics->SnapshotCounters()) {
+      const std::uint64_t delta = cumulative(name, value);
+      if (name == "nvme.commands_submitted") {
+        cum_ops = value;
+        d_ops = delta;
+      } else if (name == "controller.value_bytes_written") {
+        cum_value_bytes = value;
+        d_value_bytes = delta;
+      } else if (name == "nand.pages_programmed") {
+        cum_pages = value;
+        d_pages = delta;
+      } else if (name == "nvme.timeouts") {
+        cum_timeouts = value;
+        d_timeouts = delta;
+      } else if (name == "nvme.retries") {
+        cum_retries = value;
+        d_retries = delta;
+      } else if (name == "nand.program_failures") {
+        cum_prog_fail = value;
+        d_prog_fail = delta;
+      } else if (name == "nand.ecc_corrections") {
+        cum_ecc = value;
+        d_ecc = delta;
+      }
+    }
+  }
+
+  // --- PCIe link: direction totals and per-class transaction counts ------
+  std::uint64_t cum_h2d = 0, cum_d2h = 0, d_h2d = 0, d_d2h = 0;
+  if (src_.link != nullptr) {
+    cum_h2d = src_.link->HostToDeviceBytes();
+    cum_d2h = src_.link->DeviceToHostBytes();
+    d_h2d = cumulative("pcie.h2d_bytes", cum_h2d);
+    d_d2h = cumulative("pcie.d2h_bytes", cum_d2h);
+    for (int c = 0; c < pcie::kNumTrafficClasses; ++c) {
+      const auto cls = static_cast<pcie::TrafficClass>(c);
+      const std::string base = std::string("pcie.") + PcieClassName(cls);
+      cumulative(base + ".h2d_txns",
+                 src_.link->TransactionsOf(cls,
+                                           pcie::Direction::kHostToDevice));
+      // Per-class byte rates: the cumulative series is the registry mirror
+      // snapshotted above; the current value comes straight from the link
+      // (identical by construction).
+      const std::uint64_t cls_bytes =
+          src_.link->BytesOf(cls, pcie::Direction::kHostToDevice);
+      const std::int64_t id = series_.Find(base + ".h2d_bytes");
+      const std::uint64_t prev_bytes =
+          id < 0 ? 0 : prev_of(static_cast<std::uint32_t>(id));
+      set("rate." + base + ".h2d_bytes_per_sec",
+          PerSecond(cls_bytes - prev_bytes, s.interval_ns));
+    }
+  }
+
+  // --- NVMe queues --------------------------------------------------------
+  if (src_.transport != nullptr) {
+    for (const auto& q : src_.transport->QueueInfos()) {
+      const std::string base = "queue" + std::to_string(q.queue_id);
+      set("gauge." + base + ".depth", q.depth);
+      set("gauge." + base + ".inflight", q.inflight);
+      cumulative(base + ".submitted", q.submitted);
+    }
+  }
+
+  // --- NAND channel/way busy time ----------------------------------------
+  if (src_.nand != nullptr) {
+    const nand::NandGeometry& g = src_.nand->geometry();
+    for (std::uint32_t c = 0; c < g.channels; ++c) {
+      const std::uint64_t d_busy = cumulative(
+          "nand.ch" + std::to_string(c) + ".busy_ns",
+          static_cast<std::uint64_t>(src_.nand->channel_busy_ns(c)));
+      set("gauge.nand.ch" + std::to_string(c) + ".busy_permille",
+          s.interval_ns == 0 ? 0 : d_busy * kMilliScale / s.interval_ns);
+    }
+    for (std::uint64_t d = 0; d < g.dies(); ++d) {
+      cumulative("nand.die" + std::to_string(d) + ".busy_ns",
+                 static_cast<std::uint64_t>(src_.nand->die_busy_ns(d)));
+    }
+  }
+
+  // --- FTL block accounting and GC activity ------------------------------
+  if (src_.ftl != nullptr) {
+    set("gauge.ftl.free_blocks", src_.ftl->free_blocks());
+    set("gauge.ftl.reserve_blocks", src_.ftl->reserve_remaining());
+    set("gauge.ftl.bad_blocks", src_.ftl->bad_blocks());
+    set("gauge.ftl.mapped_pages", src_.ftl->mapped_pages());
+    cumulative("ftl.gc_runs", src_.ftl->gc_runs());
+  }
+
+  // --- Page buffer window -------------------------------------------------
+  if (src_.buffer != nullptr) {
+    set("gauge.buffer.wp", src_.buffer->wp());
+    set("gauge.buffer.window_base", src_.buffer->window_base_addr());
+    set("gauge.buffer.resident_bytes",
+        src_.buffer->wp() - src_.buffer->window_base_addr());
+    set("gauge.buffer.dma_frontier", src_.buffer->dma_frontier());
+    set("gauge.buffer.dlt_pending", src_.buffer->dlt().size());
+  }
+
+  // --- Per-interval deltas and fixed-point rates --------------------------
+  set("delta.ops", d_ops);
+  set("delta.pcie.h2d_bytes", d_h2d);
+  set("delta.pcie.d2h_bytes", d_d2h);
+  set("delta.value_bytes", d_value_bytes);
+  set("delta.nand.pages_programmed", d_pages);
+  set("delta.nvme.timeouts", d_timeouts);
+  set("delta.nvme.retries", d_retries);
+  set("delta.nand.program_failures", d_prog_fail);
+  set("delta.nand.ecc_corrections", d_ecc);
+
+  set("rate.ops_per_sec_milli", PerSecondMilli(d_ops, s.interval_ns));
+  set("rate.pcie.h2d_bytes_per_sec", PerSecond(d_h2d, s.interval_ns));
+  set("rate.pcie.d2h_bytes_per_sec", PerSecond(d_d2h, s.interval_ns));
+  set("rate.taf_milli", RatioMilli(d_h2d, d_value_bytes));
+  const std::size_t page_size =
+      src_.nand != nullptr ? src_.nand->geometry().page_size : kNandPageSize;
+  set("rate.waf_milli", RatioMilli(d_pages * page_size, d_value_bytes));
+  set("total.taf_milli", RatioMilli(cum_h2d, cum_value_bytes));
+  set("total.waf_milli", RatioMilli(cum_pages * page_size, cum_value_bytes));
+  (void)cum_ops;
+  (void)cum_d2h;
+  (void)cum_timeouts;
+  (void)cum_retries;
+  (void)cum_prog_fail;
+  (void)cum_ecc;
+
+  // Series ids are assigned in first-appearance order; a counter created
+  // mid-run lands mid-snapshot with a high id, so restore id order for
+  // Sample::Value()'s binary search.
+  std::sort(s.values.begin(), s.values.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  last_sample_ns_ = stamp;
+  if (samples_.size() == config_.sample_capacity) {
+    samples_.pop_front();
+    ++dropped_samples_;
+  }
+  samples_.push_back(std::move(s));
+  watchdog_.Evaluate(samples_.back(), series_, &event_log_);
+}
+
+}  // namespace bandslim::telemetry

@@ -1,0 +1,118 @@
+// Continuous telemetry: a deterministic, virtual-time periodic sampler over
+// the assembled device (DESIGN.md 2.4). Every `sample_interval_ns` of
+// simulated time the sampler snapshots the metrics registry plus live
+// component state — PCIe per-class byte/transaction counters, NAND
+// per-channel/way busy time, FTL block accounting and GC activity, per-queue
+// depth/inflight, page-buffer window occupancy, fault/retry/timeout
+// counters — and derives per-interval deltas and fixed-point rate gauges
+// (bytes/s, ops/s in milli-units, instantaneous TAF/WAF x1000), so the
+// paper's rates-over-time curves can be produced from one run.
+//
+// Determinism contract:
+//  * Sampling is driven by Poll() calls at deterministic points (end of each
+//    device command / host op); no wall clock, no threads. Samples are
+//    stamped at interval boundaries of the virtual clock; a long operation
+//    that crosses several boundaries yields ONE sample stamped at the last
+//    crossed boundary whose rates divide by the true elapsed interval.
+//  * All derived series are integer / fixed-point; exports (telemetry/
+//    export.h) are byte-identical across runs and platforms.
+//  * Telemetry never advances the clock or touches device state: enabling it
+//    changes no simulated outcome, and the disabled sampler is a single
+//    branch per Poll().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "buffer/page_buffer.h"
+#include "ftl/ftl.h"
+#include "nand/nand_flash.h"
+#include "nvme/transport.h"
+#include "pcie/link.h"
+#include "sim/clock.h"
+#include "stats/metrics.h"
+#include "telemetry/event_log.h"
+#include "telemetry/sample.h"
+#include "telemetry/watchdog.h"
+
+namespace bandslim::telemetry {
+
+struct TelemetryConfig {
+  bool enabled = false;
+  // Virtual time between samples. 1 ms of simulated time resolves the
+  // paper's second-scale runs into ~thousands of points.
+  sim::Nanoseconds sample_interval_ns = sim::kMillisecond;
+  // Ring capacities; the oldest record is dropped (and counted) on overflow.
+  std::size_t sample_capacity = 1u << 16;
+  std::size_t event_capacity = 1u << 14;
+  // Declarative alert rules evaluated on every sample (telemetry/watchdog.h).
+  std::vector<WatchdogRule> rules;
+};
+
+class Sampler {
+ public:
+  // What one sample reads. All pointers are observed, never mutated;
+  // `buffer` is re-bound after PowerCycle() reassembles the device.
+  struct Sources {
+    const stats::MetricsRegistry* metrics = nullptr;
+    const pcie::PcieLink* link = nullptr;
+    const nvme::NvmeTransport* transport = nullptr;
+    const nand::NandFlash* nand = nullptr;
+    const ftl::PageFtl* ftl = nullptr;
+    const buffer::NandPageBuffer* buffer = nullptr;
+  };
+
+  Sampler(const sim::VirtualClock* clock, const TelemetryConfig& config);
+
+  bool enabled() const { return config_.enabled; }
+  const TelemetryConfig& config() const { return config_; }
+
+  // (Re)binds the observation points; the first bind anchors the interval
+  // grid at the current virtual time.
+  void Bind(const Sources& sources);
+
+  // Emits one sample if at least one interval boundary has passed since the
+  // last emission. Called after every device command and host-level op; a
+  // disabled sampler returns after one branch.
+  void Poll();
+
+  // Emits a closing sample stamped at the current virtual time (regardless
+  // of boundary alignment), so the last sample's cumulative series equal
+  // the final registry counters exactly. Idempotent at a given time.
+  void Finalize();
+
+  const std::deque<Sample>& samples() const { return samples_; }
+  const SeriesTable& series() const { return series_; }
+  std::uint64_t samples_emitted() const { return next_seq_; }
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
+
+  EventLog& event_log() { return event_log_; }
+  const EventLog& event_log() const { return event_log_; }
+  Watchdog& watchdog() { return watchdog_; }
+  const Watchdog& watchdog() const { return watchdog_; }
+
+  // Convenience: value of `name` in the latest sample (0 when absent or no
+  // samples yet).
+  std::uint64_t Latest(const std::string& name) const;
+
+ private:
+  void TakeSample(sim::Nanoseconds stamp);
+
+  const sim::VirtualClock* clock_;
+  TelemetryConfig config_;
+  Sources src_;
+  EventLog event_log_;
+  Watchdog watchdog_;
+  SeriesTable series_;
+
+  std::deque<Sample> samples_;
+  bool anchored_ = false;
+  sim::Nanoseconds anchor_ns_ = 0;        // Interval grid origin.
+  sim::Nanoseconds next_boundary_ns_ = 0;
+  sim::Nanoseconds last_sample_ns_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_samples_ = 0;
+};
+
+}  // namespace bandslim::telemetry

@@ -1,0 +1,76 @@
+#include "telemetry/watchdog.h"
+
+namespace bandslim::telemetry {
+
+WatchdogRule ZeroOpStallRule(std::uint32_t n) {
+  return WatchdogRule{"zero_op_stall", "delta.ops", WatchdogRule::Cmp::kEqual,
+                      0, n};
+}
+
+WatchdogRule TafBudgetRule(std::uint64_t taf_milli, std::uint32_t n) {
+  return WatchdogRule{"taf_over_budget", "rate.taf_milli",
+                      WatchdogRule::Cmp::kAbove, taf_milli, n};
+}
+
+WatchdogRule RetryStormRule(std::uint64_t retries, std::uint32_t n) {
+  return WatchdogRule{"retry_storm", "delta.nvme.retries",
+                      WatchdogRule::Cmp::kAtLeast, retries, n};
+}
+
+WatchdogRule QueueSaturationRule(std::uint16_t q, std::uint64_t inflight,
+                                 std::uint32_t n) {
+  return WatchdogRule{"queue" + std::to_string(q) + "_saturated",
+                      "gauge.queue" + std::to_string(q) + ".inflight",
+                      WatchdogRule::Cmp::kAtLeast, inflight, n};
+}
+
+WatchdogRule FreeBlocksLowRule(std::uint64_t blocks, std::uint32_t n) {
+  return WatchdogRule{"free_blocks_low", "gauge.ftl.free_blocks",
+                      WatchdogRule::Cmp::kAtMost, blocks, n};
+}
+
+namespace {
+
+bool Holds(WatchdogRule::Cmp cmp, std::uint64_t value,
+           std::uint64_t threshold) {
+  switch (cmp) {
+    case WatchdogRule::Cmp::kAbove: return value > threshold;
+    case WatchdogRule::Cmp::kAtLeast: return value >= threshold;
+    case WatchdogRule::Cmp::kBelow: return value < threshold;
+    case WatchdogRule::Cmp::kAtMost: return value <= threshold;
+    case WatchdogRule::Cmp::kEqual: return value == threshold;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Watchdog::Evaluate(const Sample& sample, const SeriesTable& table,
+                        EventLog* log) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const WatchdogRule& rule = rules_[i];
+    AlertState& state = states_[i];
+    // A series the sampler has never produced reads as 0 — this keeps rules
+    // like zero-op stall meaningful from the very first sample.
+    const std::int64_t id = table.Find(rule.series);
+    const std::uint64_t value =
+        id < 0 ? 0 : sample.Value(static_cast<std::uint32_t>(id));
+    if (!Holds(rule.cmp, value, rule.threshold)) {
+      state.holding = 0;
+      state.active = false;
+      continue;
+    }
+    ++state.holding;
+    if (state.active || state.holding < rule.for_intervals) continue;
+    state.active = true;
+    ++state.fired;
+    ++total_fired_;
+    state.last_value = value;
+    state.last_fire_ns = sample.t_ns;
+    if (log != nullptr) {
+      log->Emit(EventType::kAlert, static_cast<std::uint64_t>(i), value);
+    }
+  }
+}
+
+}  // namespace bandslim::telemetry

@@ -1,0 +1,84 @@
+// Deterministic watchdog rule engine (DESIGN.md 2.4). Rules are declarative
+// thresholds over the telemetry sample stream: "series S has been OP
+// threshold for N consecutive samples". The watchdog is evaluated once per
+// emitted sample, entirely in integer arithmetic on virtual-time data, so
+// two runs of the same workload raise bit-identical alert streams.
+//
+// Alert semantics are edge-triggered: a rule FIRES when its condition has
+// held for `for_intervals` consecutive samples, stays ACTIVE while the
+// condition keeps holding (no re-fire), and re-arms the moment one sample
+// breaks the condition. Each fire appends an EventType::kAlert record to the
+// event log (a = rule index, b = the observed series value).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/event_log.h"
+#include "telemetry/sample.h"
+
+namespace bandslim::telemetry {
+
+struct WatchdogRule {
+  std::string name;    // Alert name, e.g. "taf_over_budget".
+  std::string series;  // Series the condition tests (absent reads as 0).
+
+  enum class Cmp : std::uint8_t {
+    kAbove,    // value >  threshold
+    kAtLeast,  // value >= threshold
+    kBelow,    // value <  threshold
+    kAtMost,   // value <= threshold
+    kEqual,    // value == threshold
+  };
+  Cmp cmp = Cmp::kAbove;
+  std::uint64_t threshold = 0;
+  // Consecutive samples the condition must hold before the rule fires.
+  std::uint32_t for_intervals = 1;
+};
+
+// --- Canned rules for the failure modes the paper's workloads exhibit ----
+
+// No command completed for `n` consecutive intervals (zero-op stall).
+WatchdogRule ZeroOpStallRule(std::uint32_t n);
+// Instantaneous TAF above `taf_milli` (fixed-point x1000) for `n` intervals.
+WatchdogRule TafBudgetRule(std::uint64_t taf_milli, std::uint32_t n);
+// At least `retries` NVMe resubmissions within each of `n` intervals
+// (fault-retry storm).
+WatchdogRule RetryStormRule(std::uint64_t retries, std::uint32_t n);
+// Queue `q` has >= `inflight` commands outstanding at `n` consecutive
+// sample points. (The synchronous passthrough path drains between ops, so
+// this fires only under pipelined/multi-queue pressure.)
+WatchdogRule QueueSaturationRule(std::uint16_t q, std::uint64_t inflight,
+                                 std::uint32_t n);
+// FTL free-block pool at or below `blocks` for `n` intervals (GC pressure).
+WatchdogRule FreeBlocksLowRule(std::uint64_t blocks, std::uint32_t n);
+
+struct AlertState {
+  std::uint64_t fired = 0;     // Edge-triggered fire count.
+  std::uint32_t holding = 0;   // Consecutive samples the condition held.
+  bool active = false;         // Condition currently past for_intervals.
+  std::uint64_t last_value = 0;  // Series value at the most recent fire.
+  sim::Nanoseconds last_fire_ns = 0;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(std::vector<WatchdogRule> rules)
+      : rules_(std::move(rules)), states_(rules_.size()) {}
+
+  // Evaluates every rule against `sample`; fires append to `log` (optional).
+  void Evaluate(const Sample& sample, const SeriesTable& table,
+                EventLog* log);
+
+  const std::vector<WatchdogRule>& rules() const { return rules_; }
+  const std::vector<AlertState>& states() const { return states_; }
+  std::uint64_t total_fired() const { return total_fired_; }
+
+ private:
+  std::vector<WatchdogRule> rules_;
+  std::vector<AlertState> states_;
+  std::uint64_t total_fired_ = 0;
+};
+
+}  // namespace bandslim::telemetry

@@ -73,10 +73,10 @@ void StageBreakdown::Accumulate(const StageBreakdown& other) {
 Tracer::Tracer(sim::VirtualClock* clock, stats::MetricsRegistry* metrics,
                TraceConfig config)
     : clock_(clock), config_(config), enabled_(config.enabled) {
-  op_latency_hist_ = metrics->GetHistogram("trace.op.latency_ns");
-  cmd_latency_hist_ = metrics->GetHistogram("trace.cmd.latency_ns");
+  op_latency_hist_ = metrics->RegisterHistogram("trace.op.latency_ns");
+  cmd_latency_hist_ = metrics->RegisterHistogram("trace.cmd.latency_ns");
   for (int i = 0; i < kNumCategories; ++i) {
-    stage_hists_[i] = metrics->GetHistogram(
+    stage_hists_[i] = metrics->RegisterHistogram(
         std::string("trace.stage.") +
         CategoryName(static_cast<Category>(i)) + "_ns");
   }

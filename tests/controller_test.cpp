@@ -240,7 +240,10 @@ TEST_F(RawControllerTest, VlogGcRelocatesLiveValues) {
 TEST_F(RawControllerTest, NandOffModeSkipsPersistence) {
   KvController off(&clock_, &cost_, &metrics_, &dma_, &vlog_, &lsm_,
                    ControllerConfig{.nand_io_enabled = false});
-  nvme::NvmeTransport transport(&clock_, &cost_, &link_, &metrics_);
+  // Own registry: a second transport on the fixture's would collide with
+  // the fixture transport's registered nvme.* counters.
+  stats::MetricsRegistry off_metrics;
+  nvme::NvmeTransport transport(&clock_, &cost_, &link_, &off_metrics);
   transport.AttachDevice(&off);
 
   Bytes value = workload::MakeValue(32, 8, 8);

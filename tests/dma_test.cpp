@@ -70,7 +70,10 @@ TEST_F(DmaEngineTest, RejectsUnalignedDeviceAddress) {
 TEST_F(DmaEngineTest, ByteGranularEngineAcceptsUnaligned) {
   DmaConfig config;
   config.require_page_alignment = false;  // Ablation configuration.
-  DmaEngine loose(&clock_, &cost_, &link_, &host_, &metrics_, config);
+  // Own registry: a second engine on the fixture's would collide with the
+  // fixture engine's registered dma.* counters.
+  stats::MetricsRegistry loose_metrics;
+  DmaEngine loose(&clock_, &cost_, &link_, &host_, &loose_metrics, config);
   Bytes payload = workload::MakeValue(64, 4, 4);
   auto prp = StagePayload(ByteSpan(payload));
   Bytes dest(kMemPageSize);

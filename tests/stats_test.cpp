@@ -122,5 +122,46 @@ TEST(MetricsRegistryTest, HistogramAccess) {
   EXPECT_NE(reg.ToString().find("lat"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, DuplicateRegistrationFailsLoudly) {
+  MetricsRegistry reg;
+  auto first = reg.TryRegisterCounter("nvme.commands_submitted");
+  ASSERT_TRUE(first.ok());
+  first.value()->Add(7);
+
+  // A second owner claiming the same name is an error, not a silent alias.
+  auto second = reg.TryRegisterCounter("nvme.commands_submitted");
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsAlreadyExists());
+  EXPECT_NE(second.status().message().find("nvme.commands_submitted"),
+            std::string::npos);
+
+  // The original registration (and its value) is untouched by the attempt.
+  EXPECT_EQ(reg.CounterValue("nvme.commands_submitted"), 7u);
+  EXPECT_EQ(reg.GetCounter("nvme.commands_submitted"), first.value());
+}
+
+TEST(MetricsRegistryTest, DuplicateHistogramRegistrationFailsLoudly) {
+  MetricsRegistry reg;
+  auto first = reg.TryRegisterHistogram("trace.op.latency_ns");
+  ASSERT_TRUE(first.ok());
+  first.value()->Record(42);
+  auto second = reg.TryRegisterHistogram("trace.op.latency_ns");
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsAlreadyExists());
+  EXPECT_EQ(reg.GetHistogram("trace.op.latency_ns")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, RegistrationThenReattachViaGetCounter) {
+  // The PowerCycle pattern: a once-per-device owner registers, a rebuilt
+  // component reattaches with GetCounter and keeps the same live counter.
+  MetricsRegistry reg;
+  Counter* owned = reg.RegisterCounter("buffer.flushed_pages");
+  owned->Add(3);
+  Counter* reattached = reg.GetCounter("buffer.flushed_pages");
+  EXPECT_EQ(reattached, owned);
+  reattached->Add(2);
+  EXPECT_EQ(reg.CounterValue("buffer.flushed_pages"), 5u);
+}
+
 }  // namespace
 }  // namespace bandslim::stats

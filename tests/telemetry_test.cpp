@@ -1,0 +1,308 @@
+// Telemetry tests: sampler boundary stamping and delta/rate arithmetic
+// against hand-computed values, watchdog edge-trigger semantics, full-device
+// reconciliation (telescoping deltas == final counters), byte-identical
+// exports across runs, alert behavior under fault storms vs clean runs, and
+// the disabled-telemetry invariance guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/kvssd.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
+#include "workload/value_gen.h"
+
+namespace bandslim::telemetry {
+namespace {
+
+// --- Sampler unit tests (no device, hand-driven clock) ---------------------
+
+class SamplerUnitTest : public ::testing::Test {
+ protected:
+  Sampler MakeSampler(TelemetryConfig cfg) {
+    cfg.enabled = true;
+    cfg.sample_interval_ns = sim::kMillisecond;
+    Sampler sampler(&clock_, cfg);
+    Sampler::Sources src;
+    src.metrics = &metrics_;
+    sampler.Bind(src);
+    return sampler;
+  }
+
+  sim::VirtualClock clock_;
+  stats::MetricsRegistry metrics_;
+};
+
+TEST_F(SamplerUnitTest, StampsAtIntervalBoundaries) {
+  Sampler sampler = MakeSampler({});
+  stats::Counter* ops = metrics_.GetCounter("nvme.commands_submitted");
+
+  // Inside the first interval: no boundary crossed, no sample.
+  clock_.Advance(500'000);
+  sampler.Poll();
+  EXPECT_TRUE(sampler.samples().empty());
+
+  // Crossing 1 ms: one sample stamped exactly at the boundary.
+  ops->Add(3);
+  clock_.Advance(1'000'000);  // now = 1.5 ms
+  sampler.Poll();
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  EXPECT_EQ(sampler.samples().back().t_ns, 1'000'000u);
+  EXPECT_EQ(sampler.samples().back().interval_ns, 1'000'000u);
+  EXPECT_EQ(sampler.Latest("delta.ops"), 3u);
+  // 3 ops over exactly 1 ms = 3000 ops/s = 3'000'000 milli-ops/s.
+  EXPECT_EQ(sampler.Latest("rate.ops_per_sec_milli"), 3'000'000u);
+
+  // A burst crossing three boundaries yields ONE sample stamped at the last
+  // crossed boundary, with rates divided by the true 3 ms span.
+  ops->Add(10);
+  clock_.Advance(3'200'000);  // now = 4.7 ms
+  sampler.Poll();
+  ASSERT_EQ(sampler.samples().size(), 2u);
+  EXPECT_EQ(sampler.samples().back().t_ns, 4'000'000u);
+  EXPECT_EQ(sampler.samples().back().interval_ns, 3'000'000u);
+  EXPECT_EQ(sampler.Latest("delta.ops"), 10u);
+  // floor(10e9/3e6)*1000 + (10e9 mod 3e6)*1000/3e6 = 3'333'333.
+  EXPECT_EQ(sampler.Latest("rate.ops_per_sec_milli"), 3'333'333u);
+
+  // No boundary since the last sample: Poll is a no-op.
+  sampler.Poll();
+  EXPECT_EQ(sampler.samples().size(), 2u);
+}
+
+TEST_F(SamplerUnitTest, FinalizeClosesAtExactNowAndIsIdempotent) {
+  Sampler sampler = MakeSampler({});
+  stats::Counter* ops = metrics_.GetCounter("nvme.commands_submitted");
+
+  ops->Add(4);
+  clock_.Advance(1'100'000);
+  sampler.Poll();
+  ASSERT_EQ(sampler.samples().size(), 1u);
+
+  // Finalize stamps off-grid at the current time so the closing sample's
+  // cumulative series match the final counters.
+  ops->Add(1);
+  clock_.Advance(600'000);  // now = 1.7 ms, 0.7 ms past the 1 ms stamp
+  sampler.Finalize();
+  ASSERT_EQ(sampler.samples().size(), 2u);
+  EXPECT_EQ(sampler.samples().back().t_ns, 1'700'000u);
+  EXPECT_EQ(sampler.samples().back().interval_ns, 700'000u);
+  EXPECT_EQ(sampler.Latest("delta.ops"), 1u);
+  // floor(1e9/7e5)*1000 + (1e9 mod 7e5)*1000/7e5 = 1'428'571.
+  EXPECT_EQ(sampler.Latest("rate.ops_per_sec_milli"), 1'428'571u);
+  EXPECT_EQ(sampler.Latest("nvme.commands_submitted"), 5u);
+
+  // Same time, nothing new: no duplicate closing sample.
+  sampler.Finalize();
+  EXPECT_EQ(sampler.samples().size(), 2u);
+  EXPECT_EQ(sampler.samples_emitted(), 2u);
+  EXPECT_EQ(sampler.dropped_samples(), 0u);
+}
+
+TEST_F(SamplerUnitTest, WatchdogEdgeTriggersAndRearms) {
+  TelemetryConfig cfg;
+  cfg.rules = {ZeroOpStallRule(/*n=*/2)};
+  Sampler sampler = MakeSampler(cfg);
+  stats::Counter* ops = metrics_.GetCounter("nvme.commands_submitted");
+
+  const auto step = [&](std::uint64_t add_ops) {
+    ops->Add(add_ops);
+    clock_.Advance(sim::kMillisecond);
+    sampler.Poll();
+  };
+
+  step(0);  // holding = 1: below for_intervals, silent.
+  EXPECT_EQ(sampler.watchdog().states()[0].fired, 0u);
+  step(0);  // holding = 2: FIRES.
+  EXPECT_EQ(sampler.watchdog().states()[0].fired, 1u);
+  EXPECT_TRUE(sampler.watchdog().states()[0].active);
+  step(0);  // Still holding: stays active, no re-fire.
+  EXPECT_EQ(sampler.watchdog().states()[0].fired, 1u);
+  step(5);  // Condition breaks: re-arms.
+  EXPECT_FALSE(sampler.watchdog().states()[0].active);
+  step(0);
+  step(0);  // Held twice again: second fire.
+  EXPECT_EQ(sampler.watchdog().states()[0].fired, 2u);
+  EXPECT_EQ(sampler.watchdog().total_fired(), 2u);
+
+  // Each fire appended one alert record carrying the rule index.
+  EXPECT_EQ(sampler.event_log().count(EventType::kAlert), 2u);
+  EXPECT_EQ(sampler.event_log().records().back().a, 0u);
+}
+
+// --- Full-device tests ------------------------------------------------------
+
+KvSsdOptions TelemetryOptions() {
+  KvSsdOptions o;
+  o.telemetry.enabled = true;
+  // Short interval so a few-hundred-op run resolves into many samples.
+  o.telemetry.sample_interval_ns = 20 * sim::kMicrosecond;
+  return o;
+}
+
+void RunSmallWorkload(KvSsd& ssd, int ops) {
+  for (int i = 0; i < ops; ++i) {
+    // Mix of single-command and multi-fragment piggyback sizes.
+    const std::size_t size = (i % 3 == 0) ? 300 : 48;
+    Bytes value = workload::MakeValue(size, 1, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd.Put("key" + std::to_string(i), ByteSpan(value)).ok());
+  }
+  ASSERT_TRUE(ssd.Flush().ok());
+}
+
+std::uint64_t SumSeries(const Sampler& sampler, const std::string& name) {
+  const std::int64_t id = sampler.series().Find(name);
+  if (id < 0) return 0;
+  std::uint64_t sum = 0;
+  for (const Sample& s : sampler.samples()) {
+    sum += s.Value(static_cast<std::uint32_t>(id));
+  }
+  return sum;
+}
+
+TEST(TelemetryDeviceTest, DeltasTelescopeToFinalCounters) {
+  auto ssd = KvSsd::Open(TelemetryOptions()).value();
+  RunSmallWorkload(*ssd, 300);
+  ssd->Hooks().sampler->Finalize();
+
+  const Sampler& t = ssd->telemetry();
+  EXPECT_GT(t.samples().size(), 5u);
+  EXPECT_EQ(t.dropped_samples(), 0u);
+
+  // Per-interval deltas must telescope exactly to the run's final counters:
+  // the closing sample is stamped at `now`, so nothing falls off the end.
+  const KvSsdStats stats = ssd->GetStats();
+  EXPECT_EQ(SumSeries(t, "delta.ops"), stats.commands_submitted);
+  EXPECT_EQ(SumSeries(t, "delta.pcie.h2d_bytes"), stats.pcie_h2d_bytes);
+  EXPECT_EQ(SumSeries(t, "delta.pcie.d2h_bytes"), stats.pcie_d2h_bytes);
+  EXPECT_EQ(SumSeries(t, "delta.nand.pages_programmed"),
+            stats.nand_pages_programmed);
+  EXPECT_EQ(SumSeries(t, "delta.value_bytes"), stats.value_bytes_written);
+
+  // The last sample's cumulative series equal the final counters verbatim.
+  EXPECT_EQ(t.Latest("nvme.commands_submitted"), stats.commands_submitted);
+  EXPECT_EQ(t.Latest("pcie.h2d_bytes"), stats.pcie_h2d_bytes);
+  EXPECT_EQ(t.Latest("nand.pages_programmed"), stats.nand_pages_programmed);
+
+  // Snapshot surfaces the stream sizes.
+  const DeviceSnapshot snap = ssd->Inspect();
+  EXPECT_EQ(snap.telemetry_samples, t.samples().size());
+}
+
+TEST(TelemetryDeviceTest, ExportsAreByteIdenticalAcrossRuns) {
+  const std::vector<std::string> csv_series = {
+      "delta.ops", "rate.ops_per_sec_milli", "rate.pcie.h2d_bytes_per_sec",
+      "rate.taf_milli", "rate.waf_milli"};
+  std::string prom[2], jsonl[2], csv[2];
+  std::size_t sample_count = 0;
+  for (int run = 0; run < 2; ++run) {
+    KvSsdOptions o = TelemetryOptions();
+    o.telemetry.rules = {RetryStormRule(1, 1)};
+    auto ssd = KvSsd::Open(o).value();
+    RunSmallWorkload(*ssd, 200);
+    ssd->Hooks().sampler->Finalize();
+    prom[run] = ToPrometheusText(ssd->telemetry());
+    jsonl[run] = ToJsonl(ssd->telemetry());
+    csv[run] = ToTimeSeriesCsv(ssd->telemetry(), csv_series);
+    sample_count = ssd->telemetry().samples().size();
+  }
+  EXPECT_EQ(prom[0], prom[1]);
+  EXPECT_EQ(jsonl[0], jsonl[1]);
+  EXPECT_EQ(csv[0], csv[1]);
+
+  // Shape: Prometheus exposition carries the sample counter, per-series
+  // gauges, and one alert-total per configured rule.
+  EXPECT_NE(prom[0].find("# TYPE bandslim_telemetry_samples_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom[0].find("# TYPE bandslim_delta_ops gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      prom[0].find("bandslim_watchdog_alerts_total{rule=\"retry_storm\"} 0"),
+      std::string::npos);
+  // CSV: header plus one row per sample.
+  const auto rows = std::count(csv[0].begin(), csv[0].end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(rows), 1u + sample_count);
+  EXPECT_EQ(csv[0].rfind("t_ns,interval_ns,delta.ops,", 0), 0u);
+}
+
+TEST(TelemetryDeviceTest, WatchdogFiresUnderFaultStormOnly) {
+  // Clean run: the retry-storm rule must stay silent.
+  KvSsdOptions clean = TelemetryOptions();
+  clean.telemetry.rules = {RetryStormRule(1, 1)};
+  auto clean_ssd = KvSsd::Open(clean).value();
+  RunSmallWorkload(*clean_ssd, 150);
+  clean_ssd->Hooks().sampler->Finalize();
+  const DeviceSnapshot clean_snap = clean_ssd->Inspect();
+  ASSERT_EQ(clean_snap.alerts.size(), 1u);
+  EXPECT_EQ(clean_snap.alerts[0].rule, "retry_storm");
+  EXPECT_EQ(clean_snap.alerts[0].fired, 0u);
+  EXPECT_EQ(clean_ssd->telemetry().event_log().count(EventType::kTimeout), 0u);
+
+  // Fault storm: dropped commands force retries; the rule must fire and the
+  // event log must carry the timeout/backoff records behind the alert.
+  KvSsdOptions faulty = clean;
+  faulty.fault.command_drop_rate = 0.2;
+  auto faulty_ssd = KvSsd::Open(faulty).value();
+  RunSmallWorkload(*faulty_ssd, 150);
+  faulty_ssd->Hooks().sampler->Finalize();
+  const DeviceSnapshot snap = faulty_ssd->Inspect();
+  ASSERT_EQ(snap.alerts.size(), 1u);
+  EXPECT_GE(snap.alerts[0].fired, 1u);
+  EXPECT_GT(snap.alerts[0].last_fire_ns, 0u);
+  const EventLog& log = faulty_ssd->telemetry().event_log();
+  EXPECT_GE(log.count(EventType::kTimeout), 1u);
+  EXPECT_GE(log.count(EventType::kRetryBackoff), 1u);
+  EXPECT_GE(log.count(EventType::kAlert), 1u);
+  // The alert is attributed to its rule in the JSONL stream.
+  EXPECT_NE(ToJsonl(faulty_ssd->telemetry()).find("\"rule\":\"retry_storm\""),
+            std::string::npos);
+}
+
+TEST(TelemetryDeviceTest, DisabledTelemetryChangesNoSimulatedOutcome) {
+  KvSsdOptions off;  // Default: telemetry disabled.
+  auto off_ssd = KvSsd::Open(off).value();
+  RunSmallWorkload(*off_ssd, 200);
+
+  KvSsdOptions on = TelemetryOptions();
+  on.telemetry.rules = {RetryStormRule(1, 1), ZeroOpStallRule(50)};
+  auto on_ssd = KvSsd::Open(on).value();
+  RunSmallWorkload(*on_ssd, 200);
+  on_ssd->Hooks().sampler->Finalize();
+
+  // Identical simulated outcomes, to the nanosecond and byte.
+  const KvSsdStats a = off_ssd->GetStats();
+  const KvSsdStats b = on_ssd->GetStats();
+  EXPECT_EQ(a.elapsed_ns, b.elapsed_ns);
+  EXPECT_EQ(a.commands_submitted, b.commands_submitted);
+  EXPECT_EQ(a.pcie_h2d_bytes, b.pcie_h2d_bytes);
+  EXPECT_EQ(a.pcie_d2h_bytes, b.pcie_d2h_bytes);
+  EXPECT_EQ(a.nand_pages_programmed, b.nand_pages_programmed);
+  EXPECT_EQ(a.value_bytes_written, b.value_bytes_written);
+
+  // The disabled sampler records nothing.
+  const DeviceSnapshot snap = off_ssd->Inspect();
+  EXPECT_EQ(snap.telemetry_samples, 0u);
+  EXPECT_EQ(snap.telemetry_events, 0u);
+  EXPECT_FALSE(off_ssd->telemetry().enabled());
+}
+
+TEST(TelemetryDeviceTest, PowerCycleEmitsEventAndSamplingContinues) {
+  auto ssd = KvSsd::Open(TelemetryOptions()).value();
+  RunSmallWorkload(*ssd, 100);
+  const std::uint64_t before = ssd->telemetry().samples_emitted();
+  ASSERT_TRUE(ssd->PowerCycle().ok());
+  RunSmallWorkload(*ssd, 100);
+  ssd->Hooks().sampler->Finalize();
+
+  const EventLog& log = ssd->telemetry().event_log();
+  EXPECT_EQ(log.count(EventType::kPowerCycle), 1u);
+  // The sampler keeps running across the rebuilt device (rebound sources).
+  EXPECT_GT(ssd->telemetry().samples_emitted(), before);
+  EXPECT_NE(ToJsonl(ssd->telemetry()).find("\"type\":\"power_cycle\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bandslim::telemetry
