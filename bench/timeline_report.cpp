@@ -6,18 +6,36 @@
 // counters:
 //
 //   1. Reconciliation — per-interval deltas telescoped over all samples must
-//      equal GetStats() exactly (ops, H2D/D2H bytes, NAND pages, value bytes).
+//      equal GetStats() exactly (ops, H2D/D2H bytes, NAND pages, value
+//      bytes), and the per-interval latency-histogram deltas must telescope
+//      to the lifetime histogram (count, sum, and the terminal cumulative
+//      hist.* series).
 //   2. Determinism — the whole run is executed twice; the Prometheus, JSONL
-//      and CSV exports must be byte-identical.
-//   3. Watchdog — zero alerts on the clean run; with --faults (a command-drop
-//      storm) the retry-storm rule must fire and timeout events must appear.
+//      and CSV exports must be byte-identical. The live scrape server is
+//      attached to pass 1 only, so the byte-compare doubles as proof the
+//      server cannot perturb simulated outcomes.
+//   3. Watchdog — zero alerts on the clean run (including the LSM rules);
+//      with --faults (a command-drop storm) the retry-storm rule must fire,
+//      and the compaction storm (a deliberately undersized LSM config) must
+//      fire compaction-debt-budget, level-0-pileup, and memtable-stall.
+//   4. Scrape — with --serve=PORT, GET /metrics and /timeline.jsonl over the
+//      wire must byte-match the in-process exports at the same sample seq.
 //
 // Any violation prints CHECK FAILED and exits nonzero, making this bench a
 // CI gate (ci/verify.sh). --export=PREFIX writes PREFIX.prom / .jsonl / .csv.
+// --serve=PORT (0 = ephemeral) starts the HTTP exporter; with --export, the
+// resolved port is written to PREFIX.port and --serve-hold=MS keeps the
+// server up until the port file is deleted (or MS elapses), so an external
+// scraper (curl/promtool in CI) can hit the live endpoint.
+#include <unistd.h>
+
+#include <chrono>
 #include <fstream>
+#include <thread>
 
 #include "bench_util.h"
 #include "telemetry/export.h"
+#include "telemetry/http_exporter.h"
 #include "workload/value_gen.h"
 
 using namespace bandslim;
@@ -50,6 +68,24 @@ std::uint64_t SumSeries(const telemetry::Sampler& sampler,
   return sum;
 }
 
+std::uint64_t MaxSeries(const telemetry::Sampler& sampler,
+                        const std::string& name) {
+  const std::int64_t id = sampler.series().Find(name);
+  if (id < 0) return 0;
+  std::uint64_t max = 0;
+  for (const telemetry::Sample& s : sampler.samples()) {
+    max = std::max(max, s.Value(static_cast<std::uint32_t>(id)));
+  }
+  return max;
+}
+
+std::uint64_t AlertFires(const DeviceSnapshot& snap, const char* rule) {
+  for (const auto& alert : snap.alerts) {
+    if (alert.rule == rule) return alert.fired;
+  }
+  return 0;
+}
+
 // Per-channel busy permille columns are the heatmap's raw data (the bench
 // geometry has 4 channels).
 const std::vector<std::string> kCsvSeries = {
@@ -61,6 +97,10 @@ const std::vector<std::string> kCsvSeries = {
     "total.taf_milli",
     "gauge.ftl.free_blocks",
     "gauge.buffer.resident_bytes",
+    "gauge.lsm.memtable_bytes",
+    "gauge.lsm.compaction_debt_bytes",
+    "trace.op.put.p50",
+    "trace.op.put.p99",
     "gauge.nand.ch0.busy_permille",
     "gauge.nand.ch1.busy_permille",
     "gauge.nand.ch2.busy_permille",
@@ -78,20 +118,31 @@ KvSsdOptions ReportOptions(bool faults) {
   KvSsdOptions o = DefaultBenchOptions();
   o.driver.method = driver::TransferMethod::kPiggyback;
   o.buffer.policy = buffer::PackingPolicy::kAll;
+  o.trace.enabled = true;  // Feeds the per-op latency percentile series.
   o.telemetry.enabled = true;
   o.telemetry.sample_interval_ns = 50 * sim::kMicrosecond;
-  // Clean runs must stay silent on both rules; the fault storm trips the
-  // retry rule on the first interval containing a resubmission.
-  o.telemetry.rules = {telemetry::RetryStormRule(/*retries=*/1, /*n=*/1),
-                      telemetry::ZeroOpStallRule(/*n=*/10)};
+  // Clean runs must stay silent on every rule; the fault storm trips the
+  // retry rule on the first interval containing a resubmission, and the
+  // compaction storm (separate, undersized config) trips the LSM rules.
+  o.telemetry.rules = {
+      telemetry::RetryStormRule(/*retries=*/1, /*n=*/1),
+      telemetry::ZeroOpStallRule(/*n=*/10),
+      telemetry::CompactionDebtRule(/*budget_bytes=*/2048, /*n=*/1),
+      telemetry::L0PileupRule(/*tables=*/4, /*n=*/1),
+      telemetry::MemtableStallRule(/*stalls=*/1, /*n=*/1),
+  };
   if (faults) o.fault.command_drop_rate = 0.1;
   return o;
 }
 
 // The workload: ops/2 small values (fig08's fine-grained regime), then ops/2
 // at 2 KiB (approaching the crossover), so every over-time curve has a step.
-RunOutput RunTimeline(std::uint64_t ops, bool faults) {
+// `server` non-null attaches the live scrape endpoint to this run and
+// self-scrapes it afterwards.
+RunOutput RunTimeline(std::uint64_t ops, bool faults,
+                      telemetry::HttpExporter* server = nullptr) {
   auto ssd = KvSsd::Open(ReportOptions(faults)).value();
+  if (server != nullptr) ssd->Hooks().sampler->SetSink(server);
   std::uint64_t put_errors = 0;
   for (std::uint64_t i = 0; i < ops; ++i) {
     const std::size_t size = i < ops / 2 ? 64 : 2048;
@@ -151,11 +202,57 @@ RunOutput RunTimeline(std::uint64_t ops, bool faults) {
         "last sample cumulative == pcie_h2d_bytes",
         t.Latest("pcie.h2d_bytes"), out.stats.pcie_h2d_bytes);
 
+  // Percentile pipeline reconciliation: the per-interval histogram deltas
+  // must telescope to the lifetime PUT-latency histogram, and the cumulative
+  // hist.* series must land on the same lifetime count.
+  const auto hists = ssd->metrics().SnapshotHistograms();
+  const auto put_hist = hists.find("trace.op.put.latency_ns");
+  if (put_hist == hists.end()) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: trace.op.put.latency_ns histogram missing\n");
+    ++failures;
+  } else {
+    Check(SumSeries(t, "delta.trace.op.put.count") == put_hist->second.count,
+          "sum(delta.put.count) == lifetime hist count",
+          SumSeries(t, "delta.trace.op.put.count"), put_hist->second.count);
+    Check(SumSeries(t, "delta.trace.op.put.sum") == put_hist->second.sum,
+          "sum(delta.put.sum) == lifetime hist sum",
+          SumSeries(t, "delta.trace.op.put.sum"), put_hist->second.sum);
+    Check(t.Latest("hist.trace.op.put.count") == put_hist->second.count,
+          "last hist.put.count == lifetime hist count",
+          t.Latest("hist.trace.op.put.count"), put_hist->second.count);
+    // The closing interval can contain zero PUTs (the trailing Flush), in
+    // which case its percentile is legitimately 0 — assert over the run.
+    Check(MaxSeries(t, "trace.op.put.p50") > 0, "some interval put p50 nonzero",
+          MaxSeries(t, "trace.op.put.p50"), 1);
+  }
+
+  // Self-scrape: the bytes served over the wire at the final published
+  // sample must equal the file export taken at the same point.
+  if (server != nullptr) {
+    const auto metrics = telemetry::HttpGet(server->port(), "/metrics");
+    Check(metrics.ok() && metrics.value() == out.prom,
+          "GET /metrics byte-matches ToPrometheusText",
+          metrics.ok() ? metrics.value().size() : 0, out.prom.size());
+    const auto jsonl = telemetry::HttpGet(server->port(), "/timeline.jsonl");
+    Check(jsonl.ok() && jsonl.value() == out.jsonl,
+          "GET /timeline.jsonl byte-matches ToJsonl",
+          jsonl.ok() ? jsonl.value().size() : 0, out.jsonl.size());
+    const auto health = telemetry::HttpGet(server->port(), "/healthz");
+    Check(health.ok() &&
+              health.value().find("\"status\":\"ok\"") != std::string::npos,
+          "GET /healthz reports ok", health.ok() ? 1 : 0, 1);
+    const auto missing = telemetry::HttpGet(server->port(), "/nope");
+    Check(!missing.ok(), "GET /nope returns an HTTP error", missing.ok(), 0);
+    Check(server->requests_served() >= 4, "server counted the scrapes",
+          server->requests_served(), 4);
+  }
+
   // The timeline table, printed from the samples alone.
   if (!faults) {
     const auto& samples = t.samples();
-    std::printf("\n%9s %9s %10s %8s %8s %8s %10s\n", "t_ms", "kops/s",
-                "H2D MB/s", "TAF", "WAF", "cumTAF", "free_blk");
+    std::printf("\n%9s %9s %10s %8s %8s %9s %9s %10s\n", "t_ms", "kops/s",
+                "H2D MB/s", "TAF", "WAF", "p50 us", "p99 us", "free_blk");
     const std::size_t stride = std::max<std::size_t>(1, samples.size() / 12);
     for (std::size_t i = 0; i < samples.size();
          i = (i + stride < samples.size() || i + 1 == samples.size())
@@ -166,14 +263,15 @@ RunOutput RunTimeline(std::uint64_t ops, bool faults) {
         const std::int64_t id = t.series().Find(name);
         return id < 0 ? 0 : s.Value(static_cast<std::uint32_t>(id));
       };
-      std::printf("%9.2f %9.1f %10.1f %8.2f %8.2f %8.2f %10llu\n",
+      std::printf("%9.2f %9.1f %10.1f %8.2f %8.2f %9.2f %9.2f %10llu\n",
                   static_cast<double>(s.t_ns) / 1e6,
                   static_cast<double>(val("rate.ops_per_sec_milli")) / 1e6,
                   static_cast<double>(val("rate.pcie.h2d_bytes_per_sec")) /
                       1e6,
                   static_cast<double>(val("rate.taf_milli")) / 1e3,
                   static_cast<double>(val("rate.waf_milli")) / 1e3,
-                  static_cast<double>(val("total.taf_milli")) / 1e3,
+                  static_cast<double>(val("trace.op.put.p50")) / 1e3,
+                  static_cast<double>(val("trace.op.put.p99")) / 1e3,
                   static_cast<unsigned long long>(
                       val("gauge.ftl.free_blocks")));
       if (i + 1 == samples.size()) break;
@@ -183,6 +281,72 @@ RunOutput RunTimeline(std::uint64_t ops, bool faults) {
                     t.event_log().total_emitted()));
   }
   return out;
+}
+
+// Compaction storm: an LSM sized far below the workload (tiny MemTable, L0
+// trigger past 100 runs, L1 target of 1 KiB) so flushes stall behind a full
+// L0, the eventual L0 compaction floods L1 well past its target, and the
+// 64-pass MaybeCompact budget leaves visible compaction debt at sample
+// points. All three LSM watchdog rules must fire, with the compaction and
+// stall events in the log to explain them.
+void RunCompactionStorm(std::uint64_t ops) {
+  KvSsdOptions o = ReportOptions(/*faults=*/false);
+  o.lsm.memtable_limit_bytes = 512;
+  o.lsm.l0_compaction_trigger = 128;
+  o.lsm.level_base_bytes = 1024;
+  // Encoded reference entries are ~20 B, so a 128-run L0 flood splits into
+  // ~100 output tables — more than one 64-pass MaybeCompact can drain, which
+  // is what leaves compaction debt standing at sample points.
+  o.lsm.sstable_target_bytes = 128;
+  o.lsm.max_levels = 3;
+  auto ssd = KvSsd::Open(o).value();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    Bytes value = workload::MakeValue(64, 13, i);
+    if (!ssd->Put("cs" + std::to_string(i), ByteSpan(value)).ok()) {
+      std::fprintf(stderr, "CHECK FAILED: storm PUT %llu rejected\n",
+                   static_cast<unsigned long long>(i));
+      ++failures;
+      return;
+    }
+  }
+  if (!ssd->Flush().ok()) {
+    std::fprintf(stderr, "CHECK FAILED: storm flush rejected\n");
+    ++failures;
+  }
+  ssd->Hooks().sampler->Finalize();
+
+  const DeviceSnapshot snap = ssd->Inspect();
+  const telemetry::Sampler& t = ssd->telemetry();
+  Check(AlertFires(snap, "compaction_debt_over_budget") >= 1,
+        "storm fires compaction-debt-budget rule",
+        AlertFires(snap, "compaction_debt_over_budget"), 1);
+  Check(AlertFires(snap, "l0_pileup") >= 1, "storm fires level-0-pileup rule",
+        AlertFires(snap, "l0_pileup"), 1);
+  Check(AlertFires(snap, "memtable_stall") >= 1,
+        "storm fires memtable-stall rule", AlertFires(snap, "memtable_stall"),
+        1);
+  Check(t.event_log().count(telemetry::EventType::kCompactionStart) >= 1,
+        "compaction_start events logged",
+        t.event_log().count(telemetry::EventType::kCompactionStart), 1);
+  Check(t.event_log().count(telemetry::EventType::kCompactionEnd) >= 1,
+        "compaction_end events logged",
+        t.event_log().count(telemetry::EventType::kCompactionEnd), 1);
+  Check(t.event_log().count(telemetry::EventType::kMemtableStall) >= 1,
+        "memtable_stall events logged",
+        t.event_log().count(telemetry::EventType::kMemtableStall), 1);
+  // Reconciliation against introspection: the closing sample's L0 gauge is
+  // the same table count Inspect() reports, and the telescoped stall deltas
+  // equal the stall events (one event per stall).
+  Check(!snap.lsm_levels.empty() &&
+            t.Latest("gauge.lsm.l0.tables") == snap.lsm_levels[0].tables,
+        "last gauge.lsm.l0.tables == Inspect()",
+        t.Latest("gauge.lsm.l0.tables"),
+        snap.lsm_levels.empty() ? 0 : snap.lsm_levels[0].tables);
+  Check(SumSeries(t, "delta.lsm.memtable_stalls") ==
+            t.event_log().count(telemetry::EventType::kMemtableStall),
+        "sum(delta.memtable_stalls) == stall events",
+        SumSeries(t, "delta.lsm.memtable_stalls"),
+        t.event_log().count(telemetry::EventType::kMemtableStall));
 }
 
 void WriteFile(const std::string& path, const std::string& content) {
@@ -200,15 +364,39 @@ void WriteFile(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   BenchArgs args = ParseArgs(argc, argv, /*default_ops=*/20000);
   std::string export_prefix;
+  bool serve = false;
+  std::uint16_t serve_port = 0;
+  std::uint64_t serve_hold_ms = 0;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--export=", 9) == 0) export_prefix = argv[i] + 9;
+    if (std::strncmp(argv[i], "--export=", 9) == 0) {
+      export_prefix = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve = true;
+      serve_port =
+          static_cast<std::uint16_t>(std::strtoul(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--serve-hold=", 13) == 0) {
+      serve_hold_ms = std::strtoull(argv[i] + 13, nullptr, 10);
+    }
   }
   PrintPlatform("Timeline report: telemetry over virtual time",
                 ReportOptions(false), args);
 
-  std::printf("\n--- clean run (pass 1) ---\n");
-  RunOutput a = RunTimeline(args.ops, /*faults=*/false);
-  std::printf("--- clean run (pass 2: determinism) ---\n");
+  telemetry::HttpExporter server;
+  if (serve) {
+    const Status started = server.Start(serve_port);
+    if (!started.ok()) {
+      std::fprintf(stderr, "CHECK FAILED: --serve: %s\n",
+                   started.message().c_str());
+      return 1;
+    }
+    std::printf("serving /metrics on http://127.0.0.1:%u\n", server.port());
+  }
+
+  std::printf("\n--- clean run (pass 1%s) ---\n",
+              serve ? ", live scrape attached" : "");
+  RunOutput a = RunTimeline(args.ops, /*faults=*/false,
+                            serve ? &server : nullptr);
+  std::printf("--- clean run (pass 2: determinism, no server) ---\n");
   RunOutput b = RunTimeline(args.ops, /*faults=*/false);
   Check(a.prom == b.prom, "double-run Prometheus byte-identical",
         a.prom.size(), b.prom.size());
@@ -225,12 +413,34 @@ int main(int argc, char** argv) {
   Check(f.timeout_events >= 1, "timeout events logged under faults",
         f.timeout_events, 1);
 
+  std::printf("--- compaction storm (undersized LSM) ---\n");
+  RunCompactionStorm(std::max<std::uint64_t>(args.ops, 2000));
+
   if (!export_prefix.empty()) {
     WriteFile(export_prefix + ".prom", a.prom);
     WriteFile(export_prefix + ".jsonl", a.jsonl);
     WriteFile(export_prefix + ".csv", a.csv);
     std::printf("exported %s.{prom,jsonl,csv}\n", export_prefix.c_str());
   }
+
+  // Hold the server up for an external scraper: publish the resolved port,
+  // then wait (wall-clock; virtual time is finished) until the scraper
+  // deletes the port file or the hold expires.
+  if (serve && serve_hold_ms > 0 && !export_prefix.empty()) {
+    const std::string port_path = export_prefix + ".port";
+    WriteFile(port_path, std::to_string(server.port()) + "\n");
+    std::printf("holding server up to %llu ms (delete %s to release)\n",
+                static_cast<unsigned long long>(serve_hold_ms),
+                port_path.c_str());
+    std::fflush(stdout);
+    std::uint64_t waited_ms = 0;
+    while (waited_ms < serve_hold_ms && ::access(port_path.c_str(), F_OK) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      waited_ms += 50;
+    }
+    std::remove(port_path.c_str());
+  }
+  server.Stop();
 
   if (failures != 0) {
     std::fprintf(stderr, "\ntimeline_report: %d check(s) FAILED\n", failures);

@@ -48,17 +48,54 @@ trace_export() {
 }
 
 # Telemetry timeline: the bench itself enforces the hard invariants
-# (telescoped per-interval deltas == final counters, double-run
-# byte-identical exports, watchdog firing under the drop storm and silent on
-# the clean run) and exits nonzero on violation; here we additionally
-# validate the exported formats — Prometheus text exposition via promtool
-# when installed (falling back to a line-grammar check), and the JSONL
-# stream's per-line schema and timestamp ordering via jq.
+# (telescoped per-interval deltas == final counters, histogram deltas
+# telescoping to the lifetime percentile pipeline, double-run byte-identical
+# exports, in-process scrape == file export, watchdog firing under the drop
+# and compaction storms and silent on the clean run) and exits nonzero on
+# violation; here we additionally scrape the live HTTP endpoint from a real
+# external client (curl) and validate the exported formats — Prometheus text
+# exposition via promtool when installed (falling back to a line-grammar
+# check), and the JSONL stream's per-line schema and timestamp ordering via
+# jq.
 telemetry_timeline() {
   local build_dir="$1"
   echo "=== verify pass: telemetry timeline (${build_dir}) ==="
   local out="${build_dir}/timeline"
-  "${build_dir}/bench/timeline_report" --ops=2000 --export="${out}"
+  rm -f "${out}.port"
+  "${build_dir}/bench/timeline_report" --ops=2000 --export="${out}" \
+    --serve=0 --serve-hold=30000 &
+  local bench_pid=$!
+  # The bench writes PREFIX.port once the run finished and the exports are
+  # on disk, then holds the server up until the file is deleted.
+  local waited=0
+  while [ ! -f "${out}.port" ]; do
+    if ! kill -0 "${bench_pid}" 2> /dev/null; then
+      wait "${bench_pid}"
+      echo "telemetry: bench exited before serving" >&2
+      return 1
+    fi
+    sleep 0.2
+    waited=$((waited + 1))
+    if [ "${waited}" -gt 1500 ]; then
+      echo "telemetry: timed out waiting for ${out}.port" >&2
+      kill "${bench_pid}" 2> /dev/null || true
+      return 1
+    fi
+  done
+  local port
+  port="$(cat "${out}.port")"
+  if command -v curl > /dev/null; then
+    curl -sf "http://127.0.0.1:${port}/healthz" | grep -q '"status":"ok"'
+    curl -sf "http://127.0.0.1:${port}/metrics" -o "${out}.scraped.prom"
+    curl -sf "http://127.0.0.1:${port}/timeline.jsonl" -o "${out}.scraped.jsonl"
+    cmp "${out}.scraped.prom" "${out}.prom"
+    cmp "${out}.scraped.jsonl" "${out}.jsonl"
+    echo "telemetry: live scrape byte-matches the file exports"
+  else
+    echo "telemetry: curl not found, external scrape skipped"
+  fi
+  rm -f "${out}.port"  # Releases the hold.
+  wait "${bench_pid}"
   if command -v promtool > /dev/null; then
     promtool check metrics < "${out}.prom"
     echo "telemetry: promtool exposition check passed"

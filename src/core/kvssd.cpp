@@ -42,7 +42,12 @@ void KvSsd::AssembleDevice(std::uint64_t vlog_start_lpn) {
   vlog_ = std::make_unique<vlog::VLog>(ftl_.get(), &clock_, &options_.cost,
                                        &metrics_, buf,
                                        options_.retain_payloads, &tracer_);
-  lsm_ = std::make_unique<lsm::LsmTree>(ftl_.get(), &metrics_, options_.lsm);
+  // Recomputed here (not captured from the ctor) because PowerCycle also
+  // reassembles the device.
+  telemetry::EventLog* elog =
+      sampler_->enabled() ? &sampler_->event_log() : nullptr;
+  lsm_ = std::make_unique<lsm::LsmTree>(ftl_.get(), &metrics_, options_.lsm,
+                                        elog);
   controller_ = std::make_unique<controller::KvController>(
       &clock_, &options_.cost, &metrics_, dma_.get(), vlog_.get(), lsm_.get(),
       options_.controller, &tracer_);
@@ -58,6 +63,7 @@ void KvSsd::BindTelemetry() {
   src.nand = nand_.get();
   src.ftl = ftl_.get();
   src.buffer = &vlog_->buffer();
+  src.lsm = lsm_.get();
   sampler_->Bind(src);
 }
 
@@ -247,6 +253,14 @@ DeviceSnapshot KvSsd::Inspect() const {
   snap.ftl_free_blocks = ftl_->free_blocks();
   snap.ftl_reserve_blocks = ftl_->reserve_remaining();
   snap.ftl_bad_blocks = ftl_->bad_blocks();
+  snap.lsm_memtable_entries = lsm_->memtable_entries();
+  snap.lsm_memtable_bytes = lsm_->memtable_bytes();
+  snap.lsm_pending_trim_tables = lsm_->pending_trim_tables();
+  snap.lsm_compaction_debt_bytes = lsm_->CompactionDebtBytes();
+  for (int l = 0; l < lsm_->level_count(); ++l) {
+    snap.lsm_levels.push_back(
+        {lsm_->TableCount(l), lsm_->LevelBytes(l)});
+  }
   snap.counters = metrics_.SnapshotCounters();
   snap.telemetry_samples = sampler_->samples_emitted();
   snap.telemetry_events = sampler_->event_log().total_emitted();

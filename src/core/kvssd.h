@@ -131,6 +131,17 @@ struct DeviceSnapshot {
   std::uint64_t ftl_reserve_blocks = 0;  // Spare blocks left for remapping.
   std::uint64_t ftl_bad_blocks = 0;
 
+  // LSM / compaction state.
+  std::uint64_t lsm_memtable_entries = 0;
+  std::uint64_t lsm_memtable_bytes = 0;
+  std::uint64_t lsm_pending_trim_tables = 0;  // Dropped, awaiting checkpoint.
+  std::uint64_t lsm_compaction_debt_bytes = 0;
+  struct LevelInfo {
+    std::uint64_t tables = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<LevelInfo> lsm_levels;  // Index 0 = L0 runs.
+
   // Full registry dump (every named counter, sorted by name).
   std::map<std::string, std::uint64_t> counters;
 
@@ -227,40 +238,6 @@ class KvSsd {
     telemetry::Sampler* sampler = nullptr;
   };
   TestHooks Hooks();
-
-  // --- Deprecated accessors (pre-Inspect API). These leak mutable or
-  // deep-structure references; use Inspect() for observation and Hooks()
-  // for the few legitimate mutation points. Scheduled for removal.
-  [[deprecated("use Inspect()")]] const nand::NandFlash& nand() const {
-    return *nand_;
-  }
-  [[deprecated("use Inspect()")]] const ftl::PageFtl& ftl() const {
-    return *ftl_;
-  }
-  [[deprecated("use Inspect()")]] const buffer::NandPageBuffer& page_buffer()
-      const {
-    return vlog_->buffer();
-  }
-  [[deprecated("use Inspect()")]] const lsm::LsmTree& lsm() const {
-    return *lsm_;
-  }
-  [[deprecated("use Hooks().driver")]] driver::KvDriver& raw_driver() {
-    return *driver_;
-  }
-  [[deprecated("use Hooks().clock")]] sim::VirtualClock& mutable_clock() {
-    return clock_;
-  }
-  [[deprecated("use Hooks().transport")]] nvme::NvmeTransport& transport() {
-    return *transport_;
-  }
-  [[deprecated("use Hooks().fault_plan")]] const fault::FaultPlan& fault_plan()
-      const {
-    return fault_plan_;
-  }
-  [[deprecated("use Hooks().fault_plan")]] fault::FaultPlan&
-  mutable_fault_plan() {
-    return fault_plan_;
-  }
 
   // Attaches an additional host driver bound to `queue_id` (must be
   // < options().num_queues). Lives as long as the device.

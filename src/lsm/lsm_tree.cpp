@@ -50,14 +50,18 @@ Status DecodeMeta(ByteSpan data, std::size_t* offset, SSTableMeta* m) {
 }  // namespace
 
 LsmTree::LsmTree(ftl::PageFtl* ftl, stats::MetricsRegistry* metrics,
-                 LsmConfig config)
+                 LsmConfig config, telemetry::EventLog* event_log)
     : ftl_(ftl),
       config_(config),
       mem_(config.seed),
       levels_(static_cast<std::size_t>(config.max_levels)),
       compaction_counter_(metrics->GetCounter("lsm.compactions")),
       flush_counter_(metrics->GetCounter("lsm.memtable_flushes")),
-      bloom_skip_counter_(metrics->GetCounter("lsm.bloom_skips")) {}
+      bloom_skip_counter_(metrics->GetCounter("lsm.bloom_skips")),
+      stall_counter_(metrics->GetCounter("lsm.memtable_stalls")),
+      compaction_bytes_counter_(
+          metrics->GetCounter("lsm.compaction_bytes_written")),
+      event_log_(event_log) {}
 
 Status LsmTree::Put(const std::string& key, const ValueRef& ref) {
   if (key.empty() || key.size() > kMaxKeySize) {
@@ -182,13 +186,29 @@ Result<std::shared_ptr<const std::vector<SSTableEntry>>> LsmTree::Load(
 
 Status LsmTree::FlushMemTable() {
   if (mem_.empty()) return Status::Ok();
+  flush_in_progress_ = true;
+  // A flush that lands while L0 already sits at its compaction trigger is a
+  // write stall: the inline compaction it forces happens on the caller's
+  // (virtual) time, exactly the MemTable-stall regime of RocksDB-style LSMs.
+  if (levels_[0].size() + 1 >=
+      static_cast<std::size_t>(config_.l0_compaction_trigger)) {
+    ++memtable_stalls_;
+    stall_counter_->Increment();
+    if (event_log_ != nullptr) {
+      event_log_->Emit(telemetry::EventType::kMemtableStall,
+                       mem_.approximate_bytes(), levels_[0].size());
+    }
+  }
   std::vector<SSTableEntry> entries;
   entries.reserve(mem_.entry_count());
   for (auto it = mem_.Begin(); it.Valid(); it.Next()) {
     entries.push_back({it.key(), it.ref()});
   }
   auto meta = WriteSSTable(ftl_, next_table_id_++, next_lpn_, entries);
-  if (!meta.ok()) return meta.status();
+  if (!meta.ok()) {
+    flush_in_progress_ = false;
+    return meta.status();
+  }
   next_lpn_ += meta.value().page_count;
   Table table;
   table.meta = meta.value();
@@ -198,7 +218,9 @@ Status LsmTree::FlushMemTable() {
   mem_.Clear();
   ++memtable_flushes_;
   flush_counter_->Increment();
-  return MaybeCompact();
+  const Status compacted = MaybeCompact();
+  flush_in_progress_ = false;
+  return compacted;
 }
 
 std::uint64_t LsmTree::LevelBytes(int level) const {
@@ -213,6 +235,21 @@ std::uint64_t LsmTree::TargetBytes(int level) const {
   double target = static_cast<double>(config_.level_base_bytes);
   for (int l = 1; l < level; ++l) target *= config_.level_size_ratio;
   return static_cast<std::uint64_t>(target);
+}
+
+std::uint64_t LsmTree::CompactionDebtBytes() const {
+  std::uint64_t debt = 0;
+  if (levels_[0].size() >=
+      static_cast<std::size_t>(config_.l0_compaction_trigger)) {
+    debt += LevelBytes(0);
+  }
+  for (int level = 1; level + 1 < config_.max_levels; ++level) {
+    if (levels_[static_cast<std::size_t>(level)].empty()) continue;
+    const std::uint64_t bytes = LevelBytes(level);
+    const std::uint64_t target = TargetBytes(level);
+    if (bytes > target) debt += bytes - target;
+  }
+  return debt;
 }
 
 bool LsmTree::TargetIsBottomMost(int target_level) const {
@@ -241,11 +278,13 @@ Status LsmTree::TrimPendingDrops() {
   return Status::Ok();
 }
 
-Status LsmTree::WriteMerged(std::vector<SSTableEntry> merged, int target_level) {
+Status LsmTree::WriteMerged(std::vector<SSTableEntry> merged, int target_level,
+                            std::uint64_t* bytes_written) {
   auto& target = levels_[static_cast<std::size_t>(target_level)];
   for (auto& out : SplitRun(std::move(merged), config_.sstable_target_bytes)) {
     auto meta = WriteSSTable(ftl_, next_table_id_++, next_lpn_, out);
     if (!meta.ok()) return meta.status();
+    if (bytes_written != nullptr) *bytes_written += meta.value().encoded_bytes;
     next_lpn_ += meta.value().page_count;
     Table table;
     table.meta = meta.value();
@@ -263,6 +302,10 @@ Status LsmTree::WriteMerged(std::vector<SSTableEntry> merged, int target_level) 
 Status LsmTree::CompactL0() {
   auto& l0 = levels_[0];
   if (l0.empty()) return Status::Ok();
+  compaction_in_progress_ = true;
+  if (event_log_ != nullptr) {
+    event_log_->Emit(telemetry::EventType::kCompactionStart, 0, l0.size());
+  }
   std::string lo = l0.front().meta.min_key;
   std::string hi = l0.front().meta.max_key;
   for (const Table& t : l0) {
@@ -300,17 +343,29 @@ Status LsmTree::CompactL0() {
     BANDSLIM_RETURN_IF_ERROR(DropTable(l1[*it]));
     l1.erase(l1.begin() + static_cast<std::ptrdiff_t>(*it));
   }
+  std::uint64_t bytes_written = 0;
   if (!merged.empty()) {
-    BANDSLIM_RETURN_IF_ERROR(WriteMerged(std::move(merged), 1));
+    BANDSLIM_RETURN_IF_ERROR(WriteMerged(std::move(merged), 1, &bytes_written));
   }
   ++compactions_run_;
   compaction_counter_->Increment();
+  compaction_bytes_written_ += bytes_written;
+  compaction_bytes_counter_->Add(bytes_written);
+  if (event_log_ != nullptr) {
+    event_log_->Emit(telemetry::EventType::kCompactionEnd, 0, bytes_written);
+  }
+  compaction_in_progress_ = false;
   return Status::Ok();
 }
 
 Status LsmTree::CompactLevel(int level) {
   auto& src = levels_[static_cast<std::size_t>(level)];
   if (src.empty()) return Status::Ok();
+  compaction_in_progress_ = true;
+  if (event_log_ != nullptr) {
+    event_log_->Emit(telemetry::EventType::kCompactionStart,
+                     static_cast<std::uint64_t>(level), src.size());
+  }
   // Victim: first table (simple deterministic rotation — tables re-enter
   // sorted by key, so repeated picks sweep the key space).
   Table victim = std::move(src.front());
@@ -341,11 +396,20 @@ Status LsmTree::CompactLevel(int level) {
     BANDSLIM_RETURN_IF_ERROR(DropTable(next[*it]));
     next.erase(next.begin() + static_cast<std::ptrdiff_t>(*it));
   }
+  std::uint64_t bytes_written = 0;
   if (!merged.empty()) {
-    BANDSLIM_RETURN_IF_ERROR(WriteMerged(std::move(merged), level + 1));
+    BANDSLIM_RETURN_IF_ERROR(
+        WriteMerged(std::move(merged), level + 1, &bytes_written));
   }
   ++compactions_run_;
   compaction_counter_->Increment();
+  compaction_bytes_written_ += bytes_written;
+  compaction_bytes_counter_->Add(bytes_written);
+  if (event_log_ != nullptr) {
+    event_log_->Emit(telemetry::EventType::kCompactionEnd,
+                     static_cast<std::uint64_t>(level), bytes_written);
+  }
+  compaction_in_progress_ = false;
   return Status::Ok();
 }
 

@@ -19,6 +19,7 @@
 #include "lsm/memtable.h"
 #include "lsm/sstable.h"
 #include "stats/metrics.h"
+#include "telemetry/event_log.h"
 
 namespace bandslim::lsm {
 
@@ -41,8 +42,10 @@ struct LsmConfig {
 
 class LsmTree {
  public:
+  // `event_log` may be null (telemetry disabled): every emit site is a
+  // single pointer test and no simulated state depends on it.
   LsmTree(ftl::PageFtl* ftl, stats::MetricsRegistry* metrics,
-          LsmConfig config = {});
+          LsmConfig config = {}, telemetry::EventLog* event_log = nullptr);
 
   Status Put(const std::string& key, const ValueRef& ref);
   Status Delete(const std::string& key);
@@ -88,6 +91,23 @@ class LsmTree {
   std::uint64_t LevelBytes(int level) const;
   std::uint64_t compactions_run() const { return compactions_run_; }
   std::uint64_t memtable_flushes() const { return memtable_flushes_; }
+  // Tables dropped from the live set still awaiting trim at the next
+  // Checkpoint() — the device's immutable-table queue depth.
+  std::size_t pending_trim_tables() const { return pending_drops_.size(); }
+  // Bytes the compactor still owes, mirroring MaybeCompact()'s triggers
+  // exactly: all of L0 once it reaches the compaction trigger, plus each
+  // deeper level's overage past its target size. Nonzero after a flush only
+  // when the 64-pass bounded-effort budget was exhausted (or mid-command,
+  // which the sampler never observes on the synchronous path).
+  std::uint64_t CompactionDebtBytes() const;
+  std::uint64_t memtable_stalls() const { return memtable_stalls_; }
+  std::uint64_t compaction_bytes_written() const {
+    return compaction_bytes_written_;
+  }
+  // True while the corresponding synchronous operation is on the stack
+  // (visible to samplers invoked from inside it, e.g. via GC polling).
+  bool flush_in_progress() const { return flush_in_progress_; }
+  bool compaction_in_progress() const { return compaction_in_progress_; }
 
  private:
   struct Table {
@@ -115,7 +135,10 @@ class LsmTree {
   Status CompactLevel(int level);
   // Merges `runs` (newest first) into `target_level`, replacing the tables
   // listed in `consumed` (level, index pairs sorted for removal).
-  Status WriteMerged(std::vector<SSTableEntry> merged, int target_level);
+  // `bytes_written` (optional) accumulates the encoded bytes of every
+  // SSTable produced.
+  Status WriteMerged(std::vector<SSTableEntry> merged, int target_level,
+                     std::uint64_t* bytes_written = nullptr);
   bool TargetIsBottomMost(int target_level) const;
   Status DropTable(const Table& table);
   std::uint64_t TargetBytes(int level) const;
@@ -135,10 +158,17 @@ class LsmTree {
   std::uint64_t next_lpn_ = kLsmLpnBase;
   std::uint64_t compactions_run_ = 0;
   std::uint64_t memtable_flushes_ = 0;
+  std::uint64_t memtable_stalls_ = 0;
+  std::uint64_t compaction_bytes_written_ = 0;
+  bool flush_in_progress_ = false;
+  bool compaction_in_progress_ = false;
 
   stats::Counter* compaction_counter_;
   stats::Counter* flush_counter_;
   stats::Counter* bloom_skip_counter_;
+  stats::Counter* stall_counter_;
+  stats::Counter* compaction_bytes_counter_;
+  telemetry::EventLog* event_log_;
 };
 
 }  // namespace bandslim::lsm

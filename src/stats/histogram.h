@@ -12,6 +12,7 @@ namespace bandslim::stats {
 class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
+  using BucketArray = std::array<std::uint64_t, kNumBuckets>;
 
   void Record(std::uint64_t value);
 
@@ -23,6 +24,29 @@ class Histogram {
   // Percentile in [0, 100]; interpolates linearly within a bucket.
   double Percentile(double p) const;
 
+  // Raw cumulative bucket counts. Bucket 0 holds the value 0; bucket i >= 1
+  // holds [2^(i-1), 2^i). The telemetry sampler subtracts two snapshots of
+  // this array to get the histogram of one sample interval.
+  const BucketArray& bucket_counts() const { return buckets_; }
+  static std::uint64_t BucketLowerBound(int bucket) {
+    return bucket == 0 ? 0 : 1ULL << (bucket - 1);
+  }
+  static std::uint64_t BucketUpperBound(int bucket) {
+    return bucket == 0 ? 1 : (bucket >= 63 ? ~0ULL : 1ULL << bucket);
+  }
+
+  // Fixed-point integer quantile estimate (permille in [0, 1000]): finds
+  // the bucket holding rank ceil(permille/1000 * count) and interpolates
+  // linearly inside it in pure integer arithmetic, anchored at the bucket's
+  // lower bound. Deterministic across platforms — no floating point — and
+  // 0 for an empty histogram. `count` must equal the sum of `buckets`.
+  static std::uint64_t QuantileFromBuckets(const BucketArray& buckets,
+                                           std::uint64_t count,
+                                           std::uint32_t permille);
+  std::uint64_t QuantilePermille(std::uint32_t permille) const {
+    return QuantileFromBuckets(buckets_, count_, permille);
+  }
+
   void Merge(const Histogram& other);
   void Reset();
 
@@ -31,7 +55,7 @@ class Histogram {
  private:
   static int BucketFor(std::uint64_t value);
 
-  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  BucketArray buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = ~0ULL;

@@ -62,7 +62,18 @@ std::map<std::string, HistogramSnapshot> MetricsRegistry::SnapshotHistograms()
     out.emplace(name,
                 HistogramSnapshot{h.count(), h.sum(), h.min(), h.max(),
                                   h.Mean(), h.Percentile(50.0),
-                                  h.Percentile(99.0)});
+                                  h.Percentile(99.0), h.QuantilePermille(500),
+                                  h.QuantilePermille(950),
+                                  h.QuantilePermille(990)});
+  }
+  return out;
+}
+
+std::map<std::string, HistogramBuckets>
+MetricsRegistry::SnapshotHistogramBuckets() const {
+  std::map<std::string, HistogramBuckets> out;
+  for (const auto& [name, h] : histograms_) {
+    out.emplace(name, HistogramBuckets{h.bucket_counts(), h.count(), h.sum()});
   }
   return out;
 }

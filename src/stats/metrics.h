@@ -23,6 +23,20 @@ struct HistogramSnapshot {
   double mean = 0.0;
   double p50 = 0.0;
   double p99 = 0.0;
+  // Integer quantile estimates (Histogram::QuantilePermille) — the exact
+  // fixed-point values the telemetry percentile series reconcile against.
+  std::uint64_t q50 = 0;
+  std::uint64_t q95 = 0;
+  std::uint64_t q99 = 0;
+};
+
+// Full cumulative bucket contents of one histogram. Two snapshots taken at
+// consecutive sample boundaries subtract element-wise into the histogram of
+// that interval (counts are monotone, so the difference is well-formed).
+struct HistogramBuckets {
+  Histogram::BucketArray buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
 };
 
 class MetricsRegistry {
@@ -55,6 +69,10 @@ class MetricsRegistry {
   // Summary snapshot of every histogram (name -> summary), sorted by name.
   // Empty histograms are included (count = 0).
   std::map<std::string, HistogramSnapshot> SnapshotHistograms() const;
+
+  // Full bucket snapshot of every histogram, sorted by name. The telemetry
+  // sampler diffs consecutive snapshots to build per-interval histograms.
+  std::map<std::string, HistogramBuckets> SnapshotHistogramBuckets() const;
 
   void ResetAll();
 

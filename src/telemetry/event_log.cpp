@@ -16,6 +16,9 @@ const char* EventTypeName(EventType type) {
     case EventType::kWatermarkLow: return "watermark_low";
     case EventType::kWatermarkCleared: return "watermark_cleared";
     case EventType::kAlert: return "alert";
+    case EventType::kCompactionStart: return "compaction_start";
+    case EventType::kCompactionEnd: return "compaction_end";
+    case EventType::kMemtableStall: return "memtable_stall";
   }
   return "unknown";
 }

@@ -33,8 +33,11 @@ enum class EventType : std::uint8_t {
   kWatermarkLow,     // a = free blocks, b = configured low watermark.
   kWatermarkCleared, // a = free blocks, b = configured low watermark.
   kAlert,            // a = watchdog rule index, b = observed series value.
+  kCompactionStart,  // a = source level, b = tables in the source level.
+  kCompactionEnd,    // a = source level, b = SSTable bytes written.
+  kMemtableStall,    // a = MemTable bytes at flush, b = L0 run count.
 };
-inline constexpr int kNumEventTypes = 12;
+inline constexpr int kNumEventTypes = 15;
 
 const char* EventTypeName(EventType type);
 

@@ -81,12 +81,16 @@ std::string ToJsonl(const Sampler& sampler) {
   };
 
   // Merge by timestamp. An event at t belongs to the interval that a sample
-  // stamped >= t closes, so events sort before an equal-stamped sample.
+  // stamped >= t closes, so events sort before an equal-stamped sample —
+  // except events the sample itself emitted (watchdog alerts, recognized by
+  // seq >= events_before), which sort after it.
   std::size_t si = 0, ei = 0;
   while (si < samples.size() || ei < events.size()) {
     const bool take_event =
         ei < events.size() &&
-        (si >= samples.size() || events[ei].t_ns <= samples[si].t_ns);
+        (si >= samples.size() || events[ei].t_ns < samples[si].t_ns ||
+         (events[ei].t_ns == samples[si].t_ns &&
+          events[ei].seq < samples[si].events_before));
     if (take_event) {
       emit_event(events[ei++]);
     } else {

@@ -1,0 +1,221 @@
+#include "telemetry/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bandslim::telemetry {
+
+namespace {
+
+// Upper bound on an accepted request (method + path + headers). Anything
+// larger is not a scrape and gets dropped.
+constexpr std::size_t kMaxRequestBytes = 8192;
+// Accept-loop poll period: how quickly Stop() is noticed.
+constexpr int kPollMs = 50;
+
+bool SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void SendResponse(int fd, const char* status_line, const char* content_type,
+                  const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status_line;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    SendAll(fd, body.data(), body.size());
+  }
+}
+
+// Reads until the header terminator and returns the request path, or an
+// empty string on malformed/oversized input.
+std::string ReadRequestPath(int fd) {
+  std::string req;
+  char buf[1024];
+  while (req.find("\r\n\r\n") == std::string::npos &&
+         req.size() < kMaxRequestBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  if (req.compare(0, 4, "GET ") != 0) return "";
+  const std::size_t path_end = req.find(' ', 4);
+  if (path_end == std::string::npos) return "";
+  return req.substr(4, path_end - 4);
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+Status HttpExporter::Start(std::uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("http exporter already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                           err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname: " + err);
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::Ok();
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::Publish(std::shared_ptr<const PublishedSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_ = std::move(snapshot);
+}
+
+std::shared_ptr<const PublishedSnapshot> HttpExporter::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+void HttpExporter::ServeLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollMs);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpExporter::HandleConnection(int fd) {
+  const std::string path = ReadRequestPath(fd);
+  requests_served_.fetch_add(1, std::memory_order_acq_rel);
+  if (path.empty()) {
+    SendResponse(fd, "400 Bad Request", "text/plain; charset=utf-8",
+                 "bad request\n");
+    return;
+  }
+  const std::shared_ptr<const PublishedSnapshot> snap = Current();
+  if (path == "/healthz") {
+    // Liveness is meaningful before the first sample too.
+    SendResponse(fd, "200 OK", "application/json",
+                 snap != nullptr ? snap->healthz_json
+                                 : "{\"status\":\"starting\"}\n");
+    return;
+  }
+  if (snap == nullptr) {
+    SendResponse(fd, "503 Service Unavailable", "text/plain; charset=utf-8",
+                 "no snapshot published yet\n");
+    return;
+  }
+  if (path == "/metrics") {
+    SendResponse(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                 snap->metrics_text);
+  } else if (path == "/timeline.jsonl") {
+    SendResponse(fd, "200 OK", "application/x-ndjson", snap->timeline_jsonl);
+  } else {
+    SendResponse(fd, "404 Not Found", "text/plain; charset=utf-8",
+                 "unknown path\n");
+  }
+}
+
+Result<std::string> HttpGet(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  if (!SendAll(fd, req.data(), req.size())) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("send: " + err);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Status::IoError("malformed HTTP response");
+  }
+  if (response.compare(0, 12, "HTTP/1.1 200") != 0) {
+    const std::size_t eol = response.find("\r\n");
+    return Status::IoError("HTTP error: " + response.substr(0, eol));
+  }
+  return response.substr(body_at + 4);
+}
+
+}  // namespace bandslim::telemetry

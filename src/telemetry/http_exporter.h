@@ -1,0 +1,73 @@
+// Live scrape endpoint for the telemetry stream (DESIGN.md 2.5). A minimal,
+// dependency-free HTTP/1.1 server over POSIX sockets that serves
+//
+//   GET /metrics        Prometheus text exposition 0.0.4 (ToPrometheusText)
+//   GET /timeline.jsonl the full sample/event timeline so far (ToJsonl)
+//   GET /healthz        a tiny JSON liveness document
+//
+// from the most recent PublishedSnapshot the Sampler handed to Publish().
+//
+// Concurrency model: the simulation stays single-threaded and deterministic.
+// The Sampler renders each snapshot on the simulation thread and swaps it in
+// under a mutex; the single server thread only ever copies that shared_ptr
+// (same mutex) and reads the immutable strings behind it. Enabling the
+// server cannot perturb virtual-time results — the scraped bytes at sample
+// seq N are identical to the file export taken at the same point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "telemetry/telemetry.h"
+
+namespace bandslim::telemetry {
+
+class HttpExporter : public SnapshotSink {
+ public:
+  HttpExporter() = default;
+  ~HttpExporter() override;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the server thread.
+  Status Start(std::uint16_t port);
+  // Stops the server thread and closes the socket. Safe to call twice.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (resolved after Start when an ephemeral port was asked).
+  std::uint16_t port() const { return port_; }
+  // Requests served since Start (any path, including 404s).
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_acquire);
+  }
+
+  // SnapshotSink: called on the simulation thread at each sample boundary.
+  void Publish(std::shared_ptr<const PublishedSnapshot> snapshot) override;
+
+  // Most recent snapshot (null before the first Publish). Thread-safe.
+  std::shared_ptr<const PublishedSnapshot> Current() const;
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const PublishedSnapshot> snapshot_;
+};
+
+// Blocking one-shot HTTP/1.1 GET against 127.0.0.1:`port`; returns the
+// response body on 200, an error Status otherwise. Used by the bench/CI
+// self-scrape to prove the over-the-wire bytes match the file export.
+Result<std::string> HttpGet(std::uint16_t port, const std::string& path);
+
+}  // namespace bandslim::telemetry

@@ -55,6 +55,11 @@ struct Sample {
                                     // run end for the finalizing sample).
   sim::Nanoseconds interval_ns = 0; // t_ns minus the previous sample's t_ns.
   std::uint64_t seq = 0;
+  // Event-log emit count when this sample was taken. Disambiguates the
+  // timeline order at equal timestamps: events with seq < events_before
+  // happened inside the interval this sample closes (sort before it), while
+  // events this sample itself caused — watchdog alerts — sort after it.
+  std::uint64_t events_before = 0;
 
   // Sorted by series id (the sampler appends in interning order, which is
   // ascending by construction; Value() relies on it).

@@ -1,7 +1,12 @@
 #include "telemetry/telemetry.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
+#include <utility>
+
+#include "lsm/lsm_tree.h"
+#include "telemetry/export.h"
 
 namespace bandslim::telemetry {
 
@@ -26,6 +31,25 @@ std::uint64_t PerSecondMilli(std::uint64_t delta,
 std::uint64_t RatioMilli(std::uint64_t numer, std::uint64_t denom) {
   if (denom == 0) return 0;
   return numer * kMilliScale / denom;
+}
+
+// Histogram "trace.op.put.latency_ns" yields percentile series
+// "trace.op.put.p50" etc.; a bare "..._ns" histogram just drops the unit
+// suffix.
+std::string PercentileBase(const std::string& hist_name) {
+  static constexpr char kLatencySuffix[] = ".latency_ns";
+  static constexpr char kNsSuffix[] = "_ns";
+  if (hist_name.size() > sizeof(kLatencySuffix) - 1 &&
+      hist_name.compare(hist_name.size() - (sizeof(kLatencySuffix) - 1),
+                        sizeof(kLatencySuffix) - 1, kLatencySuffix) == 0) {
+    return hist_name.substr(0, hist_name.size() - (sizeof(kLatencySuffix) - 1));
+  }
+  if (hist_name.size() > sizeof(kNsSuffix) - 1 &&
+      hist_name.compare(hist_name.size() - (sizeof(kNsSuffix) - 1),
+                        sizeof(kNsSuffix) - 1, kNsSuffix) == 0) {
+    return hist_name.substr(0, hist_name.size() - (sizeof(kNsSuffix) - 1));
+  }
+  return hist_name;
 }
 
 const char* PcieClassName(pcie::TrafficClass cls) {
@@ -73,8 +97,18 @@ void Sampler::Poll() {
 void Sampler::Finalize() {
   if (!config_.enabled || !anchored_) return;
   const sim::Nanoseconds now = clock_->Now();
-  if (now <= last_sample_ns_ && next_seq_ > 0) return;
+  // Idempotent: a repeated Finalize with no clock progress — or one landing
+  // on a stamp Poll() already emitted — is a no-op, never a duplicate
+  // closing sample. (Only the very first sample may be stamped at the
+  // anchor itself, hence the next_seq_ guard.)
+  if (now <= last_sample_ns_ && next_seq_ > 0) {
+    // Still guarantee the final state is live: the last Poll() sample may
+    // have fallen between publish cadence points.
+    PublishSnapshot();
+    return;
+  }
   TakeSample(now);
+  PublishSnapshot();
   if (next_boundary_ns_ <= now) {
     next_boundary_ns_ =
         anchor_ns_ +
@@ -119,6 +153,7 @@ void Sampler::TakeSample(sim::Nanoseconds stamp) {
                 cum_ecc = 0;
   std::uint64_t d_ops = 0, d_value_bytes = 0, d_pages = 0, d_timeouts = 0,
                 d_retries = 0, d_prog_fail = 0, d_ecc = 0;
+  std::uint64_t d_stalls = 0, d_compactions = 0, d_comp_bytes = 0;
   if (src_.metrics != nullptr) {
     for (const auto& [name, value] : src_.metrics->SnapshotCounters()) {
       const std::uint64_t delta = cumulative(name, value);
@@ -143,6 +178,12 @@ void Sampler::TakeSample(sim::Nanoseconds stamp) {
       } else if (name == "nand.ecc_corrections") {
         cum_ecc = value;
         d_ecc = delta;
+      } else if (name == "lsm.memtable_stalls") {
+        d_stalls = delta;
+      } else if (name == "lsm.compactions") {
+        d_compactions = delta;
+      } else if (name == "lsm.compaction_bytes_written") {
+        d_comp_bytes = delta;
       }
     }
   }
@@ -218,6 +259,53 @@ void Sampler::TakeSample(sim::Nanoseconds stamp) {
     set("gauge.buffer.dlt_pending", src_.buffer->dlt().size());
   }
 
+  // --- LSM / compaction state ---------------------------------------------
+  if (src_.lsm != nullptr) {
+    set("gauge.lsm.memtable_bytes", src_.lsm->memtable_bytes());
+    set("gauge.lsm.memtable_entries", src_.lsm->memtable_entries());
+    set("gauge.lsm.pending_trim_tables", src_.lsm->pending_trim_tables());
+    set("gauge.lsm.compaction_debt_bytes", src_.lsm->CompactionDebtBytes());
+    set("gauge.lsm.flush_in_progress", src_.lsm->flush_in_progress() ? 1 : 0);
+    set("gauge.lsm.compaction_in_progress",
+        src_.lsm->compaction_in_progress() ? 1 : 0);
+    for (int l = 0; l < src_.lsm->level_count(); ++l) {
+      const std::string base = "gauge.lsm.l" + std::to_string(l);
+      set(base + ".tables", src_.lsm->TableCount(l));
+      set(base + ".bytes", src_.lsm->LevelBytes(l));
+    }
+  }
+
+  // --- Per-interval histogram percentiles ---------------------------------
+  // Only histograms that have ever recorded a value emit series (the tracer
+  // registers its full taxonomy up front; exports stay compact when tracing
+  // is off). An interval with no recordings emits zeros consistently —
+  // QuantileFromBuckets is 0 on an all-zero delta.
+  if (src_.metrics != nullptr) {
+    for (const auto& [name, cur] : src_.metrics->SnapshotHistogramBuckets()) {
+      if (cur.count == 0) continue;
+      stats::HistogramBuckets& last = last_hist_[name];
+      stats::Histogram::BucketArray delta{};
+      for (int i = 0; i < stats::Histogram::kNumBuckets; ++i) {
+        delta[static_cast<std::size_t>(i)] =
+            cur.buckets[static_cast<std::size_t>(i)] -
+            last.buckets[static_cast<std::size_t>(i)];
+      }
+      const std::uint64_t d_count = cur.count - last.count;
+      const std::uint64_t d_sum = cur.sum - last.sum;
+      const std::string base = PercentileBase(name);
+      set("hist." + base + ".count", cur.count);
+      set("delta." + base + ".count", d_count);
+      set("delta." + base + ".sum", d_sum);
+      set(base + ".p50",
+          stats::Histogram::QuantileFromBuckets(delta, d_count, 500));
+      set(base + ".p95",
+          stats::Histogram::QuantileFromBuckets(delta, d_count, 950));
+      set(base + ".p99",
+          stats::Histogram::QuantileFromBuckets(delta, d_count, 990));
+      last = cur;
+    }
+  }
+
   // --- Per-interval deltas and fixed-point rates --------------------------
   set("delta.ops", d_ops);
   set("delta.pcie.h2d_bytes", d_h2d);
@@ -228,6 +316,9 @@ void Sampler::TakeSample(sim::Nanoseconds stamp) {
   set("delta.nvme.retries", d_retries);
   set("delta.nand.program_failures", d_prog_fail);
   set("delta.nand.ecc_corrections", d_ecc);
+  set("delta.lsm.memtable_stalls", d_stalls);
+  set("delta.lsm.compactions", d_compactions);
+  set("delta.lsm.compaction_bytes_written", d_comp_bytes);
 
   set("rate.ops_per_sec_milli", PerSecondMilli(d_ops, s.interval_ns));
   set("rate.pcie.h2d_bytes_per_sec", PerSecond(d_h2d, s.interval_ns));
@@ -251,6 +342,10 @@ void Sampler::TakeSample(sim::Nanoseconds stamp) {
   std::sort(s.values.begin(), s.values.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
+  // Events emitted from here on (watchdog alerts) belong *after* this
+  // sample in the timeline; the exporters use this to break timestamp ties.
+  s.events_before = event_log_.total_emitted();
+
   last_sample_ns_ = stamp;
   if (samples_.size() == config_.sample_capacity) {
     samples_.pop_front();
@@ -258,6 +353,39 @@ void Sampler::TakeSample(sim::Nanoseconds stamp) {
   }
   samples_.push_back(std::move(s));
   watchdog_.Evaluate(samples_.back(), series_, &event_log_);
+
+  // Rendering is O(samples), so publish on a sample-count cadence only;
+  // Finalize publishes the closing sample regardless.
+  if (config_.publish_every != 0 &&
+      samples_.back().seq % config_.publish_every == 0) {
+    PublishSnapshot();
+  }
+}
+
+void Sampler::PublishSnapshot() {
+  if (sink_ == nullptr || samples_.empty() ||
+      samples_.back().seq == last_published_seq_) {
+    return;
+  }
+  auto snap = std::make_shared<PublishedSnapshot>();
+  snap->sample_seq = samples_.back().seq;
+  snap->t_ns = samples_.back().t_ns;
+  snap->metrics_text = ToPrometheusText(*this);
+  snap->timeline_jsonl = ToJsonl(*this);
+  std::string health = "{\"status\":\"ok\",\"sample_seq\":";
+  health += std::to_string(snap->sample_seq);
+  health += ",\"t_ns\":";
+  health += std::to_string(snap->t_ns);
+  health += ",\"samples\":";
+  health += std::to_string(next_seq_);
+  health += ",\"events\":";
+  health += std::to_string(event_log_.total_emitted());
+  health += ",\"alerts_fired\":";
+  health += std::to_string(watchdog_.total_fired());
+  health += "}\n";
+  snap->healthz_json = std::move(health);
+  last_published_seq_ = snap->sample_seq;
+  sink_->Publish(std::move(snap));
 }
 
 }  // namespace bandslim::telemetry

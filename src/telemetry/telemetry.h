@@ -23,6 +23,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "buffer/page_buffer.h"
@@ -36,6 +39,10 @@
 #include "telemetry/sample.h"
 #include "telemetry/watchdog.h"
 
+namespace bandslim::lsm {
+class LsmTree;
+}
+
 namespace bandslim::telemetry {
 
 struct TelemetryConfig {
@@ -48,6 +55,32 @@ struct TelemetryConfig {
   std::size_t event_capacity = 1u << 14;
   // Declarative alert rules evaluated on every sample (telemetry/watchdog.h).
   std::vector<WatchdogRule> rules;
+  // With a SnapshotSink attached, publish a rendered snapshot every Nth
+  // sample (and always at Finalize). Rendering the timeline is O(samples),
+  // so publishing every sample would make a run quadratic in its length; a
+  // live scraper polls at wall-clock timescales and never notices the gap.
+  std::uint64_t publish_every = 64;
+};
+
+// One fully-rendered observation of the run, published by the Sampler at
+// every sample boundary. All fields are immutable after construction, so a
+// snapshot can be handed to another thread (the HTTP exporter) as a
+// shared_ptr<const> with no further synchronization.
+struct PublishedSnapshot {
+  std::uint64_t sample_seq = 0;   // Seq of the sample that triggered publish.
+  sim::Nanoseconds t_ns = 0;      // That sample's virtual timestamp.
+  std::string metrics_text;       // Prometheus 0.0.4, == ToPrometheusText().
+  std::string timeline_jsonl;     // Full timeline so far, == ToJsonl().
+  std::string healthz_json;       // Tiny liveness document for /healthz.
+};
+
+// Consumer of published snapshots. Publish() is called on the simulation
+// thread at each sample boundary; implementations must not block (the HTTP
+// exporter just swaps a shared_ptr under a mutex).
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+  virtual void Publish(std::shared_ptr<const PublishedSnapshot> snapshot) = 0;
 };
 
 class Sampler {
@@ -61,6 +94,7 @@ class Sampler {
     const nand::NandFlash* nand = nullptr;
     const ftl::PageFtl* ftl = nullptr;
     const buffer::NandPageBuffer* buffer = nullptr;
+    const lsm::LsmTree* lsm = nullptr;
   };
 
   Sampler(const sim::VirtualClock* clock, const TelemetryConfig& config);
@@ -96,8 +130,18 @@ class Sampler {
   // samples yet).
   std::uint64_t Latest(const std::string& name) const;
 
+  // Installs (or clears, with nullptr) the snapshot consumer. While set,
+  // every `publish_every`th sample (and the Finalize closing sample) renders
+  // the exports and calls sink->Publish(); the simulated outcome is
+  // unchanged either way.
+  void SetSink(SnapshotSink* sink) { sink_ = sink; }
+
  private:
   void TakeSample(sim::Nanoseconds stamp);
+  // Renders the current state into a PublishedSnapshot and hands it to the
+  // sink. No-op when no sink is set or the latest sample was already
+  // published, so Finalize can call it unconditionally.
+  void PublishSnapshot();
 
   const sim::VirtualClock* clock_;
   TelemetryConfig config_;
@@ -107,6 +151,12 @@ class Sampler {
   SeriesTable series_;
 
   std::deque<Sample> samples_;
+  // Cumulative bucket contents of every active histogram at the previous
+  // sample; the difference against the current registry state is the
+  // interval histogram the percentile series are computed from.
+  std::map<std::string, stats::HistogramBuckets> last_hist_;
+  SnapshotSink* sink_ = nullptr;
+  std::uint64_t last_published_seq_ = ~0ULL;
   bool anchored_ = false;
   sim::Nanoseconds anchor_ns_ = 0;        // Interval grid origin.
   sim::Nanoseconds next_boundary_ns_ = 0;

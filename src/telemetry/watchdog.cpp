@@ -29,6 +29,22 @@ WatchdogRule FreeBlocksLowRule(std::uint64_t blocks, std::uint32_t n) {
                       WatchdogRule::Cmp::kAtMost, blocks, n};
 }
 
+WatchdogRule CompactionDebtRule(std::uint64_t budget_bytes, std::uint32_t n) {
+  return WatchdogRule{"compaction_debt_over_budget",
+                      "gauge.lsm.compaction_debt_bytes",
+                      WatchdogRule::Cmp::kAbove, budget_bytes, n};
+}
+
+WatchdogRule L0PileupRule(std::uint64_t tables, std::uint32_t n) {
+  return WatchdogRule{"l0_pileup", "gauge.lsm.l0.tables",
+                      WatchdogRule::Cmp::kAtLeast, tables, n};
+}
+
+WatchdogRule MemtableStallRule(std::uint64_t stalls, std::uint32_t n) {
+  return WatchdogRule{"memtable_stall", "delta.lsm.memtable_stalls",
+                      WatchdogRule::Cmp::kAtLeast, stalls, n};
+}
+
 namespace {
 
 bool Holds(WatchdogRule::Cmp cmp, std::uint64_t value,

@@ -53,6 +53,16 @@ WatchdogRule QueueSaturationRule(std::uint16_t q, std::uint64_t inflight,
                                  std::uint32_t n);
 // FTL free-block pool at or below `blocks` for `n` intervals (GC pressure).
 WatchdogRule FreeBlocksLowRule(std::uint64_t blocks, std::uint32_t n);
+// LSM compaction debt (bytes past each level's trigger) above `budget_bytes`
+// at `n` consecutive sample points — the bounded-effort compactor is not
+// keeping up with the ingest rate.
+WatchdogRule CompactionDebtRule(std::uint64_t budget_bytes, std::uint32_t n);
+// At least `tables` L0 runs at `n` consecutive sample points (read-path
+// pileup: every L0 run is an extra overlapping probe per GET).
+WatchdogRule L0PileupRule(std::uint64_t tables, std::uint32_t n);
+// At least `stalls` MemTable flush stalls within each of `n` intervals
+// (a flush landed while L0 was already at its compaction trigger).
+WatchdogRule MemtableStallRule(std::uint64_t stalls, std::uint32_t n);
 
 struct AlertState {
   std::uint64_t fired = 0;     // Edge-triggered fire count.

@@ -80,6 +80,11 @@ Tracer::Tracer(sim::VirtualClock* clock, stats::MetricsRegistry* metrics,
         std::string("trace.stage.") +
         CategoryName(static_cast<Category>(i)) + "_ns");
   }
+  for (int i = 0; i < kNumOpTypes; ++i) {
+    op_type_hists_[i] = metrics->RegisterHistogram(
+        std::string("trace.op.") + OpTypeName(static_cast<OpType>(i)) +
+        ".latency_ns");
+  }
   span_stack_.reserve(16);
 }
 
@@ -117,6 +122,8 @@ void Tracer::EndOp() {
   assert(op_active_ && !cmd_active_ && span_stack_.empty());
   cur_op_.end_ns = clock_->Now();
   op_latency_hist_->Record(cur_op_.end_ns - cur_op_.start_ns);
+  op_type_hists_[static_cast<int>(cur_op_.type)]->Record(cur_op_.end_ns -
+                                                         cur_op_.start_ns);
   if (ops_.size() == config_.op_capacity) {
     ops_.pop_front();
     ++dropped_ops_;

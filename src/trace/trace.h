@@ -68,6 +68,7 @@ enum class OpType : std::uint8_t {
   kRecovery,
   kOther,
 };
+inline constexpr int kNumOpTypes = 13;
 const char* OpTypeName(OpType t);
 
 struct TraceConfig {
@@ -215,6 +216,9 @@ class Tracer {
   stats::Histogram* op_latency_hist_;
   stats::Histogram* cmd_latency_hist_;
   std::array<stats::Histogram*, kNumCategories> stage_hists_;
+  // Per-op-type latency ("trace.op.put.latency_ns", ...) feeding the
+  // sampler's per-interval p50/p95/p99 series.
+  std::array<stats::Histogram*, kNumOpTypes> op_type_hists_;
 };
 
 // Single hot-path check shared by all scopes and instrumentation sites.

@@ -79,8 +79,11 @@ TEST_F(BlockSsdTest, UnwrittenBlocksReadZero) {
 TEST_F(BlockSsdTest, EvictionBoundsCache) {
   blockdev::BlockSsdConfig config;
   config.write_buffer_entries = 2;
-  blockdev::BlockSsd tiny(SmallGeometry(), &clock_, &cost_, &link_, &metrics_,
-                          config);
+  // Own registry: the fixture's ssd_ already registered the NAND counters,
+  // and counter registration is single-writer (duplicate asserts).
+  stats::MetricsRegistry tiny_metrics;
+  blockdev::BlockSsd tiny(SmallGeometry(), &clock_, &cost_, &link_,
+                          &tiny_metrics, config);
   Bytes block(blockdev::kBlockSize, 0x22);
   // Touch 8 different NAND pages with one block each: evictions must flush.
   for (std::uint64_t lba = 0; lba < 32; lba += 4) {

@@ -1,0 +1,128 @@
+// HTTP exporter tests: server lifecycle on ephemeral ports, routing
+// (/metrics, /timeline.jsonl, /healthz, 404, 503-before-first-publish),
+// snapshot swap semantics, and the end-to-end guarantee the CI scrape relies
+// on — the bytes served over a real loopback socket equal the in-process
+// exports at the same sample seq.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/kvssd.h"
+#include "telemetry/export.h"
+#include "telemetry/http_exporter.h"
+#include "workload/value_gen.h"
+
+namespace bandslim::telemetry {
+namespace {
+
+std::shared_ptr<const PublishedSnapshot> MakeSnapshot(std::uint64_t seq) {
+  auto snap = std::make_shared<PublishedSnapshot>();
+  snap->sample_seq = seq;
+  snap->t_ns = seq * 1000;
+  snap->metrics_text = "# seq " + std::to_string(seq) + "\nmetric 1\n";
+  snap->timeline_jsonl = "{\"seq\":" + std::to_string(seq) + "}\n";
+  snap->healthz_json = "{\"status\":\"ok\",\"sample_seq\":" +
+                       std::to_string(seq) + "}\n";
+  return snap;
+}
+
+TEST(HttpExporterTest, StartStopLifecycle) {
+  HttpExporter server;
+  EXPECT_FALSE(server.running());
+  ASSERT_TRUE(server.Start(0).ok());  // 0 = kernel-assigned ephemeral port.
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  // A second Start while running is refused, not a silent rebind.
+  EXPECT_TRUE(server.Start(0).IsAlreadyExists());
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // Idempotent.
+  // Restartable after Stop, picking up a fresh socket.
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+}
+
+TEST(HttpExporterTest, HealthzLivesBeforeFirstPublishOtherPathsAre503) {
+  HttpExporter server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const auto health = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health.value().find("starting"), std::string::npos);
+  // No snapshot yet: scrape paths answer 503, not empty documents.
+  const auto metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_NE(metrics.status().message().find("503"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpExporterTest, ServesLatestPublishedSnapshot) {
+  HttpExporter server;
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Publish(MakeSnapshot(1));
+  server.Publish(MakeSnapshot(2));  // Swap: only the latest is visible.
+
+  const auto metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value(), "# seq 2\nmetric 1\n");
+  const auto jsonl = HttpGet(server.port(), "/timeline.jsonl");
+  ASSERT_TRUE(jsonl.ok());
+  EXPECT_EQ(jsonl.value(), "{\"seq\":2}\n");
+  const auto health = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health.value().find("\"sample_seq\":2"), std::string::npos);
+
+  const auto missing = HttpGet(server.port(), "/no-such-path");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("404"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 4u);
+  ASSERT_NE(server.Current(), nullptr);
+  EXPECT_EQ(server.Current()->sample_seq, 2u);
+  server.Stop();
+}
+
+TEST(HttpExporterTest, PortCollisionReportsIoError) {
+  HttpExporter first;
+  ASSERT_TRUE(first.Start(0).ok());
+  HttpExporter second;
+  const Status status = second.Start(first.port());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bind"), std::string::npos);
+  first.Stop();
+}
+
+TEST(HttpExporterTest, DeviceScrapeMatchesInProcessExports) {
+  KvSsdOptions o;
+  o.trace.enabled = true;
+  o.telemetry.enabled = true;
+  o.telemetry.sample_interval_ns = 20 * sim::kMicrosecond;
+  auto ssd = KvSsd::Open(o).value();
+
+  HttpExporter server;
+  ASSERT_TRUE(server.Start(0).ok());
+  ssd->Hooks().sampler->SetSink(&server);
+
+  for (int i = 0; i < 150; ++i) {
+    Bytes value = workload::MakeValue(64, 3, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put("k" + std::to_string(i), ByteSpan(value)).ok());
+  }
+  ASSERT_TRUE(ssd->Flush().ok());
+  ssd->Hooks().sampler->Finalize();
+
+  // Finalize always publishes the closing sample, so the wire bytes equal
+  // the exports rendered right now — the CI gate's core invariant.
+  const auto metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value(), ToPrometheusText(ssd->telemetry()));
+  const auto jsonl = HttpGet(server.port(), "/timeline.jsonl");
+  ASSERT_TRUE(jsonl.ok());
+  EXPECT_EQ(jsonl.value(), ToJsonl(ssd->telemetry()));
+  ASSERT_NE(server.Current(), nullptr);
+  EXPECT_EQ(server.Current()->sample_seq,
+            ssd->telemetry().samples().back().seq);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace bandslim::telemetry

@@ -530,5 +530,109 @@ TEST_F(LsmTreeTest, BloomSurvivesManifestRoundTrip) {
   }
 }
 
+// ----------------------- Telemetry instrumentation -------------------------
+
+TEST_F(LsmTreeTest, MemtableStallCountsAndEmitsEvents) {
+  // A fresh tree wired to an event log; trigger 3 means the third flush
+  // lands while L0 already holds 2 runs -> that flush is a stall.
+  telemetry::EventLog log(&clock_, 64);
+  LsmConfig cfg = Config();
+  cfg.memtable_limit_bytes = 1 << 20;  // Flush manually, not by size.
+  LsmTree tree(&ftl_, &metrics_, cfg, &log);
+
+  for (int flush = 0; flush < 2; ++flush) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          tree.Put(Key(flush * 10 + i), {static_cast<std::uint64_t>(i), 4,
+                                         false})
+              .ok());
+    }
+    ASSERT_TRUE(tree.FlushMemTable().ok());
+  }
+  EXPECT_EQ(tree.memtable_stalls(), 0u);
+  EXPECT_EQ(log.count(telemetry::EventType::kMemtableStall), 0u);
+
+  ASSERT_TRUE(tree.Put(Key(99), {1, 4, false}).ok());
+  ASSERT_TRUE(tree.FlushMemTable().ok());  // L0 was at 2: 2+1 >= trigger 3.
+  EXPECT_EQ(tree.memtable_stalls(), 1u);
+  EXPECT_EQ(metrics_.CounterValue("lsm.memtable_stalls"), 1u);
+  EXPECT_EQ(log.count(telemetry::EventType::kMemtableStall), 1u);
+  // The stall flush pushed L0 to the trigger, so it compacted down inline.
+  EXPECT_GE(log.count(telemetry::EventType::kCompactionStart), 1u);
+  EXPECT_EQ(log.count(telemetry::EventType::kCompactionStart),
+            log.count(telemetry::EventType::kCompactionEnd));
+  EXPECT_EQ(tree.CompactionDebtBytes(), 0u);  // Fully drained.
+  EXPECT_FALSE(tree.flush_in_progress());
+  EXPECT_FALSE(tree.compaction_in_progress());
+}
+
+TEST_F(LsmTreeTest, CompactionEventsCarryLevelAndBytes) {
+  telemetry::EventLog log(&clock_, 256);
+  LsmTree tree(&ftl_, &metrics_, Config(), &log);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Put(Key(i), {static_cast<std::uint64_t>(i), 4, false})
+                    .ok());
+  }
+  ASSERT_TRUE(tree.FlushMemTable().ok());
+  ASSERT_GE(log.count(telemetry::EventType::kCompactionStart), 1u);
+
+  std::uint64_t end_bytes = 0;
+  for (const auto& rec : log.records()) {
+    if (rec.type == telemetry::EventType::kCompactionStart) {
+      // a = source level, b = tables in the source level at entry.
+      EXPECT_LT(rec.a, static_cast<std::uint64_t>(Config().max_levels));
+      EXPECT_GE(rec.b, 1u);
+    } else if (rec.type == telemetry::EventType::kCompactionEnd) {
+      end_bytes += rec.b;  // b = SSTable bytes written by this compaction.
+    }
+  }
+  EXPECT_GT(end_bytes, 0u);
+  EXPECT_EQ(end_bytes, tree.compaction_bytes_written());
+  EXPECT_EQ(metrics_.CounterValue("lsm.compaction_bytes_written"), end_bytes);
+}
+
+TEST_F(LsmTreeTest, CompactionDebtAppearsWhenPassBudgetExhausts) {
+  // An L0 flood bigger than one 64-pass MaybeCompact can drain: trigger 100
+  // runs of ~20 B encoded entries, split into 64-byte output tables. Debt
+  // must become visible right after the flood flush, then drain back to
+  // zero as later flushes spend their own compaction budgets.
+  LsmConfig cfg;
+  cfg.memtable_limit_bytes = 256;
+  cfg.l0_compaction_trigger = 100;
+  cfg.level_base_bytes = 256;
+  cfg.sstable_target_bytes = 64;
+  cfg.max_levels = 3;
+  LsmTree tree(&ftl_, &metrics_, cfg);
+
+  bool saw_debt = false;
+  int i = 0;
+  for (; i < 4000 && !saw_debt; ++i) {
+    ASSERT_TRUE(tree.Put(Key(i), {static_cast<std::uint64_t>(i), 4, false})
+                    .ok());
+    saw_debt = tree.CompactionDebtBytes() > 0;
+  }
+  ASSERT_TRUE(saw_debt) << "flood never exceeded the compaction budget";
+  for (; i < 8000 && tree.CompactionDebtBytes() > 0; ++i) {
+    ASSERT_TRUE(tree.Put(Key(i), {static_cast<std::uint64_t>(i), 4, false})
+                    .ok());
+  }
+  EXPECT_EQ(tree.CompactionDebtBytes(), 0u) << "debt never drained";
+}
+
+TEST_F(LsmTreeTest, PendingTrimTablesDropsToZeroAfterCheckpoint) {
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(
+          lsm_.Put(Key(i), {static_cast<std::uint64_t>(round), 4, false})
+              .ok());
+    }
+  }
+  ASSERT_TRUE(lsm_.FlushMemTable().ok());
+  // Churn replaced tables; their pages wait for a checkpoint to be trimmed.
+  EXPECT_GT(lsm_.pending_trim_tables(), 0u);
+  ASSERT_TRUE(lsm_.Checkpoint(0).ok());
+  EXPECT_EQ(lsm_.pending_trim_tables(), 0u);
+}
+
 }  // namespace
 }  // namespace bandslim::lsm

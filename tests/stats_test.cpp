@@ -163,5 +163,112 @@ TEST(MetricsRegistryTest, RegistrationThenReattachViaGetCounter) {
   EXPECT_EQ(reg.CounterValue("buffer.flushed_pages"), 5u);
 }
 
+// ------------------- Integer quantiles (telemetry pipeline) ----------------
+
+TEST(QuantileTest, HandComputedBuckets) {
+  // 2 zeros, 2 values in [4,8), 6 values in [16,32): count = 10.
+  Histogram::BucketArray b{};
+  b[0] = 2;
+  b[3] = 2;
+  b[5] = 6;
+  // p0 reads the minimum: rank clamps to 1, landing in bucket 0.
+  EXPECT_EQ(Histogram::QuantileFromBuckets(b, 10, 0), 0u);
+  // p50: rank ceil(10*0.5) = 5, position 1 of 6 in [16,32) -> lower edge.
+  EXPECT_EQ(Histogram::QuantileFromBuckets(b, 10, 500), 16u);
+  // p90: rank 9, position 5 of 6 -> 16 + 16*4/6 = 26.
+  EXPECT_EQ(Histogram::QuantileFromBuckets(b, 10, 900), 26u);
+  // p100: rank 10, position 6 of 6 -> 16 + 16*5/6 = 29.
+  EXPECT_EQ(Histogram::QuantileFromBuckets(b, 10, 1000), 29u);
+}
+
+TEST(QuantileTest, RankFallsOnBucketBoundary) {
+  Histogram::BucketArray b{};
+  b[1] = 1;  // The value 1.
+  b[2] = 1;  // One value in [2,4).
+  // p50: rank ceil(2*0.5) = 1 stays in the first bucket.
+  EXPECT_EQ(Histogram::QuantileFromBuckets(b, 2, 500), 1u);
+  // Just past the boundary: rank 2 moves to the second bucket's lower edge.
+  EXPECT_EQ(Histogram::QuantileFromBuckets(b, 2, 510), 2u);
+}
+
+TEST(QuantileTest, EmptyBucketsYieldZeroNotDivByZero) {
+  Histogram::BucketArray b{};
+  for (std::uint32_t p : {0u, 500u, 990u, 1000u}) {
+    EXPECT_EQ(Histogram::QuantileFromBuckets(b, 0, p), 0u);
+  }
+  Histogram empty;
+  EXPECT_EQ(empty.QuantilePermille(500), 0u);
+}
+
+TEST(QuantileTest, PermilleAboveRangeClampsTo1000) {
+  Histogram::BucketArray b{};
+  b[7] = 4;  // [64,128).
+  EXPECT_EQ(Histogram::QuantileFromBuckets(b, 4, 5000),
+            Histogram::QuantileFromBuckets(b, 4, 1000));
+}
+
+TEST(QuantileTest, SingleValueReportsItsBucketLowerBound) {
+  Histogram h;
+  h.Record(100);  // Bucket [64,128).
+  for (std::uint32_t p : {0u, 500u, 950u, 990u, 1000u}) {
+    EXPECT_EQ(h.QuantilePermille(p), 64u);
+  }
+}
+
+TEST(QuantileTest, DeltaBucketsMatchFreshHistogramOfSecondBatch) {
+  // The sampler computes per-interval quantiles from bucket-array deltas;
+  // subtracting snapshots must behave exactly like a histogram that only
+  // ever saw the second batch.
+  Histogram lifetime;
+  for (std::uint64_t v : {10u, 20u, 3000u}) lifetime.Record(v);
+  const Histogram::BucketArray first = lifetime.bucket_counts();
+  const std::uint64_t first_count = lifetime.count();
+
+  Histogram second_only;
+  for (std::uint64_t v : {5u, 900u, 900u, 65536u}) {
+    lifetime.Record(v);
+    second_only.Record(v);
+  }
+  Histogram::BucketArray delta{};
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    delta[static_cast<std::size_t>(i)] =
+        lifetime.bucket_counts()[static_cast<std::size_t>(i)] -
+        first[static_cast<std::size_t>(i)];
+  }
+  const std::uint64_t delta_count = lifetime.count() - first_count;
+  ASSERT_EQ(delta_count, second_only.count());
+  for (std::uint32_t p : {0u, 500u, 950u, 990u, 1000u}) {
+    EXPECT_EQ(Histogram::QuantileFromBuckets(delta, delta_count, p),
+              second_only.QuantilePermille(p));
+  }
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotCarriesQuantiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("trace.op.put.latency_ns");
+  for (int i = 0; i < 8; ++i) h->Record(100);
+  const auto snaps = reg.SnapshotHistograms();
+  const auto it = snaps.find("trace.op.put.latency_ns");
+  ASSERT_NE(it, snaps.end());
+  EXPECT_EQ(it->second.q50, h->QuantilePermille(500));
+  EXPECT_EQ(it->second.q95, h->QuantilePermille(950));
+  EXPECT_EQ(it->second.q99, h->QuantilePermille(990));
+}
+
+TEST(MetricsRegistryTest, SnapshotHistogramBucketsMatchesLiveArrays) {
+  MetricsRegistry reg;
+  Histogram* a = reg.GetHistogram("a.latency_ns");
+  Histogram* b = reg.GetHistogram("b.latency_ns");
+  a->Record(7);
+  a->Record(7);
+  b->Record(1 << 20);
+  const auto buckets = reg.SnapshotHistogramBuckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets.at("a.latency_ns").count, 2u);
+  EXPECT_EQ(buckets.at("a.latency_ns").sum, 14u);
+  EXPECT_EQ(buckets.at("a.latency_ns").buckets, a->bucket_counts());
+  EXPECT_EQ(buckets.at("b.latency_ns").buckets, b->bucket_counts());
+}
+
 }  // namespace
 }  // namespace bandslim::stats

@@ -304,5 +304,235 @@ TEST(TelemetryDeviceTest, PowerCycleEmitsEventAndSamplingContinues) {
             std::string::npos);
 }
 
+// --------------------- Percentile pipeline (sampler) ------------------------
+
+TEST_F(SamplerUnitTest, PercentileSeriesFromHistogramDeltas) {
+  Sampler sampler = MakeSampler({});
+  stats::Histogram* h = metrics_.GetHistogram("trace.op.put.latency_ns");
+
+  // Interval 1: three values of 100 ns, all in bucket [64,128).
+  for (int i = 0; i < 3; ++i) h->Record(100);
+  clock_.Advance(sim::kMillisecond);
+  sampler.Poll();
+  // p50: rank ceil(3*0.5) = 2, position 2 of 3 -> 64 + 64*1/3 = 85.
+  EXPECT_EQ(sampler.Latest("trace.op.put.p50"), 85u);
+  // p95/p99: rank 3, position 3 of 3 -> 64 + 64*2/3 = 106.
+  EXPECT_EQ(sampler.Latest("trace.op.put.p95"), 106u);
+  EXPECT_EQ(sampler.Latest("trace.op.put.p99"), 106u);
+  EXPECT_EQ(sampler.Latest("delta.trace.op.put.count"), 3u);
+  EXPECT_EQ(sampler.Latest("delta.trace.op.put.sum"), 300u);
+  EXPECT_EQ(sampler.Latest("hist.trace.op.put.count"), 3u);
+
+  // Interval 2: no records. Empty-interval percentiles are 0, never NaN or
+  // a stale carry-over; the cumulative count holds.
+  clock_.Advance(sim::kMillisecond);
+  sampler.Poll();
+  EXPECT_EQ(sampler.Latest("trace.op.put.p50"), 0u);
+  EXPECT_EQ(sampler.Latest("trace.op.put.p99"), 0u);
+  EXPECT_EQ(sampler.Latest("delta.trace.op.put.count"), 0u);
+  EXPECT_EQ(sampler.Latest("delta.trace.op.put.sum"), 0u);
+  EXPECT_EQ(sampler.Latest("hist.trace.op.put.count"), 3u);
+
+  // Interval 3: one value of 7 ns (bucket [4,8)) — the interval quantile
+  // reflects only this interval, not the lifetime distribution.
+  h->Record(7);
+  clock_.Advance(sim::kMillisecond);
+  sampler.Poll();
+  EXPECT_EQ(sampler.Latest("trace.op.put.p50"), 4u);
+  EXPECT_EQ(sampler.Latest("trace.op.put.p99"), 4u);
+  EXPECT_EQ(sampler.Latest("delta.trace.op.put.sum"), 7u);
+  EXPECT_EQ(sampler.Latest("hist.trace.op.put.count"), 4u);
+
+  // Telescoping: interval delta counts/sums add up to the lifetime.
+  std::uint64_t dcount = 0, dsum = 0;
+  const auto cid = sampler.series().Find("delta.trace.op.put.count");
+  const auto sid = sampler.series().Find("delta.trace.op.put.sum");
+  ASSERT_GE(cid, 0);
+  ASSERT_GE(sid, 0);
+  for (const Sample& s : sampler.samples()) {
+    dcount += s.Value(static_cast<std::uint32_t>(cid));
+    dsum += s.Value(static_cast<std::uint32_t>(sid));
+  }
+  EXPECT_EQ(dcount, h->count());
+  EXPECT_EQ(dsum, h->sum());
+}
+
+TEST_F(SamplerUnitTest, HistogramWithNoRecordsEmitsNoSeries) {
+  Sampler sampler = MakeSampler({});
+  metrics_.GetHistogram("trace.op.get.latency_ns");  // Never recorded into.
+  clock_.Advance(sim::kMillisecond);
+  sampler.Poll();
+  EXPECT_LT(sampler.series().Find("trace.op.get.p50"), 0);
+  EXPECT_LT(sampler.series().Find("hist.trace.op.get.count"), 0);
+}
+
+// ------------------- Export ordering and snapshot publishing ----------------
+
+TEST_F(SamplerUnitTest, EventAtSampleBoundaryOrdersBeforeSampleAlertAfter) {
+  TelemetryConfig cfg;
+  cfg.rules = {ZeroOpStallRule(/*n=*/1)};  // Fires on the first 0-op sample.
+  Sampler sampler = MakeSampler(cfg);
+  metrics_.GetCounter("nvme.commands_submitted");  // delta.ops = 0.
+
+  // An event emitted at exactly the boundary timestamp, before the sample
+  // is taken, must serialize BEFORE the sample line; the watchdog alert the
+  // sample raises (same timestamp again) must serialize AFTER it.
+  clock_.Advance(sim::kMillisecond);
+  sampler.event_log().Emit(EventType::kTimeout, 7, 0);
+  sampler.Poll();
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  ASSERT_EQ(sampler.event_log().records().size(), 2u);  // timeout + alert.
+  EXPECT_EQ(sampler.samples().back().events_before, 1u);
+
+  const std::string jsonl = ToJsonl(sampler);
+  const std::size_t timeout_at = jsonl.find("\"type\":\"timeout\"");
+  const std::size_t sample_at = jsonl.find("\"kind\":\"sample\"");
+  const std::size_t alert_at = jsonl.find("\"type\":\"alert\"");
+  ASSERT_NE(timeout_at, std::string::npos);
+  ASSERT_NE(sample_at, std::string::npos);
+  ASSERT_NE(alert_at, std::string::npos);
+  EXPECT_LT(timeout_at, sample_at);
+  EXPECT_LT(sample_at, alert_at);
+}
+
+class RecordingSink : public SnapshotSink {
+ public:
+  void Publish(std::shared_ptr<const PublishedSnapshot> snapshot) override {
+    published.push_back(std::move(snapshot));
+  }
+  std::vector<std::shared_ptr<const PublishedSnapshot>> published;
+};
+
+TEST_F(SamplerUnitTest, PublishCadenceAndFinalizeAlwaysPublish) {
+  TelemetryConfig cfg;
+  cfg.publish_every = 2;
+  Sampler sampler = MakeSampler(cfg);
+  RecordingSink sink;
+  sampler.SetSink(&sink);
+  stats::Counter* ops = metrics_.GetCounter("nvme.commands_submitted");
+
+  for (int i = 0; i < 5; ++i) {
+    ops->Add(1);
+    clock_.Advance(sim::kMillisecond);
+    sampler.Poll();
+  }
+  // Samples seq 0..4; cadence 2 publishes seq 0, 2, 4.
+  ASSERT_EQ(sink.published.size(), 3u);
+  EXPECT_EQ(sink.published[0]->sample_seq, 0u);
+  EXPECT_EQ(sink.published[1]->sample_seq, 2u);
+  EXPECT_EQ(sink.published[2]->sample_seq, 4u);
+
+  // Finalize publishes its off-cadence closing sample exactly once, and the
+  // published bytes equal the exports rendered at the same point.
+  ops->Add(1);
+  clock_.Advance(sim::kMillisecond / 2);
+  sampler.Finalize();
+  ASSERT_EQ(sink.published.size(), 4u);
+  EXPECT_EQ(sink.published.back()->sample_seq, 5u);
+  EXPECT_EQ(sink.published.back()->metrics_text, ToPrometheusText(sampler));
+  EXPECT_EQ(sink.published.back()->timeline_jsonl, ToJsonl(sampler));
+  EXPECT_NE(sink.published.back()->healthz_json.find("\"status\":\"ok\""),
+            std::string::npos);
+
+  // Repeated Finalize: no duplicate closing sample AND no duplicate publish.
+  sampler.Finalize();
+  EXPECT_EQ(sampler.samples().size(), 6u);
+  EXPECT_EQ(sink.published.size(), 4u);
+}
+
+// --------------------- LSM series and compaction alerts ---------------------
+
+TEST(TelemetryDeviceTest, LsmGaugesMatchIntrospection) {
+  KvSsdOptions o = TelemetryOptions();
+  o.trace.enabled = true;
+  auto ssd = KvSsd::Open(o).value();
+  RunSmallWorkload(*ssd, 250);
+  ssd->Hooks().sampler->Finalize();
+
+  // The closing sample's LSM gauges are the same numbers Inspect() reports.
+  const Sampler& t = ssd->telemetry();
+  const DeviceSnapshot snap = ssd->Inspect();
+  EXPECT_EQ(t.Latest("gauge.lsm.memtable_bytes"), snap.lsm_memtable_bytes);
+  EXPECT_EQ(t.Latest("gauge.lsm.memtable_entries"),
+            snap.lsm_memtable_entries);
+  EXPECT_EQ(t.Latest("gauge.lsm.compaction_debt_bytes"),
+            snap.lsm_compaction_debt_bytes);
+  EXPECT_EQ(t.Latest("gauge.lsm.pending_trim_tables"),
+            snap.lsm_pending_trim_tables);
+  ASSERT_FALSE(snap.lsm_levels.empty());
+  EXPECT_EQ(t.Latest("gauge.lsm.l0.tables"), snap.lsm_levels[0].tables);
+  EXPECT_EQ(t.Latest("gauge.lsm.l0.bytes"), snap.lsm_levels[0].bytes);
+  // In-flight gauges are 0 between ops (flush/compaction are synchronous).
+  EXPECT_EQ(t.Latest("gauge.lsm.flush_in_progress"), 0u);
+  EXPECT_EQ(t.Latest("gauge.lsm.compaction_in_progress"), 0u);
+
+  // The device-level percentile series reconcile with the lifetime
+  // histogram the tracer recorded.
+  const auto hists = ssd->metrics().SnapshotHistograms();
+  const auto put = hists.find("trace.op.put.latency_ns");
+  ASSERT_NE(put, hists.end());
+  EXPECT_EQ(t.Latest("hist.trace.op.put.count"), put->second.count);
+  EXPECT_EQ(SumSeries(t, "delta.trace.op.put.count"), put->second.count);
+  EXPECT_EQ(SumSeries(t, "delta.trace.op.put.sum"), put->second.sum);
+}
+
+KvSsdOptions CompactionStormOptions() {
+  KvSsdOptions o = TelemetryOptions();
+  // An LSM sized far below the workload: tiny MemTable, L0 trigger past 100
+  // runs, 128-byte output tables — one L0 flood exceeds the 64-pass
+  // MaybeCompact budget, leaving debt standing at sample points.
+  o.lsm.memtable_limit_bytes = 512;
+  o.lsm.l0_compaction_trigger = 128;
+  o.lsm.level_base_bytes = 1024;
+  o.lsm.sstable_target_bytes = 128;
+  o.lsm.max_levels = 3;
+  o.telemetry.rules = {CompactionDebtRule(/*budget_bytes=*/2048, /*n=*/1),
+                       L0PileupRule(/*tables=*/4, /*n=*/1),
+                       MemtableStallRule(/*stalls=*/1, /*n=*/1)};
+  return o;
+}
+
+TEST(TelemetryDeviceTest, CompactionStormFiresLsmRulesCleanRunSilent) {
+  // Clean run: same rules, normally-sized LSM — all three stay silent.
+  KvSsdOptions clean = TelemetryOptions();
+  clean.telemetry.rules = CompactionStormOptions().telemetry.rules;
+  auto clean_ssd = KvSsd::Open(clean).value();
+  RunSmallWorkload(*clean_ssd, 200);
+  clean_ssd->Hooks().sampler->Finalize();
+  for (const auto& alert : clean_ssd->Inspect().alerts) {
+    EXPECT_EQ(alert.fired, 0u) << alert.rule;
+  }
+  EXPECT_EQ(
+      clean_ssd->telemetry().event_log().count(EventType::kMemtableStall),
+      0u);
+
+  // Storm: the undersized LSM must fire all three rules and log the
+  // compaction/stall events that explain them.
+  auto ssd = KvSsd::Open(CompactionStormOptions()).value();
+  for (int i = 0; i < 800; ++i) {
+    Bytes value = workload::MakeValue(64, 2, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(ssd->Put("storm" + std::to_string(i), ByteSpan(value)).ok());
+  }
+  ASSERT_TRUE(ssd->Flush().ok());
+  ssd->Hooks().sampler->Finalize();
+
+  const DeviceSnapshot snap = ssd->Inspect();
+  ASSERT_EQ(snap.alerts.size(), 3u);
+  for (const auto& alert : snap.alerts) {
+    EXPECT_GE(alert.fired, 1u) << alert.rule;
+  }
+  const EventLog& log = ssd->telemetry().event_log();
+  EXPECT_GE(log.count(EventType::kCompactionStart), 1u);
+  EXPECT_GE(log.count(EventType::kCompactionEnd), 1u);
+  EXPECT_GE(log.count(EventType::kMemtableStall), 1u);
+  // Start/end pair up (synchronous compactions).
+  EXPECT_EQ(log.count(EventType::kCompactionStart),
+            log.count(EventType::kCompactionEnd));
+  // The new event types serialize with their names.
+  const std::string jsonl = ToJsonl(ssd->telemetry());
+  EXPECT_NE(jsonl.find("\"type\":\"compaction_start\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"memtable_stall\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace bandslim::telemetry
