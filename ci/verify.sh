@@ -126,6 +126,19 @@ telemetry_timeline() {
   fi
 }
 
+# Simulator-throughput regression gate. Release only: wall-clock numbers
+# from a sanitized build measure the sanitizer, not the simulator, so the
+# ASan pass skips it. The gate fails when any profile drops more than the
+# tolerance below bench/baseline_sim_speed.json; regenerate the baseline
+# with --write-baseline on the machine class that runs CI after intentional
+# perf changes.
+sim_speed_gate() {
+  local build_dir="$1"
+  echo "=== verify pass: sim_speed regression gate (${build_dir}) ==="
+  "${build_dir}/bench/sim_speed" --ops=60000 --reps=5 \
+    --check=bench/baseline_sim_speed.json --tolerance=0.15
+}
+
 # New code must use Inspect()/Hooks(): calling a [[deprecated]] accessor is a
 # build error in CI, so the legacy API can only shrink.
 run_pass release "${prefix}-release" \
@@ -134,6 +147,7 @@ run_pass release "${prefix}-release" \
 
 trace_export "${prefix}-release"
 telemetry_timeline "${prefix}-release"
+sim_speed_gate "${prefix}-release"
 
 run_pass asan-ubsan "${prefix}-asan" \
   -DCMAKE_BUILD_TYPE=Debug \

@@ -90,7 +90,7 @@ void NandPageBuffer::AddUsed(std::uint64_t addr, std::uint64_t size) {
 Status NandPageBuffer::EnsureCoverage(std::uint64_t end_addr) {
   const std::uint64_t needed_pages = CeilDiv(end_addr, kNandPageSize);
   while (base_lpn_ + entries_.size() < needed_pages) {
-    entries_.push_back(Entry{Bytes(kNandPageSize, 0), 0});
+    entries_.push_back(Entry{page_pool_.Acquire(), 0});
   }
   while (entries_.size() > config_.num_entries) {
     BANDSLIM_RETURN_IF_ERROR(ForceFlushFront());
@@ -109,6 +109,7 @@ Status NandPageBuffer::FlushFront() {
   wasted_bytes_counter_->Add(kNandPageSize - e.used);
   ++flushed_pages_;
   flushed_pages_counter_->Increment();
+  page_pool_.Release(std::move(e.data));
   entries_.pop_front();
   ++base_lpn_;
   return Status::Ok();
@@ -312,6 +313,7 @@ Status NandPageBuffer::FlushAll() {
   for (std::size_t i = 0; i < last_used; ++i) {
     BANDSLIM_RETURN_IF_ERROR(FlushFront());
   }
+  for (Entry& e : entries_) page_pool_.Release(std::move(e.data));
   entries_.clear();
   base_lpn_ = CeilDiv(std::max(wp_, base_lpn_ * kNandPageSize), kNandPageSize);
   wp_ = base_lpn_ * kNandPageSize;

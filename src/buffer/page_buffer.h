@@ -25,6 +25,7 @@
 #include <functional>
 
 #include "buffer/dma_log_table.h"
+#include "common/pool.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "sim/clock.h"
@@ -154,6 +155,10 @@ class NandPageBuffer {
   FlushFn flush_;
 
   std::deque<Entry> entries_;
+  // Entry buffers recycle through this pool: a flushed entry's 16 KiB page
+  // is reused (re-zeroed) by the next EnsureCoverage instead of returning to
+  // the allocator, so steady-state packing never mallocs.
+  BufferPool page_pool_{kNandPageSize};
   std::uint64_t base_lpn_ = 0;   // Logical NAND page of entries_.front().
   std::uint64_t wp_ = 0;         // Write Pointer (byte address).
   std::uint64_t dma_frontier_ = 0;  // End of the last placed DMA extent.

@@ -1,0 +1,84 @@
+// InlineFunction: a move-free, small-buffer-optimized callable holder for
+// the simulator's hot paths.
+//
+// std::function is the wrong tool for a discrete-event engine: libstdc++'s
+// inline buffer is 16 bytes, so the typical event closure (a this-pointer
+// plus a stream id and an op index) heap-allocates on every Schedule() —
+// one malloc/free pair per simulated event. InlineFunction stores captures
+// up to `InlineBytes` in place (no allocation, no pointer chase) and only
+// falls back to the heap for oversized closures, which the engine's own
+// callers never produce.
+//
+// Deliberately narrower than std::function:
+//   * construct-in-place and invoke only — no copy, no move, no rebinding.
+//     Holders live in arena slots that never relocate (see EventEngine), so
+//     relocation support would be dead weight on the hot path.
+//   * Emplace() over a live holder requires Reset() first (asserted).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bandslim {
+
+template <std::size_t InlineBytes = 48>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+  ~InlineFunction() { Reset(); }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  bool empty() const { return invoke_ == nullptr; }
+
+  template <typename F>
+  void Emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    assert(empty() && "Emplace over a live callback; Reset() first");
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      destroy_ = std::is_trivially_destructible_v<Fn>
+                     ? nullptr
+                     : +[](void* s) {
+                         std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+                       };
+      heap_ = false;
+    } else {
+      // Oversized capture: spill to the heap (cold path; the engine's own
+      // closures are pointer+index sized and always fit inline).
+      auto* p = new Fn(std::forward<F>(fn));
+      ::new (static_cast<void*>(storage_)) Fn*(p);
+      invoke_ = [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); };
+      destroy_ = [](void* s) { delete *std::launder(reinterpret_cast<Fn**>(s)); };
+      heap_ = true;
+    }
+  }
+
+  void operator()() {
+    assert(!empty());
+    invoke_(storage_);
+  }
+
+  void Reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    heap_ = false;
+  }
+
+  // Whether the current callable spilled to the heap (test introspection).
+  bool on_heap() const { return heap_; }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  bool heap_ = false;
+};
+
+}  // namespace bandslim

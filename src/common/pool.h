@@ -1,0 +1,53 @@
+// Fixed-size buffer pooling for the per-device hot paths.
+//
+// Steady-state PUT/GET must not touch the allocator (DESIGN.md 2.6): the
+// stack recycles its page-sized staging buffers instead of re-acquiring
+// them from malloc per operation. BufferPool hands out `Bytes` of one fixed
+// size; Release() returns a buffer to the free stack, and the next Acquire()
+// re-zeroes it so recycled buffers are indistinguishable from fresh ones —
+// determinism must not depend on what a previous op left behind.
+#pragma once
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bandslim {
+
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t buffer_size) : buffer_size_(buffer_size) {}
+
+  // A zero-filled buffer of the pool's fixed size: recycled when the free
+  // stack is non-empty, freshly allocated otherwise.
+  Bytes Acquire() {
+    if (free_.empty()) return Bytes(buffer_size_, 0);
+    Bytes buf = std::move(free_.back());
+    free_.pop_back();
+    std::memset(buf.data(), 0, buf.size());
+    return buf;
+  }
+
+  void Release(Bytes buf) {
+    if (buf.size() != buffer_size_) return;  // Foreign buffer: drop it.
+    free_.push_back(std::move(buf));
+  }
+
+  // Pre-populates the free stack so a campaign's warm-up does not allocate
+  // mid-run.
+  void Reserve(std::size_t n) {
+    free_.reserve(n);
+    while (free_.size() < n) free_.push_back(Bytes(buffer_size_, 0));
+  }
+
+  std::size_t free_count() const { return free_.size(); }
+  std::size_t buffer_size() const { return buffer_size_; }
+
+ private:
+  std::size_t buffer_size_;
+  std::vector<Bytes> free_;
+};
+
+}  // namespace bandslim

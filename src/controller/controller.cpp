@@ -49,7 +49,7 @@ KvController::KvController(sim::VirtualClock* clock, const sim::CostModel* cost,
       gc_relocated_values_(metrics->GetCounter("controller.gc_relocated_values")) {}
 
 CqEntry KvController::Fail(CqStatus status, std::uint16_t queue_id) {
-  pending_.erase(queue_id);
+  if (queue_id < pending_.size()) pending_[queue_id].active = false;
   return CqEntry{0, 0, status};
 }
 
@@ -80,16 +80,22 @@ CqEntry KvController::Handle(const NvmeCommand& cmd, std::uint16_t queue_id) {
 
 CqEntry KvController::HandleWrite(const NvmeCommand& cmd,
                                   std::uint16_t queue_id) {
-  if (pending_.contains(queue_id)) return Fail(CqStatus::kInvalidField, queue_id);
-  Bytes key = cmd.key();
+  PendingWrite& op = Slot(queue_id);
+  if (op.active) return Fail(CqStatus::kInvalidField, queue_id);
+  const std::size_t key_len = cmd.key_size();
   const std::uint32_t value_size = cmd.value_size();
-  if (key.empty() || key.size() > kMaxKeySize || value_size == 0) {
+  if (key_len == 0 || key_len > kMaxKeySize || value_size == 0) {
     return Fail(CqStatus::kInvalidField, queue_id);
   }
 
-  PendingWrite op;
-  op.key = std::move(key);
+  // Reset the slot in place; `staged` keeps its capacity from earlier ops.
+  op.key_len = static_cast<std::uint8_t>(
+      cmd.CopyKeyTo({op.key.data(), op.key.size()}));
   op.value_size = value_size;
+  op.staged.clear();
+  op.piggy_received = 0;
+  op.has_dma = false;
+  op.reservation = {};
 
   if (!cmd.prp.empty()) {
     // PRP-described payload: trigger the page-unit DMA (Section 2.2).
@@ -117,9 +123,9 @@ CqEntry KvController::HandleWrite(const NvmeCommand& cmd,
     }
     if (!dma_status.ok()) return Fail(CqStatusFromStatus(dma_status), queue_id);
     if (prp_bytes >= value_size) {
-      return FinishWrite(std::move(op));  // Pure PRP transfer.
+      return FinishWrite(op);  // Pure PRP transfer.
     }
-    pending_.emplace(queue_id, std::move(op));  // Hybrid: trailing follows.
+    op.active = true;  // Hybrid: trailing follows.
     return CqEntry{};
   }
 
@@ -132,9 +138,9 @@ CqEntry KvController::HandleWrite(const NvmeCommand& cmd,
   op.piggy_received = head_bytes;
   if (cmd.final_fragment()) {
     if (head_bytes != value_size) return Fail(CqStatus::kInvalidField, queue_id);
-    return FinishWrite(std::move(op));
+    return FinishWrite(op);
   }
-  pending_.emplace(queue_id, std::move(op));
+  op.active = true;
   return CqEntry{};
 }
 
@@ -248,16 +254,16 @@ CqEntry KvController::HandleBulkRead(const NvmeCommand& cmd) {
   }
 
   // Pass 2: materialize values into a page-aligned bounce buffer and DMA
-  // the packed response back over the same PRP pages.
-  Bytes bounce(RoundUpPow2(response_size, kMemPageSize));
+  // the packed response back over the same PRP pages. The buffer is recycled
+  // across commands, so every record header byte is written explicitly.
+  MutByteSpan bounce = Bounce(RoundUpPow2(response_size, kMemPageSize));
   std::size_t off = 0;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     if (!refs[i].ok()) {
       if (!refs[i].status().IsNotFound()) {
         return FailOp(CqStatusFromStatus(refs[i].status()));
       }
-      bounce[off] = 0;
-      off += 5;  // found=0, vsize=0.
+      for (int b = 0; b < 5; ++b) bounce[off++] = 0;  // found=0, vsize=0.
       continue;
     }
     const lsm::ValueRef& ref = refs[i].value();
@@ -266,15 +272,14 @@ CqEntry KvController::HandleBulkRead(const NvmeCommand& cmd) {
       bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * b));
     }
     const Status read_st =
-        vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size));
+        vlog_->Read(ref.addr, bounce.subspan(off, ref.size));
     if (!read_st.ok()) return FailOp(CqStatusFromStatus(read_st));
     clock_->Advance(cost_->MemcpyCost(ref.size));
     read_memcpy_bytes_->Add(ref.size);
     reads_counter_->Increment();
     off += ref.size;
   }
-  if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, response_size), 0,
-                          cmd.prp)
+  if (!dma_->DeviceToHost(ByteSpan(bounce.data(), response_size), 0, cmd.prp)
            .ok()) {
     return FailOp(CqStatus::kInternalError);
   }
@@ -312,28 +317,30 @@ CqEntry KvController::HandleBulkDelete(const NvmeCommand& cmd) {
 
 CqEntry KvController::HandleTransfer(const NvmeCommand& cmd,
                                      std::uint16_t queue_id) {
-  auto it = pending_.find(queue_id);
-  if (it == pending_.end()) return Fail(CqStatus::kInvalidField, queue_id);
-  PendingWrite& op = it->second;
+  if (queue_id >= pending_.size() || !pending_[queue_id].active) {
+    return Fail(CqStatus::kInvalidField, queue_id);
+  }
+  PendingWrite& op = pending_[queue_id];
   const std::uint64_t received =
       (op.has_dma ? op.reservation.prp_bytes : 0) + op.piggy_received;
   if (received >= op.value_size) return Fail(CqStatus::kInvalidField, queue_id);
   const std::uint64_t remaining = op.value_size - received;
   const std::size_t n =
       std::min<std::uint64_t>(kTransferCmdPiggybackCapacity, remaining);
-  Bytes fragment(n);
-  nvme::codec::GetTransferPayload(cmd, MutByteSpan(fragment));
+  // Decode the fragment into a stack buffer — no per-fragment allocation.
+  std::array<std::uint8_t, kTransferCmdPiggybackCapacity> fragment;
+  nvme::codec::GetTransferPayload(cmd, MutByteSpan(fragment.data(), n));
 
   if (op.has_dma) {
     if (config_.nand_io_enabled) {
       // Hybrid trailing bytes extend the DMA extent in place (Section 3.2).
       Status st = vlog_->buffer().AppendTrailing(
           op.reservation, op.reservation.prp_bytes + op.piggy_received,
-          ByteSpan(fragment));
+          ByteSpan(fragment.data(), n));
       if (!st.ok()) return Fail(CqStatusFromStatus(st), queue_id);
     }
   } else {
-    op.staged.insert(op.staged.end(), fragment.begin(), fragment.end());
+    op.staged.insert(op.staged.end(), fragment.data(), fragment.data() + n);
   }
   op.piggy_received += n;
 
@@ -342,14 +349,13 @@ CqEntry KvController::HandleTransfer(const NvmeCommand& cmd,
     return Fail(CqStatus::kInvalidField, queue_id);
   }
   if (complete) {
-    PendingWrite finished = std::move(op);
-    pending_.erase(it);
-    return FinishWrite(std::move(finished));
+    op.active = false;
+    return FinishWrite(op);
   }
   return CqEntry{};
 }
 
-CqEntry KvController::FinishWrite(PendingWrite&& op) {
+CqEntry KvController::FinishWrite(PendingWrite& op) {
   clock_->Advance(cost_->dev_kvs_ns);
   if (!config_.nand_io_enabled) {
     ++values_written_;
@@ -365,9 +371,9 @@ CqEntry KvController::FinishWrite(PendingWrite&& op) {
                                    : vlog_->buffer().PackPiggybacked(op.staged);
   if (!addr.ok()) return FailOp(CqStatusFromStatus(addr.status()));
 
-  const std::string key(reinterpret_cast<const char*>(op.key.data()),
-                        op.key.size());
-  Status st = lsm_->Put(key, lsm::ValueRef{addr.value(), op.value_size, false});
+  key_scratch_.assign(reinterpret_cast<const char*>(op.key.data()), op.key_len);
+  Status st = lsm_->Put(key_scratch_,
+                        lsm::ValueRef{addr.value(), op.value_size, false});
   if (!st.ok()) return FailOp(CqStatusFromStatus(st));
 
   ++values_written_;
@@ -380,10 +386,10 @@ CqEntry KvController::FinishWrite(PendingWrite&& op) {
 CqEntry KvController::HandleRead(const NvmeCommand& cmd) {
   if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
-  const Bytes key_bytes = cmd.key();
-  const std::string key(reinterpret_cast<const char*>(key_bytes.data()),
-                        key_bytes.size());
-  auto ref = lsm_->Get(key);
+  std::array<std::uint8_t, kMaxKeySize> key_buf;
+  const std::size_t key_len = cmd.CopyKeyTo({key_buf.data(), key_buf.size()});
+  key_scratch_.assign(reinterpret_cast<const char*>(key_buf.data()), key_len);
+  auto ref = lsm_->Get(key_scratch_);
   if (!ref.ok()) {
     return ref.status().IsNotFound() ? FailOp(CqStatus::kNotFound)
                                      : FailOp(CqStatus::kInternalError);
@@ -393,14 +399,14 @@ CqEntry KvController::HandleRead(const NvmeCommand& cmd) {
     return CqEntry{size, 0, CqStatus::kBufferTooSmall};
   }
   // Stage into a page-aligned bounce buffer (the DMA engine cannot source
-  // from arbitrary byte offsets), then DMA to the host.
-  Bytes bounce(RoundUpPow2(size, kMemPageSize));
-  const Status read_st =
-      vlog_->Read(ref.value().addr, MutByteSpan(bounce).subspan(0, size));
+  // from arbitrary byte offsets), then DMA to the host. Every DMA'd byte in
+  // [0, size) is written by the vLog read, so reuse is safe.
+  MutByteSpan bounce = Bounce(RoundUpPow2(size, kMemPageSize));
+  const Status read_st = vlog_->Read(ref.value().addr, bounce.subspan(0, size));
   if (!read_st.ok()) return FailOp(CqStatusFromStatus(read_st));
   clock_->Advance(cost_->MemcpyCost(size));
   read_memcpy_bytes_->Add(size);
-  if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, size), 0, cmd.prp).ok()) {
+  if (!dma_->DeviceToHost(ByteSpan(bounce.data(), size), 0, cmd.prp).ok()) {
     return FailOp(CqStatus::kInternalError);
   }
   reads_counter_->Increment();
@@ -410,20 +416,20 @@ CqEntry KvController::HandleRead(const NvmeCommand& cmd) {
 CqEntry KvController::HandleDelete(const NvmeCommand& cmd) {
   if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
-  const Bytes key_bytes = cmd.key();
-  const std::string key(reinterpret_cast<const char*>(key_bytes.data()),
-                        key_bytes.size());
-  if (!lsm_->Delete(key).ok()) return FailOp(CqStatus::kInternalError);
+  std::array<std::uint8_t, kMaxKeySize> key_buf;
+  const std::size_t key_len = cmd.CopyKeyTo({key_buf.data(), key_buf.size()});
+  key_scratch_.assign(reinterpret_cast<const char*>(key_buf.data()), key_len);
+  if (!lsm_->Delete(key_scratch_).ok()) return FailOp(CqStatus::kInternalError);
   return CqEntry{};
 }
 
 CqEntry KvController::HandleExists(const NvmeCommand& cmd) {
   if (!config_.nand_io_enabled) return FailOp(CqStatus::kInvalidField);
   clock_->Advance(cost_->dev_kvs_ns);
-  const Bytes key_bytes = cmd.key();
-  const std::string key(reinterpret_cast<const char*>(key_bytes.data()),
-                        key_bytes.size());
-  auto ref = lsm_->Get(key);
+  std::array<std::uint8_t, kMaxKeySize> key_buf;
+  const std::size_t key_len = cmd.CopyKeyTo({key_buf.data(), key_buf.size()});
+  key_scratch_.assign(reinterpret_cast<const char*>(key_buf.data()), key_len);
+  auto ref = lsm_->Get(key_scratch_);
   if (!ref.ok()) return FailOp(CqStatus::kNotFound);
   return CqEntry{ref.value().size, 0, CqStatus::kSuccess};
 }
@@ -433,9 +439,10 @@ CqEntry KvController::HandleIterSeek(const NvmeCommand& cmd) {
   clock_->Advance(cost_->dev_kvs_ns);
   auto iter = lsm_->NewIterator();
   if (!iter.ok()) return FailOp(CqStatus::kInternalError);
-  const Bytes key_bytes = cmd.key();
-  iter.value()->Seek(std::string(
-      reinterpret_cast<const char*>(key_bytes.data()), key_bytes.size()));
+  std::array<std::uint8_t, kMaxKeySize> key_buf;
+  const std::size_t key_len = cmd.CopyKeyTo({key_buf.data(), key_buf.size()});
+  iter.value()->Seek(
+      std::string(reinterpret_cast<const char*>(key_buf.data()), key_len));
   const std::uint32_t id = next_iterator_id_++;
   iterators_[id] = std::move(iter).value();
   return CqEntry{id, 0, CqStatus::kSuccess};
@@ -457,7 +464,7 @@ CqEntry KvController::HandleIterNext(const NvmeCommand& cmd) {
     return CqEntry{static_cast<std::uint32_t>(needed), 0,
                    CqStatus::kBufferTooSmall};
   }
-  Bytes bounce(RoundUpPow2(needed, kMemPageSize));
+  MutByteSpan bounce = Bounce(RoundUpPow2(needed, kMemPageSize));
   std::size_t off = 0;
   bounce[off++] = static_cast<std::uint8_t>(key.size());
   std::copy(key.begin(), key.end(), bounce.begin() + static_cast<std::ptrdiff_t>(off));
@@ -466,11 +473,11 @@ CqEntry KvController::HandleIterNext(const NvmeCommand& cmd) {
     bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * i));
   }
   const Status next_read =
-      vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size));
+      vlog_->Read(ref.addr, bounce.subspan(off, ref.size));
   if (!next_read.ok()) return FailOp(CqStatusFromStatus(next_read));
   clock_->Advance(cost_->MemcpyCost(needed));
   read_memcpy_bytes_->Add(needed);
-  if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, needed), 0, cmd.prp).ok()) {
+  if (!dma_->DeviceToHost(ByteSpan(bounce.data(), needed), 0, cmd.prp).ok()) {
     return FailOp(CqStatus::kInternalError);
   }
   iter.Next();
@@ -486,7 +493,7 @@ CqEntry KvController::HandleIterNextBatch(const NvmeCommand& cmd) {
   if (!iter.Valid()) return CqEntry{0, 0, CqStatus::kIteratorExhausted};
 
   const std::uint64_t capacity = cmd.prp.DmaBytes();
-  Bytes bounce(capacity, 0);
+  MutByteSpan bounce = Bounce(capacity);
   std::size_t off = 0;
   std::uint32_t records = 0;
   while (iter.Valid()) {
@@ -502,7 +509,7 @@ CqEntry KvController::HandleIterNextBatch(const NvmeCommand& cmd) {
       bounce[off++] = static_cast<std::uint8_t>(ref.size >> (8 * i));
     }
     const Status batch_read =
-        vlog_->Read(ref.addr, MutByteSpan(bounce).subspan(off, ref.size));
+        vlog_->Read(ref.addr, bounce.subspan(off, ref.size));
     if (!batch_read.ok()) return FailOp(CqStatusFromStatus(batch_read));
     off += ref.size;
     ++records;
@@ -516,7 +523,7 @@ CqEntry KvController::HandleIterNextBatch(const NvmeCommand& cmd) {
   }
   clock_->Advance(cost_->MemcpyCost(off));
   read_memcpy_bytes_->Add(off);
-  if (!dma_->DeviceToHost(ByteSpan(bounce).subspan(0, off), 0, cmd.prp).ok()) {
+  if (!dma_->DeviceToHost(ByteSpan(bounce.data(), off), 0, cmd.prp).ok()) {
     return FailOp(CqStatus::kInternalError);
   }
   // Result: payload bytes; records decoded by the driver until exhausted.

@@ -6,6 +6,7 @@
 // value addressing over the vLog.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -55,8 +56,13 @@ class KvController : public nvme::DeviceHandler {
   std::uint64_t vlog_gc_runs() const { return vlog_gc_runs_; }
 
  private:
+  // One reassembly slot per submission queue, reused across operations: the
+  // key lives in a fixed array and `staged` retains its capacity, so the
+  // steady-state piggyback PUT path never touches the allocator.
   struct PendingWrite {
-    Bytes key;
+    std::array<std::uint8_t, kMaxKeySize> key{};
+    std::uint8_t key_len = 0;
+    bool active = false;
     std::uint32_t value_size = 0;
     // Piggyback reassembly staging (holds only the piggybacked bytes).
     Bytes staged;
@@ -65,6 +71,18 @@ class KvController : public nvme::DeviceHandler {
     bool has_dma = false;
     buffer::NandPageBuffer::DmaReservation reservation;
   };
+  // The queue's reassembly slot, lazily created on first use.
+  PendingWrite& Slot(std::uint16_t queue_id) {
+    if (pending_.size() <= queue_id) pending_.resize(queue_id + 1u);
+    return pending_[queue_id];
+  }
+  // Reusable page-aligned staging for read responses; returns a span of
+  // exactly `n` bytes. Callers must write every byte they DMA out — the
+  // buffer is recycled across commands and is NOT re-zeroed.
+  MutByteSpan Bounce(std::size_t n) {
+    if (bounce_scratch_.size() < n) bounce_scratch_.resize(n);
+    return {bounce_scratch_.data(), n};
+  }
 
   nvme::CqEntry HandleWrite(const nvme::NvmeCommand& cmd,
                             std::uint16_t queue_id);
@@ -85,8 +103,9 @@ class KvController : public nvme::DeviceHandler {
   nvme::CqEntry HandleIterClose(const nvme::NvmeCommand& cmd);
   nvme::CqEntry HandleFlush();
 
-  // Completes a reassembled/landed write: pack, index, account.
-  nvme::CqEntry FinishWrite(PendingWrite&& op);
+  // Completes a reassembled/landed write: pack, index, account. Operates on
+  // the slot in place (the slot's buffers are recycled for the next op).
+  nvme::CqEntry FinishWrite(PendingWrite& op);
   // Fails a command in a fragment stream: aborts the queue's in-progress
   // reassembly (the stream is corrupt past this point).
   nvme::CqEntry Fail(nvme::CqStatus status, std::uint16_t queue_id);
@@ -104,11 +123,13 @@ class KvController : public nvme::DeviceHandler {
   lsm::LsmTree* lsm_;
   ControllerConfig config_;
 
-  // Fragment reassembly state, keyed by submission queue: the piggyback
+  // Fragment reassembly state, indexed by submission queue: the piggyback
   // stream is FIFO within a queue (Section 3.3.1), and queues interleave.
-  std::unordered_map<std::uint16_t, PendingWrite> pending_;
+  std::vector<PendingWrite> pending_;
   Bytes nand_off_scratch_;  // DMA landing zone when persistence is disabled.
   Bytes bulk_staging_;      // Unpack area for host-side-batched payloads.
+  Bytes bounce_scratch_;    // Read-response staging (see Bounce()).
+  std::string key_scratch_;  // LSM key view recycled across commands.
 
   std::unordered_map<std::uint32_t, std::unique_ptr<lsm::LsmTree::Iterator>>
       iterators_;

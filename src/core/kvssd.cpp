@@ -117,6 +117,10 @@ Result<std::uint32_t> KvSsd::DeleteBatch(std::span<const std::string> keys) {
 
 Result<Bytes> KvSsd::Get(std::string_view key) { return driver_->Get(key); }
 
+Status KvSsd::GetInto(std::string_view key, Bytes* value) {
+  return driver_->GetInto(key, value);
+}
+
 Status KvSsd::Delete(std::string_view key) { return driver_->Delete(key); }
 
 Result<std::uint32_t> KvSsd::Exists(std::string_view key) {

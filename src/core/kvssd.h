@@ -182,6 +182,9 @@ class KvSsd {
   // error) and returns how many were actually removed.
   Result<std::uint32_t> DeleteBatch(std::span<const std::string> keys);
   Result<Bytes> Get(std::string_view key);
+  // Allocation-free GET: fills `*value` in place, reusing its capacity
+  // (see driver::KvDriver::GetInto).
+  Status GetInto(std::string_view key, Bytes* value);
   Status Delete(std::string_view key);
   Result<std::uint32_t> Exists(std::string_view key);
   // Drains the NAND page buffer and checkpoints the LSM-tree manifest.

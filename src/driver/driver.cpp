@@ -12,6 +12,16 @@ using nvme::CqStatus;
 using nvme::NvmeCommand;
 using nvme::Opcode;
 
+namespace {
+
+// A key already validated to 1..16 bytes, viewed as bytes without copying
+// through a temporary std::string.
+ByteSpan KeySpan(std::string_view key) {
+  return {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()};
+}
+
+}  // namespace
+
 const char* MethodName(TransferMethod method) {
   switch (method) {
     case TransferMethod::kPrp: return "Baseline";
@@ -24,7 +34,13 @@ const char* MethodName(TransferMethod method) {
 
 KvDriver::KvDriver(nvme::NvmeTransport* transport, nvme::HostMemory* host,
                    DriverConfig config, trace::Tracer* tracer)
-    : transport_(transport), host_(host), config_(config), tracer_(tracer) {}
+    : transport_(transport), host_(host), config_(config), tracer_(tracer) {
+  // Pre-size the scratch buffers for a typical multi-fragment value so the
+  // first ops do not grow them; larger values grow once and stick.
+  cmd_scratch_.reserve(16);
+  completion_scratch_.reserve(16);
+  page_scratch_.reserve(8);
+}
 
 Status KvDriver::StatusFromCq(const CqEntry& cqe) {
   switch (cqe.status) {
@@ -75,7 +91,7 @@ NvmeCommand KvDriver::MakeWriteCommand(std::string_view key,
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvWrite);
   cmd.set_nsid(1);
-  cmd.set_key(AsBytes(std::string(key)));
+  cmd.set_key(KeySpan(key));
   cmd.set_value_size(value_size);
   return cmd;
 }
@@ -97,19 +113,22 @@ void KvDriver::AppendTrailingCommands(ByteSpan rest,
 }
 
 Status KvDriver::SendTrailing(ByteSpan rest) {
-  std::vector<NvmeCommand> cmds;
-  AppendTrailingCommands(rest, &cmds);
-  for (const NvmeCommand& cmd : cmds) {
+  cmd_scratch_.clear();
+  AppendTrailingCommands(rest, &cmd_scratch_);
+  for (const NvmeCommand& cmd : cmd_scratch_) {
     BANDSLIM_RETURN_IF_ERROR(StatusFromCq(transport_->Submit(config_.queue_id, cmd)));
   }
   return Status::Ok();
 }
 
 Status KvDriver::SendPipelined(NvmeCommand head, ByteSpan rest) {
-  std::vector<NvmeCommand> cmds;
-  cmds.push_back(std::move(head));
-  AppendTrailingCommands(rest, &cmds);
-  for (const CqEntry& cqe : transport_->SubmitPipelined(config_.queue_id, cmds)) {
+  cmd_scratch_.clear();
+  cmd_scratch_.push_back(std::move(head));
+  AppendTrailingCommands(rest, &cmd_scratch_);
+  transport_->SubmitPipelined(config_.queue_id,
+                              std::span<const NvmeCommand>(cmd_scratch_),
+                              &completion_scratch_);
+  for (const CqEntry& cqe : completion_scratch_) {
     BANDSLIM_RETURN_IF_ERROR(StatusFromCq(cqe));
   }
   return Status::Ok();
@@ -133,24 +152,25 @@ Status KvDriver::PutPiggyback(std::string_view key, ByteSpan value) {
 
 Status KvDriver::PutPrp(std::string_view key, ByteSpan value) {
   const std::size_t pages = CeilDiv(value.size(), kMemPageSize);
-  auto ids = host_->AllocatePages(pages);
-  BANDSLIM_RETURN_IF_ERROR(host_->WriteToPages(ids, value));
+  host_->AllocatePagesInto(pages, &page_scratch_);
+  BANDSLIM_RETURN_IF_ERROR(host_->WriteToPages(page_scratch_, value));
   NvmeCommand cmd = MakeWriteCommand(key, static_cast<std::uint32_t>(value.size()));
   cmd.set_final_fragment(true);
-  nvme::codec::SetPrpPointers(cmd, nvme::PrpList(ids));
+  nvme::codec::SetPrpPointers(cmd, nvme::PrpList(page_scratch_));
   Status st = StatusFromCq(transport_->Submit(config_.queue_id, cmd));
-  host_->FreePages(ids);
+  host_->FreePages(page_scratch_);
   return st;
 }
 
 Status KvDriver::PutHybrid(std::string_view key, ByteSpan value) {
   const std::size_t prp_bytes = RoundDownPow2(value.size(), kMemPageSize);
   assert(prp_bytes > 0 && prp_bytes < value.size());
-  auto ids = host_->AllocatePages(prp_bytes / kMemPageSize);
-  BANDSLIM_RETURN_IF_ERROR(host_->WriteToPages(ids, value.subspan(0, prp_bytes)));
+  host_->AllocatePagesInto(prp_bytes / kMemPageSize, &page_scratch_);
+  BANDSLIM_RETURN_IF_ERROR(
+      host_->WriteToPages(page_scratch_, value.subspan(0, prp_bytes)));
   NvmeCommand cmd = MakeWriteCommand(key, static_cast<std::uint32_t>(value.size()));
   cmd.set_final_fragment(false);
-  nvme::codec::SetPrpPointers(cmd, nvme::PrpList(ids));
+  nvme::codec::SetPrpPointers(cmd, nvme::PrpList(page_scratch_));
   Status st;
   if (config_.pipelined_submission) {
     st = SendPipelined(std::move(cmd), value.subspan(prp_bytes));
@@ -158,7 +178,7 @@ Status KvDriver::PutHybrid(std::string_view key, ByteSpan value) {
     st = StatusFromCq(transport_->Submit(config_.queue_id, cmd));
     if (st.ok()) st = SendTrailing(value.subspan(prp_bytes));
   }
-  host_->FreePages(ids);
+  host_->FreePages(page_scratch_);
   return st;
 }
 
@@ -233,22 +253,22 @@ Result<std::uint32_t> KvDriver::SubmitRead(NvmeCommand cmd, Bytes* payload,
                                            std::size_t initial_pages) {
   std::size_t pages = initial_pages;
   for (int attempt = 0; attempt < 4; ++attempt) {
-    auto ids = host_->AllocatePages(pages);
-    nvme::codec::SetPrpPointers(cmd, nvme::PrpList(ids));
+    host_->AllocatePagesInto(pages, &page_scratch_);
+    nvme::codec::SetPrpPointers(cmd, nvme::PrpList(page_scratch_));
     const CqEntry cqe = transport_->Submit(config_.queue_id, cmd);
     if (cqe.status == CqStatus::kBufferTooSmall) {
-      host_->FreePages(ids);
+      host_->FreePages(page_scratch_);
       pages = CeilDiv(cqe.result, kMemPageSize);
       continue;
     }
     Status st = StatusFromCq(cqe);
     if (!st.ok()) {
-      host_->FreePages(ids);
+      host_->FreePages(page_scratch_);
       return st;
     }
     payload->resize(cqe.result);
-    st = host_->ReadFromPages(ids, MutByteSpan(*payload));
-    host_->FreePages(ids);
+    st = host_->ReadFromPages(page_scratch_, MutByteSpan(*payload));
+    host_->FreePages(page_scratch_);
     BANDSLIM_RETURN_IF_ERROR(st);
     return cqe.result;
   }
@@ -373,23 +393,31 @@ Result<std::uint32_t> KvDriver::DeleteBatchImpl(
 
 Result<Bytes> KvDriver::Get(std::string_view key) {
   trace::OpScope op(tracer_, trace::OpType::kGet, config_.queue_id);
-  auto result = GetImpl(key);
-  op.set_ok(result.ok());
-  return result;
+  Bytes payload;
+  const Status st = GetIntoImpl(key, &payload);
+  op.set_ok(st.ok());
+  if (!st.ok()) return st;
+  return payload;
 }
 
-Result<Bytes> KvDriver::GetImpl(std::string_view key) {
+Status KvDriver::GetInto(std::string_view key, Bytes* value) {
+  trace::OpScope op(tracer_, trace::OpType::kGet, config_.queue_id);
+  const Status st = GetIntoImpl(key, value);
+  op.set_ok(st.ok());
+  return st;
+}
+
+Status KvDriver::GetIntoImpl(std::string_view key, Bytes* value) {
   if (key.empty() || key.size() > kMaxKeySize) {
     return Status::InvalidArgument("key must be 1..16 bytes");
   }
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvRead);
   cmd.set_nsid(1);
-  cmd.set_key(AsBytes(std::string(key)));
-  Bytes payload;
-  auto size = SubmitRead(std::move(cmd), &payload);
+  cmd.set_key(KeySpan(key));
+  auto size = SubmitRead(std::move(cmd), value);
   if (!size.ok()) return size.status();
-  return payload;
+  return Status::Ok();
 }
 
 Status KvDriver::Delete(std::string_view key) {
@@ -397,7 +425,7 @@ Status KvDriver::Delete(std::string_view key) {
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvDelete);
   cmd.set_nsid(1);
-  cmd.set_key(AsBytes(std::string(key)));
+  cmd.set_key(KeySpan(key));
   const Status st = StatusFromCq(transport_->Submit(config_.queue_id, cmd));
   op.set_ok(st.ok());
   return st;
@@ -408,7 +436,7 @@ Result<std::uint32_t> KvDriver::Exists(std::string_view key) {
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvExists);
   cmd.set_nsid(1);
-  cmd.set_key(AsBytes(std::string(key)));
+  cmd.set_key(KeySpan(key));
   const CqEntry cqe = transport_->Submit(config_.queue_id, cmd);
   const Status st = StatusFromCq(cqe);
   op.set_ok(st.ok());
@@ -437,7 +465,7 @@ Result<KvDriver::Iterator> KvDriver::SeekImpl(std::string_view from) {
   NvmeCommand cmd;
   cmd.set_opcode(Opcode::kKvIterSeek);
   cmd.set_nsid(1);
-  cmd.set_key(AsBytes(std::string(from)));
+  cmd.set_key(KeySpan(from));
   const CqEntry cqe = transport_->Submit(config_.queue_id, cmd);
   BANDSLIM_RETURN_IF_ERROR(StatusFromCq(cqe));
   Iterator iter(this, cqe.result);

@@ -90,6 +90,10 @@ class KvDriver {
   Result<std::uint32_t> DeleteBatch(std::span<const std::string> keys);
 
   Result<Bytes> Get(std::string_view key);
+  // Allocation-free variant: fills `*value` in place, reusing its capacity.
+  // Steady-state GET loops call this with a long-lived buffer so the host
+  // side performs zero heap allocations per op (DESIGN.md §2.6).
+  Status GetInto(std::string_view key, Bytes* value);
   Status Delete(std::string_view key);
   // Returns the value size if present.
   Result<std::uint32_t> Exists(std::string_view key);
@@ -140,7 +144,7 @@ class KvDriver {
   Result<std::vector<BatchGetResult>> GetBatchImpl(
       std::span<const std::string> keys);
   Result<std::uint32_t> DeleteBatchImpl(std::span<const std::string> keys);
-  Result<Bytes> GetImpl(std::string_view key);
+  Status GetIntoImpl(std::string_view key, Bytes* value);
   Result<KvDriver::Iterator> SeekImpl(std::string_view from);
   // Encodes the bulk-key request ([u8 klen][key]*) shared by GetBatch and
   // DeleteBatch; fails on malformed keys.
@@ -166,6 +170,13 @@ class KvDriver {
   DriverConfig config_;
   trace::Tracer* tracer_;  // Optional; null = untraced.
   std::uint64_t puts_issued_ = 0;
+  // Per-driver scratch reused across ops so the steady-state PUT/GET path
+  // never grows a vector after warm-up. Driver calls are serialized per
+  // instance (one synchronous stream per queue pair), so a single set of
+  // scratch buffers suffices.
+  std::vector<nvme::NvmeCommand> cmd_scratch_;
+  std::vector<nvme::CqEntry> completion_scratch_;
+  std::vector<nvme::PageId> page_scratch_;
 };
 
 }  // namespace bandslim::driver

@@ -386,6 +386,14 @@ Status PageFtl::Read(std::uint64_t lpn, MutByteSpan out) {
   return nand_->Read(it->second, out);
 }
 
+Status PageFtl::ReadView(std::uint64_t lpn, std::shared_ptr<const Bytes>* out) {
+  auto it = map_.find(lpn);
+  if (it == map_.end()) {
+    return Status::NotFound("unmapped logical NAND page");
+  }
+  return nand_->ReadView(it->second, out);
+}
+
 Status PageFtl::Trim(std::uint64_t lpn) {
   auto it = map_.find(lpn);
   if (it == map_.end()) return Status::Ok();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +67,11 @@ class PageFtl {
                              bool retain);
 
   [[nodiscard]] Status Read(std::uint64_t lpn, MutByteSpan out);
+
+  // Zero-copy variant of Read: see NandFlash::ReadView. Same mapping
+  // lookup, fault behaviour, and timing charges as Read.
+  [[nodiscard]] Status ReadView(std::uint64_t lpn,
+                                std::shared_ptr<const Bytes>* out);
 
   bool IsMapped(std::uint64_t lpn) const { return map_.contains(lpn); }
 

@@ -8,6 +8,17 @@ BloomFilter::BloomFilter(std::size_t expected_keys) {
   std::size_t bits = expected_keys * kBitsPerKey;
   if (bits < 64) bits = 64;
   bits_.assign((bits + 7) / 8, 0);
+  InitModMagic();
+}
+
+BloomFilter::BloomFilter(Bytes bits) : bits_(std::move(bits)) {
+  InitModMagic();
+}
+
+void BloomFilter::InitModMagic() {
+  nbits_ = bits_.size() * 8;
+  if (nbits_ == 0) return;
+  mod_magic_ = ~static_cast<unsigned __int128>(0) / nbits_ + 1;
 }
 
 std::uint64_t BloomFilter::HashKey(std::string_view key) {
@@ -23,11 +34,10 @@ std::uint64_t BloomFilter::HashKey(std::string_view key) {
 void BloomFilter::Add(std::string_view key) {
   if (bits_.empty()) return;
   const std::uint64_t h = HashKey(key);
-  const std::uint64_t nbits = bits_.size() * 8;
   std::uint64_t a = h;
   const std::uint64_t b = (h >> 32) | (h << 32);
   for (int i = 0; i < kNumProbes; ++i) {
-    const std::uint64_t bit = a % nbits;
+    const std::uint64_t bit = ModBits(a);
     bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
     a += b;
   }
@@ -36,11 +46,10 @@ void BloomFilter::Add(std::string_view key) {
 bool BloomFilter::MayContain(std::string_view key) const {
   if (bits_.empty()) return true;  // No filter -> must check the table.
   const std::uint64_t h = HashKey(key);
-  const std::uint64_t nbits = bits_.size() * 8;
   std::uint64_t a = h;
   const std::uint64_t b = (h >> 32) | (h << 32);
   for (int i = 0; i < kNumProbes; ++i) {
-    const std::uint64_t bit = a % nbits;
+    const std::uint64_t bit = ModBits(a);
     if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
     a += b;
   }

@@ -24,7 +24,7 @@ class BloomFilter {
   // Builds a filter sized for `expected_keys`.
   explicit BloomFilter(std::size_t expected_keys);
   // Reconstructs from serialized bits.
-  explicit BloomFilter(Bytes bits) : bits_(std::move(bits)) {}
+  explicit BloomFilter(Bytes bits);
 
   void Add(std::string_view key);
   // False negatives never happen; false positives at the configured rate.
@@ -35,7 +35,22 @@ class BloomFilter {
 
  private:
   static std::uint64_t HashKey(std::string_view key);
+  // `x % nbits` via Lemire's fastmod (a multiply instead of a hardware
+  // divide on every probe). Produces exactly the same bit positions as the
+  // plain modulo, so filter contents and false-positive behaviour — and the
+  // simulated timing that depends on them — are unchanged.
+  std::uint64_t ModBits(std::uint64_t x) const {
+    const unsigned __int128 lowbits = mod_magic_ * x;
+    const unsigned __int128 bottom =
+        (lowbits & ~std::uint64_t{0}) * nbits_ >> 64;
+    const unsigned __int128 top = (lowbits >> 64) * nbits_;
+    return static_cast<std::uint64_t>((bottom + top) >> 64);
+  }
+  void InitModMagic();
+
   Bytes bits_;
+  std::uint64_t nbits_ = 0;
+  unsigned __int128 mod_magic_ = 0;  // floor(2^128 / nbits_) + 1.
 };
 
 }  // namespace bandslim::lsm

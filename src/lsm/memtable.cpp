@@ -1,10 +1,13 @@
 #include "lsm/memtable.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 namespace bandslim::lsm {
 
 MemTable::MemTable(std::uint64_t seed) : rng_(seed) {
-  head_ = std::make_unique<Node>();
-  head_->next.assign(kMaxHeight, nullptr);
+  head_ = std::make_unique<Node>();  // Node::next zero-initializes.
 }
 
 int MemTable::RandomHeight() {
@@ -14,12 +17,26 @@ int MemTable::RandomHeight() {
   return height;
 }
 
+std::uint64_t MemTable::PrefixOf(const std::string& key) {
+  std::uint64_t p = 0;
+  std::memcpy(&p, key.data(), std::min<std::size_t>(8, key.size()));
+  if constexpr (std::endian::native == std::endian::little) {
+    p = __builtin_bswap64(p);
+  }
+  return p;
+}
+
 MemTable::Node* MemTable::FindGreaterOrEqual(const std::string& key,
                                              Node** prev) const {
+  const std::uint64_t kp = PrefixOf(key);
   Node* node = head_.get();
   for (int level = height_ - 1; level >= 0; --level) {
-    while (node->next[level] != nullptr && node->next[level]->key < key) {
-      node = node->next[level];
+    Node* next = node->next[level];
+    while (next != nullptr &&
+           (next->key_prefix < kp ||
+            (next->key_prefix == kp && next->key < key))) {
+      node = next;
+      next = node->next[level];
     }
     if (prev != nullptr) prev[level] = node;
   }
@@ -38,17 +55,23 @@ void MemTable::Put(const std::string& key, const ValueRef& ref) {
   if (height > height_) height_ = height;
   auto node = std::make_unique<Node>();
   node->key = key;
+  node->key_prefix = PrefixOf(key);
   node->ref = ref;
-  node->next.assign(static_cast<std::size_t>(height), nullptr);
   for (int level = 0; level < height; ++level) {
     node->next[static_cast<std::size_t>(level)] =
         prev[level]->next[static_cast<std::size_t>(level)];
     prev[level]->next[static_cast<std::size_t>(level)] = node.get();
   }
   ++count_;
+  // Footprint accounting deliberately models the previous layout (node
+  // header plus a height-entry heap tower) rather than sizeof(Node): the
+  // total drives the flush threshold, and the deterministic timing built on
+  // top of it must not move when the in-memory representation does.
+  static constexpr std::size_t kAccountedNodeBytes =
+      sizeof(std::string) + sizeof(ValueRef) + sizeof(std::vector<Node*>);
   approx_bytes_ += key.size() + sizeof(ValueRef) +
                    static_cast<std::size_t>(height) * sizeof(Node*) +
-                   sizeof(Node);
+                   kAccountedNodeBytes;
   arena_.push_back(std::move(node));
 }
 
@@ -60,7 +83,7 @@ const ValueRef* MemTable::Get(const std::string& key) const {
 
 void MemTable::Clear() {
   arena_.clear();
-  head_->next.assign(kMaxHeight, nullptr);
+  head_->next.fill(nullptr);
   height_ = 1;
   count_ = 0;
   approx_bytes_ = 0;

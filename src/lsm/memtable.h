@@ -5,6 +5,7 @@
 // this is the key-value separation the paper builds on (Section 2.1).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -26,8 +27,19 @@ class MemTable {
  private:
   struct Node {
     std::string key;
+    // First 8 key bytes, big-endian, zero-padded: a single integer compare
+    // orders two nodes whenever their prefixes differ (zero-padded
+    // big-endian prefix order agrees with lexicographic order in that
+    // case); the search loop falls back to a full key compare only on a
+    // prefix tie.
+    std::uint64_t key_prefix = 0;
     ValueRef ref;
-    std::vector<Node*> next;  // Tower of forward pointers.
+    // Tower of forward pointers, inline in the node: the search loop then
+    // costs one pointer chase per step instead of two (node -> heap tower
+    // -> next node). Slots above the node's drawn height stay null and are
+    // never followed. approximate_bytes() still accounts the drawn height,
+    // not this fixed array, so flush thresholds are unchanged.
+    std::array<Node*, 12> next{};
   };
 
  public:
@@ -65,8 +77,11 @@ class MemTable {
 
  private:
   static constexpr int kMaxHeight = 12;
+  static_assert(kMaxHeight == std::tuple_size<decltype(Node::next)>::value,
+                "tower array must cover every level");
 
   int RandomHeight();
+  static std::uint64_t PrefixOf(const std::string& key);
   // First node with key >= `key`; when `prev` is non-null it receives the
   // last node with key < `key` at every level.
   Node* FindGreaterOrEqual(const std::string& key, Node** prev) const;

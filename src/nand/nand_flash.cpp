@@ -103,7 +103,7 @@ Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
   }
   page_state_[phys_page] = 1;
   if (retain_data && !data.empty()) {
-    data_[phys_page] = Bytes(data.begin(), data.end());
+    data_[phys_page] = std::make_shared<const Bytes>(data.begin(), data.end());
   }
   BookProgramTiming(phys_page);
   ++pages_programmed_;
@@ -111,12 +111,14 @@ Status NandFlash::Program(std::uint64_t phys_page, ByteSpan data,
   return Status::Ok();
 }
 
-Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
-  trace::SpanScope span(tracer_, trace::Category::kNandRead, out.size());
+Status NandFlash::ReadImpl(std::uint64_t phys_page, std::size_t bytes,
+                           std::shared_ptr<const Bytes>* payload,
+                           bool* fetched) {
+  trace::SpanScope span(tracer_, trace::Category::kNandRead, bytes);
   if (phys_page >= geometry_.total_pages()) {
     return Status::InvalidArgument("read: physical page out of range");
   }
-  if (out.size() > geometry_.page_size) {
+  if (bytes > geometry_.page_size) {
     return Status::InvalidArgument("read: span larger than a NAND page");
   }
   if (fault_plan_ != nullptr && fault_plan_->PowerLost(clock_->Now())) {
@@ -145,13 +147,8 @@ Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
     page_ready_at_.erase(ready);
   }
   auto it = data_.find(phys_page);
-  if (it == data_.end()) {
-    std::memset(out.data(), 0, out.size());  // Payload was not retained.
-  } else {
-    const std::size_t n = std::min(out.size(), it->second.size());
-    std::memcpy(out.data(), it->second.data(), n);
-    if (n < out.size()) std::memset(out.data() + n, 0, out.size() - n);
-  }
+  *payload = it == data_.end() ? nullptr : it->second;
+  *fetched = true;
   if (cost_->nand_async_program) {
     // Reads are synchronous to the caller but contend on the die and the
     // channel bus like any other operation.
@@ -185,6 +182,35 @@ Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
     ++ecc_corrections_;
     ecc_corrections_counter_->Increment();
   }
+  return Status::Ok();
+}
+
+Status NandFlash::Read(std::uint64_t phys_page, MutByteSpan out) {
+  std::shared_ptr<const Bytes> payload;
+  bool fetched = false;
+  const Status st = ReadImpl(phys_page, out.size(), &payload, &fetched);
+  // Mirror the historical behaviour: the buffer is filled whenever the read
+  // reached the media (even when ECC then reports it uncorrectable), and
+  // untouched when a pre-media check failed.
+  if (fetched) {
+    if (payload == nullptr) {
+      std::memset(out.data(), 0, out.size());  // Payload was not retained.
+    } else {
+      const std::size_t n = std::min(out.size(), payload->size());
+      std::memcpy(out.data(), payload->data(), n);
+      if (n < out.size()) std::memset(out.data() + n, 0, out.size() - n);
+    }
+  }
+  return st;
+}
+
+Status NandFlash::ReadView(std::uint64_t phys_page,
+                           std::shared_ptr<const Bytes>* out) {
+  std::shared_ptr<const Bytes> payload;
+  bool fetched = false;
+  BANDSLIM_RETURN_IF_ERROR(
+      ReadImpl(phys_page, geometry_.page_size, &payload, &fetched));
+  *out = std::move(payload);
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -49,6 +50,16 @@ class NandFlash {
   // correctable errors succeed after a read-retry latency penalty;
   // uncorrectable errors return Status::MediaError.
   [[nodiscard]] Status Read(std::uint64_t phys_page, MutByteSpan out);
+
+  // Zero-copy read: identical checks, fault draws, and timing charges to
+  // Read(), but hands back the retained payload instead of copying a page.
+  // `*out` becomes nullptr for pages programmed with retain_data = false
+  // (their bytes read as zeros). The shared_ptr stays valid even if the
+  // block is later erased or reprogrammed — exactly the lifetime a caller-
+  // side copy would have had — because programs always install a fresh
+  // immutable buffer.
+  [[nodiscard]] Status ReadView(std::uint64_t phys_page,
+                                std::shared_ptr<const Bytes>* out);
 
   [[nodiscard]] Status Erase(std::uint64_t block);
 
@@ -112,6 +123,11 @@ class NandFlash {
   // Blocks until the die has a free command-queue slot (parallel dispatch;
   // models the bounded per-die queue in the flash controller).
   void WaitForDieSlot(std::uint64_t die);
+  // Shared body of Read/ReadView: all checks, fault draws, stalls, and
+  // timing. `*fetched` turns true once the media was actually sensed (the
+  // point where the copying read would have filled its buffer).
+  Status ReadImpl(std::uint64_t phys_page, std::size_t bytes,
+                  std::shared_ptr<const Bytes>* payload, bool* fetched);
   // Books the timing of one program attempt (successful or failed — the die
   // is busy either way).
   void BookProgramTiming(std::uint64_t phys_page);
@@ -127,7 +143,9 @@ class NandFlash {
 
   std::vector<std::uint8_t> page_state_;       // One entry per physical page.
   std::vector<std::uint32_t> erase_counts_;    // One entry per block (wear).
-  std::unordered_map<std::uint64_t, Bytes> data_;  // Sparse retained payloads.
+  // Sparse retained payloads. Immutable once installed (a reprogram swaps
+  // in a fresh buffer), so ReadView can hand out shared references.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Bytes>> data_;
   // Pages whose program failed: unreadable until their block is erased.
   std::unordered_set<std::uint64_t> failed_pages_;
 

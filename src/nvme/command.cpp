@@ -20,13 +20,21 @@ void NvmeCommand::set_key(ByteSpan key) {
 }
 
 Bytes NvmeCommand::key() const {
-  const std::size_t n = key_size();
-  Bytes out(n);
+  Bytes out(key_size());
+  CopyKeyTo({out.data(), out.size()});
+  return out;
+}
+
+std::size_t NvmeCommand::CopyKeyTo(MutByteSpan out) const {
+  // Clamp to the destination: a malformed command may claim a key length
+  // beyond kMaxKeySize, and the stack buffers handlers pass here are exactly
+  // kMaxKeySize bytes.
+  const std::size_t n = key_size() < out.size() ? key_size() : out.size();
   auto bytes = raw_bytes();
   const std::size_t low = n < 8 ? n : 8;
   if (low > 0) std::memcpy(out.data(), bytes.data() + 8, low);
   if (n > 8) std::memcpy(out.data() + 8, bytes.data() + 56, n - 8);
-  return out;
+  return n;
 }
 
 namespace codec {

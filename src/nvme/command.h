@@ -128,6 +128,10 @@ struct NvmeCommand {
   // --- key (dw2-3 + dw14-15) ------------------------------------------------
   void set_key(ByteSpan key);
   Bytes key() const;
+  // Allocation-free variant: copies the key into `out` (which must hold at
+  // least kMaxKeySize bytes) and returns the key length. The controller's
+  // hot path uses this with a stack array instead of key().
+  std::size_t CopyKeyTo(MutByteSpan out) const;
   std::size_t key_size() const { return dw[11] & 0xFF; }
 
   // --- value size (dw10) ------------------------------------------------------

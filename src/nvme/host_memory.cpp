@@ -5,34 +5,61 @@
 
 namespace bandslim::nvme {
 
+PageId HostMemory::Acquire() {
+  // Recycled pages are NOT re-zeroed here: the only way page bytes become
+  // device-visible is a host-to-device DMA, and every such page is first
+  // filled through WriteToPages, which zeroes the tail beyond the payload.
+  // Receive pages (device-to-host) are read back for exactly the completed
+  // byte count, so stale bytes past it are never observed. This keeps the
+  // steady-state GET path free of a 4 KiB memset per op while recycled
+  // pages stay indistinguishable from fresh ones everywhere they matter.
+  if (!free_ids_.empty()) {
+    const PageId id = free_ids_.back();
+    free_ids_.pop_back();
+    allocated_[id - 1] = 1;
+    ++live_;
+    return id;
+  }
+  slots_.push_back(Bytes(kMemPageSize, 0));
+  allocated_.push_back(1);
+  ++live_;
+  return static_cast<PageId>(slots_.size());
+}
+
 std::vector<PageId> HostMemory::AllocatePages(std::size_t n) {
   std::vector<PageId> ids;
   ids.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const PageId id = next_id_++;
-    pages_.emplace(id, Bytes(kMemPageSize, 0));
-    ids.push_back(id);
-  }
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(Acquire());
   return ids;
 }
 
-void HostMemory::FreePages(const std::vector<PageId>& pages) {
-  for (PageId id : pages) pages_.erase(id);
+void HostMemory::AllocatePagesInto(std::size_t n, std::vector<PageId>* out) {
+  out->clear();
+  for (std::size_t i = 0; i < n; ++i) out->push_back(Acquire());
+}
+
+void HostMemory::FreePages(std::span<const PageId> pages) {
+  for (PageId id : pages) {
+    if (!IsAllocated(id)) continue;
+    allocated_[id - 1] = 0;
+    free_ids_.push_back(id);
+    --live_;
+  }
 }
 
 MutByteSpan HostMemory::PageData(PageId id) {
-  auto it = pages_.find(id);
-  if (it == pages_.end()) return {};
-  return {it->second.data(), it->second.size()};
+  if (!IsAllocated(id)) return {};
+  Bytes& buf = slots_[id - 1];
+  return {buf.data(), buf.size()};
 }
 
 ByteSpan HostMemory::PageData(PageId id) const {
-  auto it = pages_.find(id);
-  if (it == pages_.end()) return {};
-  return {it->second.data(), it->second.size()};
+  if (!IsAllocated(id)) return {};
+  const Bytes& buf = slots_[id - 1];
+  return {buf.data(), buf.size()};
 }
 
-Status HostMemory::WriteToPages(const std::vector<PageId>& pages, ByteSpan data) {
+Status HostMemory::WriteToPages(std::span<const PageId> pages, ByteSpan data) {
   if (pages.size() * kMemPageSize < data.size()) {
     return Status::InvalidArgument("host pages too small for payload");
   }
@@ -43,12 +70,15 @@ Status HostMemory::WriteToPages(const std::vector<PageId>& pages, ByteSpan data)
     if (dst.empty()) return Status::InvalidArgument("unallocated host page");
     const std::size_t n = std::min(kMemPageSize, data.size() - off);
     std::memcpy(dst.data(), data.data() + off, n);
+    // Page-unit DMA ships whole 4 KiB pages: zero the tail so a recycled
+    // page's stale bytes never reach the device (see Acquire()).
+    if (n < kMemPageSize) std::memset(dst.data() + n, 0, kMemPageSize - n);
     off += n;
   }
   return Status::Ok();
 }
 
-Status HostMemory::ReadFromPages(const std::vector<PageId>& pages,
+Status HostMemory::ReadFromPages(std::span<const PageId> pages,
                                  MutByteSpan out) const {
   if (pages.size() * kMemPageSize < out.size()) {
     return Status::InvalidArgument("host pages too small for read");

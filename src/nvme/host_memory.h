@@ -2,10 +2,17 @@
 // allocation unit the NVMe block stack hands to PRP-based DMA. The driver
 // stages values here exactly like the kernel driver pins pages for DMA; the
 // device-side DMA engine reads/writes these pages through PrpList.
+//
+// Pages are slots in a flat arena indexed by (PageId - 1) with a free list
+// of recycled ids: steady-state allocate/free cycles reuse slots (and their
+// 4 KiB backing buffers) instead of churning a hash map. Recycled pages are
+// not re-zeroed on allocation; instead WriteToPages zeroes the written
+// page's tail, so a run's DMA'd page bytes still never depend on what a
+// previous operation left behind (see Acquire() for the full argument).
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -17,28 +24,39 @@ using PageId = std::uint64_t;
 
 class HostMemory {
  public:
-  // Allocates `n` memory pages (zero-filled). Pages need not be physically
-  // contiguous — that is the raison d'être of the PRP list.
+  // Allocates `n` memory pages. Pages need not be physically contiguous —
+  // that is the raison d'être of the PRP list.
   std::vector<PageId> AllocatePages(std::size_t n);
 
-  void FreePages(const std::vector<PageId>& pages);
+  // Allocation-free variant: clears `*out` and fills it with `n` fresh page
+  // ids, reusing the vector's capacity. The hot path's staging loop calls
+  // this with a per-driver scratch vector.
+  void AllocatePagesInto(std::size_t n, std::vector<PageId>* out);
+
+  void FreePages(std::span<const PageId> pages);
 
   // Direct access to a page's 4 KiB of backing storage.
   MutByteSpan PageData(PageId id);
   ByteSpan PageData(PageId id) const;
 
-  bool IsAllocated(PageId id) const { return pages_.contains(id); }
+  bool IsAllocated(PageId id) const {
+    return id >= 1 && id <= slots_.size() && allocated_[id - 1];
+  }
 
   // Scatters `data` across the given pages in order (first page first).
-  Status WriteToPages(const std::vector<PageId>& pages, ByteSpan data);
+  Status WriteToPages(std::span<const PageId> pages, ByteSpan data);
   // Gathers `out.size()` bytes from the given pages in order.
-  Status ReadFromPages(const std::vector<PageId>& pages, MutByteSpan out) const;
+  Status ReadFromPages(std::span<const PageId> pages, MutByteSpan out) const;
 
-  std::size_t allocated_pages() const { return pages_.size(); }
+  std::size_t allocated_pages() const { return live_; }
 
  private:
-  std::unordered_map<PageId, Bytes> pages_;
-  PageId next_id_ = 1;
+  PageId Acquire();
+
+  std::vector<Bytes> slots_;          // Slot i backs PageId i + 1.
+  std::vector<std::uint8_t> allocated_;
+  std::vector<PageId> free_ids_;
+  std::size_t live_ = 0;
 };
 
 }  // namespace bandslim::nvme

@@ -29,9 +29,10 @@ NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cos
 
 std::uint16_t NvmeTransport::AllocateCid(QueuePair* qp) {
   const std::uint16_t cid = qp->next_cid++;
-  const bool inserted = qp->inflight_cids.insert(cid).second;
-  assert(inserted && "CID reused while still in flight on this queue");
-  (void)inserted;
+  assert(!qp->inflight_cids[cid] &&
+         "CID reused while still in flight on this queue");
+  qp->inflight_cids[cid] = 1;
+  ++qp->inflight_count;
   return cid;
 }
 
@@ -74,9 +75,16 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
       dead.cid = cmd.cid();
       return dead;
     }
-    NvmeCommand entry = cmd;
-    entry.set_cid(AllocateCid(&qp));
-    if (trace::Active(tracer_)) tracer_->SetCommandCid(entry.cid());
+    // The SQ/CQ rings are modeled but not exercised by the synchronous
+    // transport: a submission is fetched (and a completion reaped) before
+    // the next one is pushed, so the entry would round-trip through the
+    // ring untouched. The copies are skipped — ring capacity semantics are
+    // covered by the ring's own unit tests, and command latency is charged
+    // below via ChargeCommand, not by ring data movement. The CID never
+    // has to be written into the command either: the device handlers don't
+    // read it, so it is carried alongside and stamped on the completion.
+    const std::uint16_t cid = AllocateCid(&qp);
+    if (trace::Active(tracer_)) tracer_->SetCommandCid(cid);
     if (attempt > 0) {
       // Resubmission rings its own doorbell (the caller paid the first).
       link_->Record(pcie::TrafficClass::kMmio, pcie::Direction::kHostToDevice,
@@ -87,19 +95,12 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
       }
     }
 
-    // Host: write the SQ entry (host memory, not PCIe).
-    const bool pushed = qp.sq.Push(entry);
-    assert(pushed && "synchronous transport never fills the queue");
-    (void)pushed;
-
     if (fault_plan_ != nullptr && fault_plan_->enabled() &&
-        fault_plan_->NextCommandDropped(entry.cid())) {
+        fault_plan_->NextCommandDropped(cid)) {
       // The command is lost before the device fetches it: the host waits
       // out the watchdog, reclaims the slot, and backs off exponentially
       // before resubmitting.
-      NvmeCommand lost;
-      qp.sq.Pop(&lost);
-      qp.inflight_cids.erase(lost.cid());
+      ReleaseCid(&qp, cid);
       {
         trace::SpanScope wait(tracer_, trace::Category::kTimeout);
         clock_->Advance(fault_plan_->config().command_timeout_ns);
@@ -125,10 +126,8 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
 
     // Device: fetch the command (and the PRP list page, if any) from host
     // memory across PCIe.
-    NvmeCommand fetched;
-    qp.sq.Pop(&fetched);
     const std::uint64_t fetch_bytes =
-        cost_->cmd_fetch_bytes + fetched.prp.ListFetchBytes();
+        cost_->cmd_fetch_bytes + cmd.prp.ListFetchBytes();
     link_->Record(pcie::TrafficClass::kCommandFetch,
                   pcie::Direction::kHostToDevice, fetch_bytes);
     if (trace::Active(tracer_)) {
@@ -144,26 +143,21 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
       ChargeCommand(first_in_batch || attempt > 0);
     }
 
-    CqEntry cqe = device_->Handle(fetched, queue_id);
-    cqe.cid = fetched.cid();
+    CqEntry cqe = device_->Handle(cmd, queue_id);
+    cqe.cid = cid;
 
     // Device: post the completion entry to host memory across PCIe.
-    const bool cq_pushed = qp.cq.Push(cqe);
-    assert(cq_pushed);
-    (void)cq_pushed;
     link_->Record(pcie::TrafficClass::kCompletion,
                   pcie::Direction::kDeviceToHost, cost_->cqe_bytes);
     if (trace::Active(tracer_)) {
       tracer_->InstantSpan(trace::Category::kCompletion, cost_->cqe_bytes);
     }
 
-    CqEntry reaped;
-    qp.cq.Pop(&reaped);
-    qp.inflight_cids.erase(reaped.cid);
+    ReleaseCid(&qp, cqe.cid);
     ++commands_submitted_;
     ++qp.submitted;
     submit_counter_->Increment();
-    return reaped;
+    return cqe;
   }
   // Retries exhausted: degrade gracefully to a host-synthesized timeout
   // completion rather than asserting.
@@ -193,13 +187,15 @@ CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
   return reaped;
 }
 
-std::vector<CqEntry> NvmeTransport::SubmitPipelined(
-    std::uint16_t queue_id, const std::vector<NvmeCommand>& cmds) {
+void NvmeTransport::SubmitPipelined(std::uint16_t queue_id,
+                                    std::span<const NvmeCommand> cmds,
+                                    std::vector<CqEntry>* out) {
   assert(queue_id < queues_.size());
   QueuePair& qp = queues_[queue_id];
-  std::vector<CqEntry> completions;
+  std::vector<CqEntry>& completions = *out;
+  completions.clear();
   completions.reserve(cmds.size());
-  if (cmds.empty()) return completions;  // Nothing fetched; device untouched.
+  if (cmds.empty()) return;  // Nothing fetched; device untouched.
   assert(device_ != nullptr && "no device attached");
 
   bool first = true;
@@ -223,7 +219,6 @@ std::vector<CqEntry> NvmeTransport::SubmitPipelined(
     if (sampler_ != nullptr) sampler_->Poll();
     first = false;
   }
-  return completions;
 }
 
 std::vector<NvmeTransport::QueueInfo> NvmeTransport::QueueInfos() const {
@@ -234,7 +229,7 @@ std::vector<NvmeTransport::QueueInfo> NvmeTransport::QueueInfos() const {
     info.queue_id = static_cast<std::uint16_t>(q);
     info.depth = queue_depth_;
     info.submitted = queues_[q].submitted;
-    info.inflight = queues_[q].inflight_cids.size();
+    info.inflight = queues_[q].inflight_count;
     infos.push_back(info);
   }
   return infos;

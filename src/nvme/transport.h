@@ -9,7 +9,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
 #include "fault/fault_plan.h"
@@ -68,7 +68,16 @@ class NvmeTransport {
     return SubmitPipelined(0, cmds);
   }
   std::vector<CqEntry> SubmitPipelined(std::uint16_t queue_id,
-                                       const std::vector<NvmeCommand>& cmds);
+                                       const std::vector<NvmeCommand>& cmds) {
+    std::vector<CqEntry> completions;
+    SubmitPipelined(queue_id, std::span<const NvmeCommand>(cmds), &completions);
+    return completions;
+  }
+  // Allocation-free variant: clears `*out` and fills it with one completion
+  // per command, reusing the vector's capacity. The driver's hot path calls
+  // this with a per-driver scratch vector.
+  void SubmitPipelined(std::uint16_t queue_id, std::span<const NvmeCommand> cmds,
+                       std::vector<CqEntry>* out);
 
   std::uint64_t commands_submitted() const { return commands_submitted_; }
   // Host-watchdog expirations (lost commands) and bounded resubmissions
@@ -107,15 +116,24 @@ class NvmeTransport {
     SubmissionQueue sq;
     CompletionQueue cq;
     // CIDs are per submission queue in NVMe; each pair allocates its own
-    // and tracks which are in flight so reuse trips an assert.
+    // and tracks which are in flight so reuse trips an assert. A flat
+    // bitmap over the 16-bit CID space (64 KiB, allocated once per queue)
+    // keeps the per-command bookkeeping allocation- and hash-free.
     std::uint16_t next_cid = 0;
-    std::unordered_set<std::uint16_t> inflight_cids;
+    std::vector<std::uint8_t> inflight_cids;
+    std::uint64_t inflight_count = 0;
     std::uint64_t submitted = 0;
-    QueuePair(std::uint16_t depth) : sq(depth), cq(depth) {}
+    QueuePair(std::uint16_t depth) : sq(depth), cq(depth), inflight_cids(65536, 0) {}
   };
 
   // Allocates the queue's next CID and registers it in flight.
   std::uint16_t AllocateCid(QueuePair* qp);
+  static void ReleaseCid(QueuePair* qp, std::uint16_t cid) {
+    if (qp->inflight_cids[cid]) {
+      qp->inflight_cids[cid] = 0;
+      --qp->inflight_count;
+    }
+  }
   // Charges one command's latency: a full round trip serialized on the
   // clock (sync), or arbitration through the shared fetch unit (parallel).
   void ChargeCommand(bool first_in_batch);

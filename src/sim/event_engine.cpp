@@ -1,34 +1,100 @@
 #include "sim/event_engine.h"
 
 #include <algorithm>
-#include <utility>
 
 namespace bandslim::sim {
 
-std::uint64_t EventEngine::Schedule(Nanoseconds when, Callback fn) {
-  const std::uint64_t seq = next_seq_++;
-  heap_.push_back(Event{when, seq, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later);
-  return seq;
+void EventEngine::AddChunk() {
+  chunks_.push_back(std::make_unique<Callback[]>(kChunkSize));
+  const std::uint32_t base =
+      (static_cast<std::uint32_t>(chunks_.size()) - 1) << kChunkShift;
+  // Push indices in reverse so AcquireNode() hands them out in ascending
+  // order — purely cosmetic (locality), not a correctness requirement.
+  for (std::uint32_t i = kChunkSize; i > 0; --i) {
+    free_nodes_.push_back(base + i - 1);
+  }
 }
 
-bool EventEngine::RunOne() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later);
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
+void EventEngine::Execute(const Entry& e) {
   // Enter the event's time frame. This may rewind the clock: a later stream
   // may already have run ahead. Resource timelines are absolute, so bookings
   // made "in the past" still order correctly against earlier ones.
-  clock_->SetTime(ev.time);
+  clock_->SetTime(e.time);
   ++events_run_;
-  ev.fn();
+  Callback& cb = NodeAt(e.node);
+  cb();
+  // Recycle the slot only after the callback returns: the callback body
+  // (and its captures) must stay live while it runs, even if it schedules
+  // new events that acquire other slots.
+  cb.Reset();
+  free_nodes_.push_back(e.node);
+}
+
+bool EventEngine::RunOne() {
+  const bool have_run = run_pos_ < run_.size();
+  if (!have_run && heap_.empty()) return false;
+  Entry e;
+  if (have_run && (heap_.empty() || Earlier(run_[run_pos_], heap_.front()))) {
+    e = run_[run_pos_++];
+    if (!draining_ && run_pos_ == run_.size()) {
+      run_.clear();
+      run_pos_ = 0;
+    }
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    e = heap_.back();
+    heap_.pop_back();
+  }
+  Execute(e);
   return true;
 }
 
 void EventEngine::RunUntilIdle() {
-  while (RunOne()) {
+  assert(!draining_ && "RunUntilIdle is not reentrant");
+  draining_ = true;
+  while (true) {
+    if (run_pos_ == run_.size()) {
+      run_.clear();
+      run_pos_ = 0;
+      if (heap_.empty()) break;
+      // Refill: pop the entire same-timestamp run in one pass. Entries pop
+      // in seq order (the heap is keyed on (time, seq)).
+      batch_time_ = heap_.front().time;
+      do {
+        std::pop_heap(heap_.begin(), heap_.end(), Later);
+        run_.push_back(heap_.back());
+        heap_.pop_back();
+      } while (!heap_.empty() && heap_.front().time == batch_time_);
+    }
+    const Entry e = run_[run_pos_];
+    // A callback may have scheduled work earlier than the rest of the
+    // current batch (a stream re-entering a past frame). Drain those heap
+    // events first so the global (time, seq) order is preserved exactly.
+    while (!heap_.empty() && Earlier(heap_.front(), e)) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later);
+      const Entry h = heap_.back();
+      heap_.pop_back();
+      Execute(h);
+    }
+    ++run_pos_;
+    Execute(e);
   }
+  draining_ = false;
+}
+
+void EventEngine::Reserve(std::size_t n) {
+  heap_.reserve(n);
+  run_.reserve(n);
+  free_nodes_.reserve(((n + kChunkSize - 1) / kChunkSize) * kChunkSize);
+  while (free_nodes_.size() < n) AddChunk();
+}
+
+Nanoseconds EventEngine::NextEventTime() const {
+  assert(pending() > 0 && "NextEventTime() on an idle engine");
+  const bool have_run = run_pos_ < run_.size();
+  if (!have_run) return heap_.empty() ? kNoEventTime : heap_.front().time;
+  if (heap_.empty()) return run_[run_pos_].time;
+  return std::min(heap_.front().time, run_[run_pos_].time);
 }
 
 }  // namespace bandslim::sim

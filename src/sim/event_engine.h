@@ -15,53 +15,135 @@
 // The clock may move *backward* when the engine re-enters an earlier
 // stream's frame; all resource timelines are kept in absolute virtual time,
 // so bookings stay consistent (see VirtualClock::SetTime).
+//
+// Hot-path layout (DESIGN.md §2.6): the heap stores 24-byte POD entries
+// (time, seq, node index) and the callbacks live in a chunked arena of
+// InlineFunction slots recycled through a free list. Steady state therefore
+// performs zero heap allocations per event: no std::function boxing, no
+// node churn. RunUntilIdle() additionally drains same-timestamp runs in one
+// batch — the run is popped off the heap once, and callbacks that schedule
+// follow-on work into the *same* time frame append to the batch in O(1)
+// instead of round-tripping through the heap.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <limits>
+#include <memory>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "sim/clock.h"
 
 namespace bandslim::sim {
 
 class EventEngine {
  public:
-  using Callback = std::function<void()>;
+  // Inline capture budget. The engine's own closures (a function pointer or
+  // two plus a stream id and an op index) are well under this; oversized
+  // captures still work but spill to the heap inside InlineFunction.
+  using Callback = InlineFunction<48>;
+
+  // Returned by NextEventTime() when nothing is pending (release builds;
+  // debug builds assert first). No real event can carry this timestamp:
+  // VirtualClock would overflow-assert long before ~584 years of virtual
+  // time.
+  static constexpr Nanoseconds kNoEventTime =
+      std::numeric_limits<Nanoseconds>::max();
 
   explicit EventEngine(VirtualClock* clock) : clock_(clock) {}
 
   // Enqueues `fn` to run at virtual time `when`. Returns the event's
   // sequence number (monotonic; the tie-break key).
-  std::uint64_t Schedule(Nanoseconds when, Callback fn);
+  template <typename F>
+  std::uint64_t Schedule(Nanoseconds when, F&& fn) {
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t node = AcquireNode();
+    NodeAt(node).Emplace(std::forward<F>(fn));
+    if (draining_ && when == batch_time_) {
+      // Same-frame fast path: the new event's seq is larger than every
+      // entry already in the batch, so appending preserves (time, seq)
+      // order without touching the heap.
+      run_.push_back(Entry{when, seq, node});
+    } else {
+      heap_.push_back(Entry{when, seq, node});
+      std::push_heap(heap_.begin(), heap_.end(), Later);
+    }
+    return seq;
+  }
 
   // Pops the earliest (time, seq) event, sets the clock to its time, and
   // runs it. Returns false when no event is pending.
   bool RunOne();
 
-  // Drains the heap, including events scheduled by running events.
+  // Drains the heap, including events scheduled by running events, popping
+  // same-timestamp runs as a batch. Not reentrant.
   void RunUntilIdle();
 
-  std::size_t pending() const { return heap_.size(); }
+  // Pre-sizes the heap, the batch buffer, and the callback arena for `n`
+  // simultaneously pending events, so a campaign's steady state never grows
+  // a container mid-run.
+  void Reserve(std::size_t n);
+
+  std::size_t pending() const {
+    return heap_.size() + (run_.size() - run_pos_);
+  }
   std::uint64_t events_run() const { return events_run_; }
-  // Earliest pending event time (undefined when empty; check pending()).
-  Nanoseconds NextEventTime() const { return heap_.front().time; }
+
+  // Earliest pending event time. Asserts non-empty in debug builds and
+  // returns kNoEventTime when idle in release builds — never reads a
+  // nonexistent heap front.
+  Nanoseconds NextEventTime() const;
 
  private:
-  struct Event {
+  // POD heap/batch entry; the callback body lives in the arena at `node`.
+  struct Entry {
     Nanoseconds time;
     std::uint64_t seq;
-    Callback fn;
+    std::uint32_t node;
   };
-  // Min-heap on (time, seq) via std:: heap algorithms (priority_queue would
-  // force a copy of the callback out of a const top()).
-  static bool Later(const Event& a, const Event& b) {
+  // Min-heap on (time, seq) via std:: heap algorithms.
+  static bool Later(const Entry& a, const Entry& b) {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
   }
+  static bool Earlier(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  static constexpr std::uint32_t kChunkShift = 6;  // 64 callback slots/chunk.
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  Callback& NodeAt(std::uint32_t i) {
+    return chunks_[i >> kChunkShift][i & kChunkMask];
+  }
+
+  std::uint32_t AcquireNode() {
+    if (free_nodes_.empty()) AddChunk();
+    const std::uint32_t n = free_nodes_.back();
+    free_nodes_.pop_back();
+    return n;
+  }
+
+  void AddChunk();
+  // Enters the entry's time frame, runs its callback, and recycles the node.
+  void Execute(const Entry& e);
 
   VirtualClock* clock_;
-  std::vector<Event> heap_;
+  std::vector<Entry> heap_;
+  // Current same-timestamp batch (entries [run_pos_, size) still pending).
+  std::vector<Entry> run_;
+  std::size_t run_pos_ = 0;
+  Nanoseconds batch_time_ = 0;
+  bool draining_ = false;
+  // Callback arena: fixed-size chunks so slots never relocate while live
+  // (InlineFunction is neither copyable nor movable), plus a free list of
+  // recycled slot indices.
+  std::vector<std::unique_ptr<Callback[]>> chunks_;
+  std::vector<std::uint32_t> free_nodes_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_run_ = 0;
 };

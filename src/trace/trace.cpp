@@ -102,6 +102,15 @@ void Tracer::BeginOp(OpType type, std::uint16_t queue_id,
     return;
   }
   op_active_ = true;
+  // Sampling decision (deterministic op counter, never time): op 0, N, 2N,
+  // ... are recorded. sample_every <= 1 records everything (exact mode).
+  op_recording_ = config_.sample_every <= 1 ||
+                  op_counter_ % config_.sample_every == 0;
+  ++op_counter_;
+  if (!op_recording_) {
+    ++ops_sampled_out_;
+    return;  // Cheap mode: no record init, no clock read.
+  }
   cur_op_ = OpRecord{};
   cur_op_.seq = next_op_seq_++;
   cur_op_.type = type;
@@ -111,7 +120,7 @@ void Tracer::BeginOp(OpType type, std::uint16_t queue_id,
 }
 
 void Tracer::SetOpResult(bool ok) {
-  if (op_active_ && op_nesting_ == 0) cur_op_.ok = ok;
+  if (op_active_ && op_recording_ && op_nesting_ == 0) cur_op_.ok = ok;
 }
 
 void Tracer::EndOp() {
@@ -120,6 +129,11 @@ void Tracer::EndOp() {
     return;
   }
   assert(op_active_ && !cmd_active_ && span_stack_.empty());
+  if (!op_recording_) {
+    op_active_ = false;
+    op_recording_ = true;
+    return;
+  }
   cur_op_.end_ns = clock_->Now();
   op_latency_hist_->Record(cur_op_.end_ns - cur_op_.start_ns);
   op_type_hists_[static_cast<int>(cur_op_.type)]->Record(cur_op_.end_ns -
@@ -135,6 +149,10 @@ void Tracer::EndOp() {
 void Tracer::BeginCommand(std::uint16_t queue_id, std::uint8_t opcode) {
   assert(!cmd_active_ && span_stack_.empty());
   cmd_active_ = true;
+  // A command inside an unsampled op is suppressed with it; op-less
+  // commands (internal traffic) are always recorded.
+  cmd_recording_ = !op_active_ || op_recording_;
+  if (!cmd_recording_) return;
   cur_cmd_ = CommandRecord{};
   cur_cmd_.seq = next_cmd_seq_++;
   cur_cmd_.op_seq = op_active_ ? cur_op_.seq : kNoSeq;
@@ -144,11 +162,16 @@ void Tracer::BeginCommand(std::uint16_t queue_id, std::uint8_t opcode) {
 }
 
 void Tracer::SetCommandCid(std::uint16_t cid) {
-  if (cmd_active_) cur_cmd_.cid = cid;
+  if (cmd_active_ && cmd_recording_) cur_cmd_.cid = cid;
 }
 
 void Tracer::EndCommand(std::uint16_t cq_status) {
   assert(cmd_active_ && span_stack_.empty());
+  if (!cmd_recording_) {
+    cmd_active_ = false;
+    cmd_recording_ = true;
+    return;
+  }
   cur_cmd_.end_ns = clock_->Now();
   cur_cmd_.cq_status = cq_status;
   const std::uint64_t total = cur_cmd_.end_ns - cur_cmd_.start_ns;
@@ -184,12 +207,27 @@ void Tracer::RecordStageHistograms(const StageBreakdown& stages,
 }
 
 void Tracer::OpenSpan(Category category, std::uint64_t bytes) {
+  // Spans inside an unsampled context are suppressed entirely (no clock
+  // read, no stack push); a depth counter keeps Open/Close balanced. The
+  // context can only change at op/command boundaries, where the span stack
+  // is empty, so a suppressed open always meets a suppressed close.
+  const bool suppressed = cmd_active_
+                              ? !cmd_recording_
+                              : (op_active_ && !op_recording_);
+  if (suppressed) {
+    ++suppressed_spans_;
+    return;
+  }
   span_stack_.push_back(OpenSpanState{
       category, clock_->Now(), bytes, /*child_ns=*/0,
       static_cast<std::uint16_t>(span_stack_.size())});
 }
 
 void Tracer::CloseSpan() {
+  if (suppressed_spans_ > 0) {
+    --suppressed_spans_;
+    return;
+  }
   assert(!span_stack_.empty());
   const OpenSpanState state = span_stack_.back();
   span_stack_.pop_back();
@@ -241,12 +279,14 @@ StageBreakdown Tracer::AggregateCommandStages() const {
 }
 
 void Tracer::Clear() {
-  assert(span_stack_.empty() && !cmd_active_ && !op_active_);
+  assert(span_stack_.empty() && suppressed_spans_ == 0 && !cmd_active_ &&
+         !op_active_);
   ops_.clear();
   commands_.clear();
   spans_.clear();
   dropped_ops_ = dropped_commands_ = dropped_spans_ = 0;
   orphan_spans_ = 0;
+  op_counter_ = ops_sampled_out_ = 0;
 }
 
 namespace {

@@ -77,6 +77,15 @@ struct TraceConfig {
   std::size_t op_capacity = 1u << 15;
   std::size_t command_capacity = 1u << 16;
   std::size_t span_capacity = 1u << 18;
+  // Sampled tracing (DESIGN.md 2.6): record every Nth host operation.
+  // 1 (the default) is exact mode — every op, command, and span is recorded
+  // and all exports are bit-identical to the pre-sampling tracer. N > 1 is
+  // cheap mode: unsampled ops skip ring writes, clock reads, and histogram
+  // updates entirely (their commands and spans are suppressed with them);
+  // the per-op sampling decision is a deterministic counter, never time or
+  // randomness, so a sampled run is still bit-reproducible. Commands issued
+  // outside any op (e.g. internal recovery traffic) are always recorded.
+  std::uint64_t sample_every = 1;
 };
 
 inline constexpr std::uint64_t kNoSeq = ~0ULL;
@@ -174,6 +183,9 @@ class Tracer {
   std::uint64_t orphan_spans() const { return orphan_spans_; }
   bool command_active() const { return cmd_active_; }
   bool op_active() const { return op_active_; }
+  // Host ops seen (sampled or not) and ops skipped by sampling.
+  std::uint64_t ops_seen() const { return op_counter_; }
+  std::uint64_t ops_sampled_out() const { return ops_sampled_out_; }
 
   // Aggregate breakdown over all retained commands.
   StageBreakdown AggregateCommandStages() const;
@@ -212,6 +224,16 @@ class Tracer {
   CommandRecord cur_cmd_;
   std::uint64_t next_op_seq_ = 0;
   std::uint64_t next_cmd_seq_ = 0;
+  // Sampling state (see TraceConfig::sample_every). `op_recording_` is
+  // decided once at the outermost BeginOp; `cmd_recording_` follows the
+  // enclosing op (true for op-less commands). `suppressed_spans_` balances
+  // OpenSpan/CloseSpan pairs inside unsampled contexts without touching the
+  // span stack or the clock.
+  bool op_recording_ = true;
+  bool cmd_recording_ = true;
+  std::uint64_t op_counter_ = 0;
+  std::uint64_t ops_sampled_out_ = 0;
+  std::uint64_t suppressed_spans_ = 0;
 
   stats::Histogram* op_latency_hist_;
   stats::Histogram* cmd_latency_hist_;

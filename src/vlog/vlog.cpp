@@ -1,6 +1,7 @@
 #include "vlog/vlog.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace bandslim::vlog {
 
@@ -36,19 +37,28 @@ Status VLog::Read(VlogAddr addr, MutByteSpan out) {
           buffer_.ReadRange(a, out.subspan(done, n)));
     } else {
       if (lpn != cached_lpn_) {
-        if (cached_page_.empty()) cached_page_.resize(kNandPageSize);
         cached_lpn_ = ~0ULL;  // Stay invalid if the FTL read fails.
         {
           trace::SpanScope span(tracer_, trace::Category::kVlogRead,
                                 kNandPageSize);
-          BANDSLIM_RETURN_IF_ERROR(ftl_->Read(lpn, MutByteSpan(cached_page_)));
+          BANDSLIM_RETURN_IF_ERROR(ftl_->ReadView(lpn, &cached_page_));
         }
         cached_lpn_ = lpn;
       } else {
         ++read_cache_hits_;
       }
-      std::copy_n(cached_page_.begin() + static_cast<std::ptrdiff_t>(offset),
-                  n, out.begin() + static_cast<std::ptrdiff_t>(done));
+      // The view may be shorter than a page (partial retention) or absent
+      // (payload retention off): bytes past it read as zeros, exactly as
+      // the copying read zero-filled its page buffer.
+      const std::size_t have =
+          cached_page_ == nullptr ? 0 : cached_page_->size();
+      std::uint8_t* dst = out.data() + done;
+      std::size_t copied = 0;
+      if (offset < have) {
+        copied = std::min<std::size_t>(n, have - offset);
+        std::memcpy(dst, cached_page_->data() + offset, copied);
+      }
+      if (copied < n) std::memset(dst + copied, 0, n - copied);
     }
     done += n;
   }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "buffer/page_buffer.h"
@@ -51,8 +52,12 @@ class VLog {
   std::unordered_map<std::uint64_t, std::uint32_t> page_used_;
   // Single-page read cache (device DRAM): sequential scans and co-located
   // GETs of densely packed values avoid re-reading the same NAND page.
+  // Holds a zero-copy reference to the retained NAND payload (nullptr when
+  // payload retention is off — those bytes read as zeros); the shared_ptr
+  // keeps the content alive across GC relocations, exactly as a private
+  // copy would.
   std::uint64_t cached_lpn_ = ~0ULL;
-  Bytes cached_page_;
+  std::shared_ptr<const Bytes> cached_page_;
   std::uint64_t read_cache_hits_ = 0;
   buffer::NandPageBuffer buffer_;  // Must follow fields FlushPage captures.
 };

@@ -123,6 +123,10 @@ RunResult RunShardedPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
   std::vector<Bytes> values(num_streams, Bytes(spec.sizes->MaxSize(), 0xA5));
 
   sim::EventEngine engine(&clock);
+  // At most one in-flight turn per stream, so the heap and the callback
+  // arena never hold more than num_streams entries: pre-size both (plus
+  // slack for the drain buffer) so the run loop never grows them.
+  engine.Reserve(2u * num_streams + 4u);
   // Each stream's turn runs one PUT in that stream's time frame, then books
   // the stream's next turn at its new local time. The engine always picks
   // the stream with the smallest local time (ties by schedule order), so

@@ -1,10 +1,95 @@
 // EventEngine: the (time, sequence) ordering contract the multi-queue
 // execution mode depends on — identical schedules must drain identically.
+//
+// This binary also replaces the global allocator with a counting wrapper,
+// so it can prove the hot-path allocation contracts (DESIGN.md §2.6): a
+// reserved engine schedules without touching the heap, and steady-state
+// PUT/GET against an assembled device performs zero allocations per op.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <new>
+#include <string>
 #include <vector>
 
+#include "common/types.h"
+#include "core/kvssd.h"
 #include "sim/event_engine.h"
+
+// --- Counting allocator ------------------------------------------------------
+// Every operator-new in the process bumps g_heap_allocs. The strict
+// zero-allocation assertions only run in optimized, sanitizer-free builds:
+// debug STL and sanitizer runtimes allocate on paths release builds elide,
+// and that is not what these tests measure.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define BANDSLIM_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define BANDSLIM_TEST_SANITIZED 1
+#endif
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+#if defined(NDEBUG) && !defined(BANDSLIM_TEST_SANITIZED)
+constexpr bool kStrictAllocChecks = true;
+#else
+constexpr bool kStrictAllocChecks = false;
+#endif
+
+// Allocations since construction.
+class AllocCounter {
+ public:
+  AllocCounter() : start_(g_heap_allocs.load(std::memory_order_relaxed)) {}
+  std::uint64_t delta() const {
+    return g_heap_allocs.load(std::memory_order_relaxed) - start_;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+}  // namespace
+
+// Once these replacements inline, GCC pairs the free() in operator delete
+// with the replaced operator new and raises -Wmismatched-new-delete; the
+// pairing is in fact malloc/free (aligned_alloc/free for aligned forms).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace bandslim::sim {
 namespace {
@@ -76,5 +161,177 @@ TEST(EventEngineTest, RunOneReportsPendingAndNextTime) {
   EXPECT_FALSE(engine.RunOne());
 }
 
+TEST(EventEngineTest, SameTimestampBatchDrainsInScheduleOrder) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  std::vector<int> order;
+  // Three events at t=100. The first one schedules, mid-drain, a fourth at
+  // t=100 — it must append to the live batch and run after the entries
+  // already queued (its sequence number is larger) — and a fifth at t=40.
+  // Strict global (time, seq) order demands the t=40 event *preempt* the
+  // rest of the t=100 batch, rewinding the clock into its frame and back:
+  // exactly what the pre-batching heap did, one pop at a time.
+  engine.Schedule(100, [&] {
+    order.push_back(0);
+    engine.Schedule(100, [&] {
+      order.push_back(3);
+      EXPECT_EQ(clock.Now(), 100u);
+    });
+    engine.Schedule(40, [&] {
+      order.push_back(4);
+      EXPECT_EQ(clock.Now(), 40u);
+    });
+  });
+  engine.Schedule(100, [&] {
+    order.push_back(1);
+    EXPECT_EQ(clock.Now(), 100u);
+  });
+  engine.Schedule(100, [&] { order.push_back(2); });
+  engine.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 4, 1, 2, 3}));
+  EXPECT_EQ(engine.events_run(), 5u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EventEngineTest, BatchAppendsChainAcrossGenerations) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  // Each same-time event schedules the next; the whole chain must drain in
+  // one RunUntilIdle without losing order or leaking pending entries.
+  int chained = 0;
+  std::function<void()> link = [&] {
+    if (++chained < 64) engine.Schedule(clock.Now(), link);
+  };
+  engine.Schedule(10, link);
+  engine.RunUntilIdle();
+  EXPECT_EQ(chained, 64);
+  EXPECT_EQ(clock.Now(), 10u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+#ifdef NDEBUG
+TEST(EventEngineTest, NextEventTimeWhenIdleReturnsSentinel) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  // Release builds return the unreachable sentinel instead of reading a
+  // nonexistent heap front (the pre-overhaul engine invoked UB here).
+  EXPECT_EQ(engine.NextEventTime(), EventEngine::kNoEventTime);
+  engine.Schedule(5, [] {});
+  engine.RunUntilIdle();
+  EXPECT_EQ(engine.NextEventTime(), EventEngine::kNoEventTime);
+}
+#else
+TEST(EventEngineDeathTest, NextEventTimeWhenIdleAssertsInDebug) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  EXPECT_DEATH((void)engine.NextEventTime(), "");
+}
+#endif
+
+TEST(EventEngineTest, ReservedEngineSchedulesWithoutAllocating) {
+  VirtualClock clock;
+  EventEngine engine(&clock);
+  engine.Reserve(8);
+  // One warm-up cycle settles anything grown lazily.
+  for (int i = 0; i < 8; ++i) engine.Schedule(static_cast<Nanoseconds>(i), [] {});
+  engine.RunUntilIdle();
+
+  AllocCounter allocs;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      engine.Schedule(clock.Now() + 1 + static_cast<Nanoseconds>(i), [] {});
+    }
+    engine.RunUntilIdle();
+  }
+  if (kStrictAllocChecks) {
+    EXPECT_EQ(allocs.delta(), 0u)
+        << "a reserved engine must not touch the heap in steady state";
+  }
+  EXPECT_EQ(engine.events_run(), 808u);
+}
+
 }  // namespace
 }  // namespace bandslim::sim
+
+namespace bandslim {
+namespace {
+
+// Steady-state hot-path contract over the fully assembled device: once every
+// key exists and every pool/scratch has its working capacity, PUT
+// (piggybacked write + trailing transfers) and GET (GetInto) perform zero
+// heap allocations per op. Page flushes legitimately allocate (FTL mapping
+// growth), so the PUT window is aligned to start just after a flush and is
+// kept smaller than one NAND page.
+TEST(SteadyStateAllocationTest, PutAndGetAllocateNothingAfterWarmup) {
+  auto open = KvSsd::Open(KvSsdOptions{});
+  ASSERT_TRUE(open.ok());
+  std::unique_ptr<KvSsd> kv = std::move(open).value();
+
+  // Keys stay within libstdc++'s small-string buffer: no per-op key allocs.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) keys.push_back("k" + std::to_string(i));
+  const Bytes value(128, 0xAB);
+  const ByteSpan vspan(value.data(), value.size());
+  Bytes got;
+  got.reserve(4096);
+
+  // Warm up: every key exists (subsequent PUTs are in-place overwrites) and
+  // several vLog pages have been filled and flushed, so the buffer pool,
+  // command scratches, and host-page free list all hold steady-state
+  // capacity.
+  for (int round = 0; round < 40; ++round) {
+    for (const std::string& key : keys) ASSERT_TRUE(kv->Put(key, vspan).ok());
+  }
+  for (const std::string& key : keys) ASSERT_TRUE(kv->GetInto(key, &got).ok());
+
+  // Align to a fresh vLog page: PUT until a flush fires, then measure a
+  // window small enough (64 x 128 B = 8 KiB < 16 KiB) to not flush again.
+  const std::uint64_t flushed = kv->GetStats().vlog_pages_flushed;
+  for (int guard = 0; kv->GetStats().vlog_pages_flushed == flushed; ++guard) {
+    ASSERT_TRUE(kv->Put(keys[0], vspan).ok());
+    ASSERT_LT(guard, 1000) << "vLog flush never fired during alignment";
+  }
+
+  AllocCounter put_allocs;
+  bool puts_ok = true;
+  for (int i = 0; i < 64; ++i) {
+    puts_ok = puts_ok && kv->Put(keys[i % keys.size()], vspan).ok();
+  }
+  const std::uint64_t put_delta = put_allocs.delta();
+  ASSERT_TRUE(puts_ok);
+  if (kStrictAllocChecks) {
+    EXPECT_EQ(put_delta, 0u) << "steady-state PUT must not allocate";
+  }
+
+  // GETs against the buffer window (values just written).
+  AllocCounter get_allocs;
+  bool gets_ok = true;
+  for (int i = 0; i < 64; ++i) {
+    gets_ok = gets_ok && kv->GetInto(keys[i % keys.size()], &got).ok();
+  }
+  const std::uint64_t get_delta = get_allocs.delta();
+  ASSERT_TRUE(gets_ok);
+  if (kStrictAllocChecks) {
+    EXPECT_EQ(get_delta, 0u) << "steady-state GET must not allocate";
+  }
+  EXPECT_EQ(got.size(), value.size());
+
+  // GETs against flushed NAND pages (zero-copy ReadView path): drain the
+  // buffer, warm the single-page read cache, then measure.
+  ASSERT_TRUE(kv->Flush().ok());
+  ASSERT_TRUE(kv->GetInto(keys[0], &got).ok());
+  AllocCounter nand_allocs;
+  gets_ok = true;
+  for (int i = 0; i < 64; ++i) {
+    gets_ok = gets_ok && kv->GetInto(keys[i % keys.size()], &got).ok();
+  }
+  const std::uint64_t nand_delta = nand_allocs.delta();
+  ASSERT_TRUE(gets_ok);
+  if (kStrictAllocChecks) {
+    EXPECT_EQ(nand_delta, 0u) << "NAND-path GET must not allocate";
+  }
+  EXPECT_EQ(got, value);
+}
+
+}  // namespace
+}  // namespace bandslim

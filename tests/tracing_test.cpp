@@ -6,9 +6,11 @@
 // path showing up as traced stages.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/kvssd.h"
 #include "trace/trace.h"
@@ -180,6 +182,87 @@ TEST(TraceExportTest, TwoIdenticalRunsExportIdenticalBytes) {
   EXPECT_EQ(csv1, csv2);
   EXPECT_FALSE(json1.empty());
   EXPECT_NE(csv1.find("cmd_seq,op_seq,op,opcode"), std::string::npos);
+}
+
+// --- Sampled tracing (TraceConfig::sample_every) ---------------------------
+
+TEST(TraceSamplingTest, ExactModeExportsAreBitIdenticalToDefault) {
+  auto [json_default, csv_default] = RunAndExport();
+  KvSsdOptions o = TracedOptions();
+  o.num_queues = 2;
+  o.trace.sample_every = 1;  // Explicit exact mode.
+  auto ssd = KvSsd::Open(o).value();
+  DriveMixed(ssd.get(), 25);
+  EXPECT_EQ(trace::ToChromeTraceJson(ssd->tracer()), json_default);
+  EXPECT_EQ(trace::ToBreakdownCsv(ssd->tracer()), csv_default);
+}
+
+TEST(TraceSamplingTest, RecordsEveryNthOpAndCountsTheRest) {
+  constexpr std::uint64_t kEvery = 4;
+  KvSsdOptions o = TracedOptions();
+  o.trace.sample_every = kEvery;
+  auto ssd = KvSsd::Open(o).value();
+  DriveMixed(ssd.get(), 30);
+
+  const trace::Tracer& tracer = ssd->tracer();
+  const std::uint64_t seen = tracer.ops_seen();
+  ASSERT_GT(seen, 0u);
+  // Ops 0, N, 2N, ... are recorded; everything else is counted out.
+  const std::uint64_t expected_recorded = (seen + kEvery - 1) / kEvery;
+  EXPECT_EQ(tracer.ops().size() + tracer.dropped_ops(), expected_recorded);
+  EXPECT_EQ(tracer.ops_sampled_out(), seen - expected_recorded);
+  // Commands and spans of unsampled ops are suppressed with them, so the
+  // rings shrink accordingly (every op issues at least one command).
+  EXPECT_LT(tracer.commands().size(),
+            static_cast<std::size_t>(seen));
+}
+
+TEST(TraceSamplingTest, SamplingNeverPerturbsDeviceState) {
+  KvSsdStats stats[2];
+  for (int pass = 0; pass < 2; ++pass) {
+    KvSsdOptions o = TracedOptions();
+    o.trace.sample_every = pass == 0 ? 1 : 7;
+    auto ssd = KvSsd::Open(o).value();
+    DriveMixed(ssd.get(), 30);
+    stats[pass] = ssd->GetStats();
+  }
+  // The sampling decision is a pure counter: virtual time and every device
+  // counter are identical in exact and cheap mode.
+  EXPECT_EQ(stats[0].elapsed_ns, stats[1].elapsed_ns);
+  EXPECT_EQ(stats[0].pcie_h2d_bytes, stats[1].pcie_h2d_bytes);
+  EXPECT_EQ(stats[0].nand_pages_programmed, stats[1].nand_pages_programmed);
+  EXPECT_EQ(stats[0].commands_submitted, stats[1].commands_submitted);
+  EXPECT_EQ(stats[0].device_memcpy_bytes, stats[1].device_memcpy_bytes);
+}
+
+TEST(TraceSamplingTest, SampledSubsetMatchesTheExactRun) {
+  // Every op the sampled run records must be byte-for-byte present in the
+  // exact run's ring: same seq, type, window, and stage attribution.
+  std::vector<trace::OpRecord> exact, sampled;
+  for (int pass = 0; pass < 2; ++pass) {
+    KvSsdOptions o = TracedOptions();
+    o.trace.op_capacity = 1u << 12;  // No drops at this op count.
+    o.trace.sample_every = pass == 0 ? 1 : 5;
+    auto ssd = KvSsd::Open(o).value();
+    DriveMixed(ssd.get(), 30);
+    (pass == 0 ? exact : sampled) =
+        std::vector<trace::OpRecord>(ssd->tracer().ops().begin(),
+                                     ssd->tracer().ops().end());
+  }
+  ASSERT_FALSE(sampled.empty());
+  ASSERT_LT(sampled.size(), exact.size());
+  // Sampled record k is the exact run's op at global index 5k (seqs are
+  // assigned per recorded op, so only the position lines up, not the seq).
+  for (std::size_t k = 0; k < sampled.size(); ++k) {
+    ASSERT_LT(5 * k, exact.size());
+    const trace::OpRecord& e = exact[5 * k];
+    const trace::OpRecord& s = sampled[k];
+    EXPECT_EQ(e.type, s.type) << "sampled op " << k;
+    EXPECT_EQ(e.start_ns, s.start_ns) << "sampled op " << k;
+    EXPECT_EQ(e.end_ns, s.end_ns) << "sampled op " << k;
+    EXPECT_EQ(e.commands_ns, s.commands_ns) << "sampled op " << k;
+    EXPECT_EQ(e.stages.TotalNs(), s.stages.TotalNs()) << "sampled op " << k;
+  }
 }
 
 // --- Zero overhead / zero side effects when disabled -----------------------
