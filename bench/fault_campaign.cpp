@@ -25,12 +25,143 @@ constexpr RatePoint kRates[] = {
     {"1%", 0.01},
 };
 
+// --- closed-loop GC headroom demo (--control) ------------------------------
+// A deliberately tiny die (48 blocks) under an overwrite-heavy 1 % program-
+// failure storm: every PUT rewrites one of 64 hot keys, so the FTL lives off
+// garbage collection while failed programs burn blocks. Uncontrolled, the
+// free pool rides the stop-the-world gc_low_watermark and the free-blocks-low
+// rule fires; with the GC-pacing knob the controller collects a budgeted
+// step per tick above the watermark, holding headroom without kOutOfSpace.
+
+struct HeadroomRun {
+  std::uint64_t min_free = ~0ULL;
+  std::uint64_t out_of_space = 0;
+  std::uint64_t other_failures = 0;
+  std::uint64_t free_low_fires = 0;
+  std::uint64_t gc_actuations = 0;
+  std::uint64_t reserve_remaining = 0;
+};
+
+HeadroomRun RunHeadroom(std::uint64_t ops, std::uint64_t seed,
+                        bool controlled) {
+  KvSsdOptions o;
+  o.geometry.channels = 1;
+  o.geometry.ways = 1;
+  o.geometry.blocks_per_die = 48;
+  o.geometry.pages_per_block = 32;
+  o.ftl.reserved_blocks = 8;
+  o.retain_payloads = false;
+  o.fault.seed = seed;
+  o.fault.program_fail_rate = 0.01;
+  o.telemetry.enabled = true;
+  o.telemetry.sample_interval_ns = 50 * sim::kMicrosecond;
+  // This workload's uncontrolled floor is 7 free blocks (the stop-the-world
+  // watermark of 4 never even engages) — the rule marks the headroom the
+  // controller must defend. GC here is victim-limited: invalid pages only
+  // appear as compaction trims land, so pacing buys one block of floor.
+  o.telemetry.rules.push_back(
+      telemetry::FreeBlocksLowRule(/*blocks=*/7, /*n=*/1));
+  if (controlled) {
+    o.control.enabled = true;
+    o.control.gc.enabled = true;
+    o.control.gc.soft_watermark = 12;   // Pace well above the alert line.
+    o.control.gc.escalate_watermark = 10;
+    o.control.gc.escalated_steps = 4;
+    o.control.gc.target_free = 14;
+  }
+  auto ssd = KvSsd::Open(o).value();
+
+  const Bytes value = workload::MakeValue(1024, seed, /*tag=*/2);
+  HeadroomRun run;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const Status st = ssd->Put("hot" + std::to_string(i % 64), ByteSpan(value));
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kOutOfSpace) {
+        ++run.out_of_space;
+      } else {
+        ++run.other_failures;
+      }
+    }
+    // Log cleaning + checkpoint, as any real ingest loop schedules them: the
+    // trims only land at checkpoint, and only then does FTL-level GC have
+    // victims. Identical in both runs — the knob under test is *when* the
+    // freed blocks are collected, not the cleaning.
+    if (i % 256 == 255) {
+      (void)ssd->CollectVlogGarbage();
+      (void)ssd->Flush();
+    }
+  }
+  ssd->Hooks().sampler->Finalize();
+
+  const telemetry::Sampler& t = ssd->telemetry();
+  const std::int64_t id = t.series().Find("gauge.ftl.free_blocks");
+  for (const telemetry::Sample& s : t.samples()) {
+    if (id >= 0) {
+      run.min_free =
+          std::min(run.min_free, s.Value(static_cast<std::uint32_t>(id)));
+    }
+  }
+  for (const auto& alert : ssd->Inspect().alerts) {
+    if (alert.rule == "free_blocks_low") run.free_low_fires = alert.fired;
+  }
+  if (ssd->control() != nullptr) {
+    for (const auto& rec : ssd->control()->actuations()) {
+      if (rec.rule == control::ControlRule::kGcStep) ++run.gc_actuations;
+    }
+  }
+  run.reserve_remaining = ssd->Inspect().ftl_reserve_blocks;
+  return run;
+}
+
+int RunControlHeadroom(std::uint64_t ops, std::uint64_t seed) {
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what, std::uint64_t got) {
+    if (ok) {
+      std::printf("CHECK ok: %-48s %" PRIu64 "\n", what, got);
+    } else {
+      std::fprintf(stderr, "CHECK FAILED: %s (got %" PRIu64 ")\n", what, got);
+      ++failures;
+    }
+  };
+  std::printf("\n--- control headroom: 1%% program failures, 48-block die "
+              "---\n");
+  const HeadroomRun unc = RunHeadroom(ops, seed, /*controlled=*/false);
+  const HeadroomRun ctl = RunHeadroom(ops, seed, /*controlled=*/true);
+  std::printf("%-14s %10s %12s %10s %10s %9s\n", "run", "min_free",
+              "out_of_space", "free_low", "gc_steps", "reserve");
+  std::printf("%-14s %10" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
+              " %9" PRIu64 "\n",
+              "uncontrolled", unc.min_free, unc.out_of_space,
+              unc.free_low_fires, unc.gc_actuations, unc.reserve_remaining);
+  std::printf("%-14s %10" PRIu64 " %12" PRIu64 " %10" PRIu64 " %10" PRIu64
+              " %9" PRIu64 "\n",
+              "controlled", ctl.min_free, ctl.out_of_space,
+              ctl.free_low_fires, ctl.gc_actuations, ctl.reserve_remaining);
+
+  check(unc.free_low_fires >= 1, "uncontrolled run hits 7-block alert line",
+        unc.free_low_fires);
+  check(ctl.out_of_space == 0, "controlled run never sees kOutOfSpace",
+        ctl.out_of_space);
+  check(ctl.other_failures == 0, "controlled run PUTs all succeed",
+        ctl.other_failures);
+  check(ctl.free_low_fires == 0, "controlled run never fires free-blocks-low",
+        ctl.free_low_fires);
+  check(ctl.min_free > unc.min_free, "controlled min free above uncontrolled",
+        ctl.min_free);
+  check(ctl.gc_actuations >= 1, "GC pacing actuated at least once",
+        ctl.gc_actuations);
+  return failures;
+}
+
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseArgs(argc, argv, /*default_ops=*/20000);
   std::uint64_t seed = 0xFA017;
+  bool control_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--control") == 0) {
+      control_mode = true;
     }
   }
 
@@ -82,6 +213,19 @@ int Run(int argc, char** argv) {
             point.label, kops, secs * 1e3, s.nand_program_failures,
             s.bad_block_remaps, s.nvme_retries, s.ecc_corrections,
             ssd->Inspect().ftl_reserve_blocks);
+  }
+  if (control_mode) {
+    // Fixed op count: the headroom scenario is a calibrated pass/fail
+    // experiment (a 48-block die under sustained 1 % program failures
+    // eventually bricks at ANY op count — the demo window is where paced GC
+    // visibly defends the floor), so --ops scales only the sweep above.
+    const int failures = RunControlHeadroom(/*ops=*/5000, seed);
+    if (failures != 0) {
+      std::fprintf(stderr, "\nfault_campaign --control: %d check(s) FAILED\n",
+                   failures);
+      return 1;
+    }
+    std::printf("\nfault_campaign --control: all checks passed\n");
   }
   return 0;
 }

@@ -126,6 +126,33 @@ telemetry_timeline() {
   fi
 }
 
+# Closed-loop control storm: the bench replays the undersized-LSM storm
+# three ways — uncontrolled, null policy (controller built with every knob
+# off; exports must byte-match the uncontrolled run), and controlled — and
+# exits nonzero unless the controlled run bounds the stall streak (<= 2
+# consecutive intervals), beats the uncontrolled worst-interval p99, never
+# fires free-blocks-low, and produces a byte-identical actuation log across
+# a double run. The GC-headroom demo does the same for the FTL knob under
+# 1 % program failures. Here we additionally sanity-check the side-by-side
+# CSV's shape.
+control_storm() {
+  local build_dir="$1"
+  echo "=== verify pass: control storm (${build_dir}) ==="
+  local out="${build_dir}/control"
+  "${build_dir}/bench/timeline_report" --ops=2000 --control --export="${out}"
+  awk -F, '
+    NR == 1 { cols = NF; if (cols != 12) { print "bad header: " NF " cols"; exit 1 } next }
+    NF != cols { print "ragged row " NR; exit 1 }
+    END { if (NR < 2) { print "no data rows"; exit 1 } }
+  ' "${out}.control.csv"
+  awk -F, 'NR == 1 && $0 != "t_ns,seq,rule,observed,old_setting,new_setting" \
+             { print "bad actuation header"; exit 1 }
+           END { if (NR < 2) { print "empty actuation log"; exit 1 } }' \
+    "${out}.actuations.csv"
+  echo "control storm: side-by-side and actuation CSVs well-formed"
+  "${build_dir}/bench/fault_campaign" --ops=2000 --control
+}
+
 # Simulator-throughput regression gate. Release only: wall-clock numbers
 # from a sanitized build measure the sanitizer, not the simulator, so the
 # ASan pass skips it. The gate fails when any profile drops more than the
@@ -147,6 +174,7 @@ run_pass release "${prefix}-release" \
 
 trace_export "${prefix}-release"
 telemetry_timeline "${prefix}-release"
+control_storm "${prefix}-release"
 sim_speed_gate "${prefix}-release"
 
 run_pass asan-ubsan "${prefix}-asan" \
@@ -157,5 +185,6 @@ run_pass asan-ubsan "${prefix}-asan" \
 fault_campaign "${prefix}-asan"
 trace_export "${prefix}-asan"
 telemetry_timeline "${prefix}-asan"
+control_storm "${prefix}-asan"
 
 echo "=== verify: all passes green ==="

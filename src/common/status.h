@@ -21,6 +21,7 @@ enum class StatusCode {
   kTimedOut,     // Command exceeded its virtual-time deadline (host watchdog).
   kMediaError,   // NAND program/read/erase failure (injected or grown defect).
   kAlreadyExists,  // Named resource (e.g. registry counter) already taken.
+  kBusy,         // Host-side admission control shed the request; retry later.
 };
 
 class Status {
@@ -60,12 +61,16 @@ class Status {
   static Status AlreadyExists(std::string m) {
     return {StatusCode::kAlreadyExists, std::move(m)};
   }
+  static Status Busy(std::string m = "busy") {
+    return {StatusCode::kBusy, std::move(m)};
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsMediaError() const { return code_ == StatusCode::kMediaError; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -87,6 +92,7 @@ class Status {
       case StatusCode::kTimedOut: return "TimedOut";
       case StatusCode::kMediaError: return "MediaError";
       case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kBusy: return "Busy";
     }
     return "Unknown";
   }

@@ -1,0 +1,210 @@
+#include "control/control_loop.h"
+
+#include <algorithm>
+
+#include "driver/driver.h"
+#include "ftl/ftl.h"
+#include "lsm/lsm_tree.h"
+#include "nvme/transport.h"
+
+namespace bandslim::control {
+
+const char* ControlRuleName(ControlRule rule) {
+  switch (rule) {
+    case ControlRule::kRaiseThresholds: return "raise_thresholds";
+    case ControlRule::kRestoreThresholds: return "restore_thresholds";
+    case ControlRule::kGcStep: return "gc_step";
+    case ControlRule::kDeferFlush: return "defer_flush";
+    case ControlRule::kReleaseFlush: return "release_flush";
+    case ControlRule::kCompactStep: return "compact_step";
+    case ControlRule::kApplyAdmission: return "apply_admission";
+  }
+  return "unknown";
+}
+
+LoopController::LoopController(const ControlPolicy& policy,
+                               telemetry::Sampler* sampler)
+    : policy_(policy), sampler_(sampler) {}
+
+void LoopController::BindActuators(const Actuators& actuators) {
+  act_ = actuators;
+  if (!base_captured_ && act_.driver != nullptr) {
+    base_threshold1_ = act_.driver->threshold1();
+    base_threshold2_ = act_.driver->threshold2();
+    base_captured_ = true;
+  }
+}
+
+void LoopController::Reset() {
+  breach_streak_ = 0;
+  recover_streak_ = 0;
+  if (act_.driver != nullptr && base_captured_) {
+    // After a crash the raised thresholds are not a persisted setting to
+    // recover — they are re-derived from the policy base; the loop will
+    // re-raise them if the post-recovery link is still over budget.
+    if (thresholds_raised_) {
+      Record(ControlRule::kRestoreThresholds, 0, act_.driver->threshold1(),
+             base_threshold1_);
+    }
+    act_.driver->SetAdaptiveThresholds(base_threshold1_, base_threshold2_);
+  }
+  thresholds_raised_ = false;
+  if (act_.lsm != nullptr) {
+    act_.lsm->SetFlushDeferralBytes(0);
+  }
+  flush_deferral_ = 0;
+  if (policy_.admission.enabled && act_.transport != nullptr) {
+    ApplyAdmission();
+  }
+}
+
+std::uint64_t LoopController::SeriesValue(const telemetry::Sample& sample,
+                                          const std::string& name) const {
+  const std::int64_t id = sampler_->series().Find(name);
+  if (id < 0) return 0;
+  return sample.Value(static_cast<std::uint32_t>(id));
+}
+
+void LoopController::Record(ControlRule rule, std::uint64_t observed,
+                            std::uint64_t old_setting,
+                            std::uint64_t new_setting) {
+  ActuationRecord rec;
+  rec.t_ns = tick_t_ns_;
+  rec.seq = actuations_.size();
+  rec.rule = rule;
+  rec.observed = observed;
+  rec.old_setting = old_setting;
+  rec.new_setting = new_setting;
+  actuations_.push_back(rec);
+  sampler_->event_log().Emit(telemetry::EventType::kControl,
+                             static_cast<std::uint64_t>(rule), new_setting);
+}
+
+void LoopController::OnSample(const telemetry::Sample& sample) {
+  ++ticks_;
+  if (policy_.tick_every_samples > 1 &&
+      ticks_ % policy_.tick_every_samples != 0) {
+    return;
+  }
+  tick_t_ns_ = sample.t_ns;
+  if (policy_.thresholds.enabled && act_.driver != nullptr) {
+    TickThresholds(sample);
+  }
+  if (policy_.gc.enabled && act_.ftl != nullptr) TickGc();
+  if (policy_.flush.enabled && act_.lsm != nullptr) TickFlush();
+  if (policy_.admission.enabled && act_.transport != nullptr) {
+    act_.transport->RefillQueueCredits();
+  }
+}
+
+void LoopController::TickThresholds(const telemetry::Sample& sample) {
+  const std::uint64_t taf = SeriesValue(sample, "rate.taf_milli");
+  // Prefer the watchdog's judgement when a TAF rule is configured: its
+  // alert edges already encode the fire/clear hysteresis the operator
+  // chose. Without one, compare directly against the policy budget.
+  const std::int64_t rule = sampler_->watchdog().FindRule("taf_over_budget");
+  const bool breached =
+      rule >= 0
+          ? sampler_->watchdog().states()[static_cast<std::size_t>(rule)].active
+          : taf > policy_.thresholds.taf_budget_milli;
+  if (!thresholds_raised_) {
+    recover_streak_ = 0;
+    breach_streak_ = breached ? breach_streak_ + 1 : 0;
+    if (breach_streak_ < policy_.thresholds.breach_intervals) return;
+    Record(ControlRule::kRaiseThresholds, taf, act_.driver->threshold1(),
+           policy_.thresholds.raised_threshold1);
+    act_.driver->SetAdaptiveThresholds(policy_.thresholds.raised_threshold1,
+                                       policy_.thresholds.raised_threshold2);
+    thresholds_raised_ = true;
+    breach_streak_ = 0;
+    return;
+  }
+  breach_streak_ = 0;
+  recover_streak_ = breached ? 0 : recover_streak_ + 1;
+  if (recover_streak_ < policy_.thresholds.recover_intervals) return;
+  Record(ControlRule::kRestoreThresholds, taf, act_.driver->threshold1(),
+         base_threshold1_);
+  act_.driver->SetAdaptiveThresholds(base_threshold1_, base_threshold2_);
+  thresholds_raised_ = false;
+  recover_streak_ = 0;
+}
+
+void LoopController::TickGc() {
+  const std::uint64_t free_before = act_.ftl->free_blocks();
+  if (free_before >= policy_.gc.target_free) return;
+  std::uint32_t steps = 0;
+  if (free_before <= policy_.gc.escalate_watermark) {
+    steps = policy_.gc.escalated_steps;
+  } else if (free_before < policy_.gc.soft_watermark) {
+    steps = policy_.gc.steps_per_tick;
+  }
+  if (steps == 0) return;
+  auto collected = act_.ftl->CollectBudgeted(steps, policy_.gc.target_free);
+  if (!collected.ok() || collected.value() == 0) return;
+  Record(ControlRule::kGcStep, free_before, free_before,
+         act_.ftl->free_blocks());
+}
+
+void LoopController::TickFlush() {
+  const std::uint64_t debt_before = act_.lsm->CompactionDebtBytes();
+  // Drain first: a paced merge per tick keeps L0 below the inline-cascade
+  // trigger, so the flush that eventually lands finds the tree tidy.
+  bool merged = false;
+  for (std::uint32_t i = 0; i < policy_.flush.compact_steps_per_tick; ++i) {
+    auto step = act_.lsm->CompactStep(policy_.flush.l0_pace_runs);
+    if (!step.ok() || !step.value()) break;
+    merged = true;
+  }
+  if (merged) {
+    Record(ControlRule::kCompactStep, debt_before, debt_before,
+           act_.lsm->CompactionDebtBytes());
+  }
+  // Then gate flush admission on the debt that remains.
+  const std::uint64_t debt = act_.lsm->CompactionDebtBytes();
+  if (debt > policy_.flush.debt_bound_bytes &&
+      flush_deferral_ < policy_.flush.max_deferral_bytes) {
+    const std::size_t old = flush_deferral_;
+    flush_deferral_ = std::min(flush_deferral_ + policy_.flush.deferral_step_bytes,
+                               policy_.flush.max_deferral_bytes);
+    act_.lsm->SetFlushDeferralBytes(flush_deferral_);
+    Record(ControlRule::kDeferFlush, debt, old, flush_deferral_);
+  } else if (flush_deferral_ > 0 && debt * 2 <= policy_.flush.debt_bound_bytes) {
+    // Release through a half-bound deadband so the deferral does not
+    // flap when the debt hovers at the bound.
+    const std::size_t old = flush_deferral_;
+    flush_deferral_ = 0;
+    act_.lsm->SetFlushDeferralBytes(0);
+    Record(ControlRule::kReleaseFlush, debt, old, 0);
+  }
+}
+
+void LoopController::ApplyAdmission() {
+  const std::uint16_t queues = act_.transport->num_queues();
+  for (std::uint16_t q = 0; q < queues; ++q) {
+    act_.transport->SetAdmissionControl(q, policy_.admission.credits_per_tick,
+                                        policy_.admission.busy_backoff_ns);
+  }
+  Record(ControlRule::kApplyAdmission, queues, 0,
+         policy_.admission.credits_per_tick);
+}
+
+std::string LoopController::ActuationsCsv() const {
+  std::string out = "t_ns,seq,rule,observed,old_setting,new_setting\n";
+  for (const ActuationRecord& rec : actuations_) {
+    out += std::to_string(rec.t_ns);
+    out += ',';
+    out += std::to_string(rec.seq);
+    out += ',';
+    out += ControlRuleName(rec.rule);
+    out += ',';
+    out += std::to_string(rec.observed);
+    out += ',';
+    out += std::to_string(rec.old_setting);
+    out += ',';
+    out += std::to_string(rec.new_setting);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bandslim::control

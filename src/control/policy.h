@@ -1,0 +1,87 @@
+// Closed-loop control policy (DESIGN.md 2.7): every gain, bound, and
+// deadband of the adaptive controller in one value-semantic struct, so a
+// benchmark or test states its whole control configuration declaratively.
+//
+// The default-constructed policy is the NULL POLICY: `enabled` is false, no
+// controller is built, and a run is bit-identical to one on a build without
+// the control subsystem. Each knob additionally has its own enable so the
+// loops can be exercised (and ablated) independently.
+//
+// Stability comes from hysteresis, not precision: every loop acts on
+// finalized interval observations, requires N consecutive intervals of
+// evidence before moving a setting, and releases through a deadband wider
+// than its trigger so observation noise cannot make a knob oscillate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace bandslim::control {
+
+// Knob 1 — driver adaptive transfer thresholds. When the PCIe TAF budget is
+// breached (watchdog rule "taf_over_budget" when configured, else a direct
+// comparison against `taf_budget_milli`), the controller raises the
+// driver's threshold1/threshold2 so mid-size values leave the piggyback
+// fragment path for page-unit DMA, trading the paper's byte savings for
+// fewer commands per value while the link is saturated.
+struct ThresholdPolicy {
+  bool enabled = false;
+  // Fallback TAF budget (fixed-point x1000) when no watchdog rule exists.
+  std::uint64_t taf_budget_milli = 2000;
+  std::uint32_t breach_intervals = 2;   // Evidence needed to raise.
+  std::uint32_t recover_intervals = 4;  // Quiet intervals needed to restore.
+  std::uint32_t raised_threshold1 = 35;  // Piggyback only when command-free.
+  std::uint32_t raised_threshold2 = 0;   // No hybrid remainders while raised.
+};
+
+// Knob 2 — FTL GC pacing. Instead of letting the free pool coast down to
+// gc_low_watermark and paying a stop-the-world reclamation inside some
+// unlucky PUT, the controller reclaims a budgeted number of blocks per tick
+// once the pool dips below `soft_watermark`, escalating as it approaches
+// the hard reserve.
+struct GcPacePolicy {
+  bool enabled = false;
+  std::uint64_t soft_watermark = 8;      // Start pacing below this.
+  std::uint64_t escalate_watermark = 5;  // Work harder at or below this.
+  std::uint32_t steps_per_tick = 1;      // Blocks reclaimed per tick (soft).
+  std::uint32_t escalated_steps = 4;     // Blocks per tick once escalated.
+  std::uint64_t target_free = 10;        // Stop reclaiming at this headroom.
+};
+
+// Knob 3 — MemTable-flush admission. While compaction debt exceeds
+// `debt_bound_bytes`, flushes are deferred by granting the MemTable extra
+// headroom (bounded by `max_deferral_bytes` — the hard stall ceiling, paid
+// in device DRAM), and the controller runs paced compaction increments so
+// the debt actually drains instead of merely being hidden.
+struct FlushAdmissionPolicy {
+  bool enabled = false;
+  std::uint64_t debt_bound_bytes = 1024;  // Defer flushes above this debt.
+  std::size_t deferral_step_bytes = 256;  // Headroom added per tick.
+  std::size_t max_deferral_bytes = 2048;  // Hard ceiling on extra headroom.
+  std::size_t l0_pace_runs = 2;           // CompactStep L0 merge threshold.
+  std::uint32_t compact_steps_per_tick = 1;
+};
+
+// Knob 4 — host-side per-SQ admission control. Each tick refills every
+// submission queue to `credits_per_tick` head-of-op credits; with credits
+// exhausted the transport sheds further ops with a clean kBusy before the
+// doorbell, converting unbounded queueing delay under overload into an
+// explicit, retryable signal.
+struct AdmissionPolicy {
+  bool enabled = false;
+  std::uint32_t credits_per_tick = 64;
+  sim::Nanoseconds busy_backoff_ns = 2000;
+};
+
+struct ControlPolicy {
+  bool enabled = false;          // Master switch; false = null policy.
+  std::uint32_t tick_every_samples = 1;  // Control cadence in sample grid.
+  ThresholdPolicy thresholds;
+  GcPacePolicy gc;
+  FlushAdmissionPolicy flush;
+  AdmissionPolicy admission;
+};
+
+}  // namespace bandslim::control

@@ -32,6 +32,15 @@ KvSsd::KvSsd(const KvSsdOptions& options)
   driver_ = std::make_unique<driver::KvDriver>(transport_.get(), &host_memory_,
                                                options_.driver, &tracer_);
   BindTelemetry();
+  // The controller ticks on the sample grid, so it exists only when both
+  // the policy and telemetry are enabled; otherwise the observer slot stays
+  // null and the run is bit-identical to a control-free build.
+  if (options_.control.enabled && sampler_->enabled()) {
+    loop_controller_ = std::make_unique<control::LoopController>(
+        options_.control, sampler_.get());
+    sampler_->SetObserver(loop_controller_.get());
+    BindControl();
+  }
 }
 
 KvSsd::~KvSsd() = default;
@@ -52,6 +61,16 @@ void KvSsd::AssembleDevice(std::uint64_t vlog_start_lpn) {
       &clock_, &options_.cost, &metrics_, dma_.get(), vlog_.get(), lsm_.get(),
       options_.controller, &tracer_);
   transport_->AttachDevice(controller_.get());
+}
+
+void KvSsd::BindControl() {
+  control::LoopController::Actuators act;
+  act.driver = driver_.get();
+  act.ftl = ftl_.get();
+  act.lsm = lsm_.get();
+  act.transport = transport_.get();
+  loop_controller_->BindActuators(act);
+  loop_controller_->Reset();
 }
 
 void KvSsd::BindTelemetry() {
@@ -159,6 +178,10 @@ Status KvSsd::PowerCycle() {
   if (!again.ok()) return again.status();
   // The vLog (and so the sampler's buffer source) was rebuilt: re-bind.
   BindTelemetry();
+  // The LSM actuator was rebuilt too, and control settings are re-derived
+  // from the policy base, never recovered from pre-cycle state — a crash
+  // mid-actuation cannot leave a stale threshold or deferral behind.
+  if (loop_controller_ != nullptr) BindControl();
   if (sampler_->enabled()) {
     sampler_->event_log().Emit(telemetry::EventType::kPowerCycle);
     sampler_->Poll();
@@ -271,8 +294,8 @@ DeviceSnapshot KvSsd::Inspect() const {
   const telemetry::Watchdog& wd = sampler_->watchdog();
   for (std::size_t i = 0; i < wd.rules().size(); ++i) {
     const telemetry::AlertState& st = wd.states()[i];
-    snap.alerts.push_back({wd.rules()[i].name, st.fired, st.active,
-                           st.last_value, st.last_fire_ns});
+    snap.alerts.push_back({wd.rules()[i].name, st.fired, st.cleared,
+                           st.active, st.last_value, st.last_fire_ns});
   }
   return snap;
 }

@@ -21,6 +21,8 @@
 
 #include "buffer/page_buffer.h"
 #include "common/status.h"
+#include "control/control_loop.h"
+#include "control/policy.h"
 #include "controller/controller.h"
 #include "dma/dma_engine.h"
 #include "driver/driver.h"
@@ -61,6 +63,13 @@ struct KvSsdOptions {
   // the stack then pays one branch per poll site, records nothing, and
   // simulated outcomes are bit-identical to a telemetry-free build.
   telemetry::TelemetryConfig telemetry;
+  // Closed-loop adaptive control (src/control): a deterministic controller
+  // ticked on the telemetry sample grid that actuates driver thresholds,
+  // GC pacing, flush admission, and per-SQ credits. Requires telemetry to
+  // be enabled (the sample grid is its clock). Disabled by default — the
+  // null policy builds no controller and runs bit-identical to a build
+  // without the subsystem.
+  control::ControlPolicy control;
   // Keep value payloads in the NAND model so GET returns real bytes. Turn
   // off for multi-GiB write-only benches (reads then return zeros).
   bool retain_payloads = true;
@@ -150,6 +159,7 @@ struct DeviceSnapshot {
   struct AlertInfo {
     std::string rule;
     std::uint64_t fired = 0;     // Edge-triggered fire count.
+    std::uint64_t cleared = 0;   // Deassert (recovery) edge count.
     bool active = false;         // Condition currently holding.
     std::uint64_t last_value = 0;
     sim::Nanoseconds last_fire_ns = 0;
@@ -226,6 +236,11 @@ class KvSsd {
   // ToJsonl / ToTimeSeriesCsv for export. Call Hooks().sampler->Finalize()
   // before exporting so the closing sample reconciles with GetStats().
   const telemetry::Sampler& telemetry() const { return *sampler_; }
+  // The closed-loop controller (null unless options().control.enabled and
+  // telemetry is on); its actuation log is the control-side export.
+  const control::LoopController* control() const {
+    return loop_controller_.get();
+  }
   const KvSsdOptions& options() const { return options_; }
 
   // Narrow escape hatch for tests and benches that must *mutate* device
@@ -253,6 +268,9 @@ class KvSsd {
   // (Re)binds the sampler's observation points; the buffer pointer changes
   // whenever AssembleDevice rebuilds the vLog.
   void BindTelemetry();
+  // (Re)binds the controller's actuators (the LSM is rebuilt on PowerCycle)
+  // and re-derives every control setting from the policy base.
+  void BindControl();
 
   KvSsdOptions options_;
   stats::MetricsRegistry metrics_;
@@ -272,6 +290,9 @@ class KvSsd {
   std::unique_ptr<lsm::LsmTree> lsm_;
   std::unique_ptr<controller::KvController> controller_;
   std::unique_ptr<driver::KvDriver> driver_;
+  // Distinct from `controller_` (the device-side command handler): this is
+  // the host-visible closed-loop tuner. Null when control is disabled.
+  std::unique_ptr<control::LoopController> loop_controller_;
   std::vector<std::unique_ptr<driver::KvDriver>> extra_drivers_;
 };
 

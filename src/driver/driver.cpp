@@ -54,6 +54,7 @@ Status KvDriver::StatusFromCq(const CqEntry& cqe) {
     case CqStatus::kInternalError: return Status::IoError("device internal error");
     case CqStatus::kMediaError: return Status::MediaError("device media error");
     case CqStatus::kTimedOut: return Status::TimedOut("command timed out");
+    case CqStatus::kBusy: return Status::Busy("queue admission shed");
   }
   return Status::IoError("unknown CQ status");
 }

@@ -138,6 +138,18 @@ class KvDriver {
 
   std::uint64_t puts_issued() const { return puts_issued_; }
 
+  // Live adaptive-threshold override (closed-loop control). The controller
+  // raises the crossovers when the PCIe TAF budget is breached — steering
+  // mid-size values from piggyback fragment streams onto page-unit DMA —
+  // and restores the configured base on recovery. Decide() always reads the
+  // current values, so the next PUT observes the change.
+  void SetAdaptiveThresholds(std::uint32_t t1, std::uint32_t t2) {
+    config_.threshold1 = t1;
+    config_.threshold2 = t2;
+  }
+  std::uint32_t threshold1() const { return config_.threshold1; }
+  std::uint32_t threshold2() const { return config_.threshold2; }
+
  private:
   Status PutImpl(std::string_view key, ByteSpan value);
   Status PutBatchImpl(std::span<const KvPair> batch);

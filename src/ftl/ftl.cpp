@@ -185,6 +185,23 @@ Status PageFtl::MaybeCollect() {
   return Status::Ok();
 }
 
+Result<std::uint32_t> PageFtl::CollectBudgeted(std::uint32_t max_blocks,
+                                               std::uint64_t target_free) {
+  std::uint32_t collected = 0;
+  while (collected < max_blocks && free_blocks() < target_free) {
+    const Status st = CollectOneBlock();
+    if (!st.ok()) {
+      // No reclaimable victim: every full block is still all-valid. That is
+      // the normal idle state for paced background GC, not exhaustion —
+      // foreground writes will age blocks into victims.
+      if (st.code() == StatusCode::kOutOfSpace) break;
+      return st;
+    }
+    ++collected;
+  }
+  return collected;
+}
+
 Status PageFtl::RelocateValidPages(std::uint64_t block) {
   trace::SpanScope span(tracer_, trace::Category::kFtlGc);
   const auto& geom = nand_->geometry();

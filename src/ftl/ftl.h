@@ -96,6 +96,15 @@ class PageFtl {
   // permanently excludes the block. Rejected for stream-active blocks.
   [[nodiscard]] Status MarkBad(std::uint64_t block);
 
+  // Paced background GC (closed-loop control): reclaims up to `max_blocks`
+  // victims, stopping early once the free pool reaches `target_free`.
+  // Opportunistic — "no reclaimable victim" is not an error here (the pool
+  // simply holds no fully-garbage-enough block yet), unlike the foreground
+  // allocation path where it means the device is truly full. Returns the
+  // number of blocks actually reclaimed.
+  Result<std::uint32_t> CollectBudgeted(std::uint32_t max_blocks,
+                                        std::uint64_t target_free);
+
  private:
   static constexpr std::uint64_t kUnmapped = ~0ULL;
 

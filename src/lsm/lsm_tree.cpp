@@ -68,7 +68,8 @@ Status LsmTree::Put(const std::string& key, const ValueRef& ref) {
     return Status::InvalidArgument("key must be 1..16 bytes");
   }
   mem_.Put(key, ref);
-  if (mem_.approximate_bytes() >= config_.memtable_limit_bytes) {
+  if (mem_.approximate_bytes() >=
+      config_.memtable_limit_bytes + flush_deferral_bytes_) {
     return FlushMemTable();
   }
   return Status::Ok();
@@ -79,7 +80,8 @@ Status LsmTree::Delete(const std::string& key) {
     return Status::InvalidArgument("key must be 1..16 bytes");
   }
   mem_.Delete(key);
-  if (mem_.approximate_bytes() >= config_.memtable_limit_bytes) {
+  if (mem_.approximate_bytes() >=
+      config_.memtable_limit_bytes + flush_deferral_bytes_) {
     return FlushMemTable();
   }
   return Status::Ok();
@@ -431,6 +433,22 @@ Status LsmTree::MaybeCompact() {
     if (!did_work) return Status::Ok();
   }
   return Status::Ok();  // Bounded effort; remaining debt clears on later ops.
+}
+
+Result<bool> LsmTree::CompactStep(std::size_t l0_min_runs) {
+  if (l0_min_runs < 1) l0_min_runs = 1;
+  if (levels_[0].size() >= l0_min_runs) {
+    BANDSLIM_RETURN_IF_ERROR(CompactL0());
+    return true;
+  }
+  for (int level = 1; level + 1 < config_.max_levels; ++level) {
+    if (!levels_[static_cast<std::size_t>(level)].empty() &&
+        LevelBytes(level) > TargetBytes(level)) {
+      BANDSLIM_RETURN_IF_ERROR(CompactLevel(level));
+      return true;
+    }
+  }
+  return false;
 }
 
 Status LsmTree::Checkpoint(std::uint64_t cookie) {

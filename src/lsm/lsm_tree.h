@@ -109,6 +109,24 @@ class LsmTree {
   bool flush_in_progress() const { return flush_in_progress_; }
   bool compaction_in_progress() const { return compaction_in_progress_; }
 
+  // --- closed-loop control hooks ---------------------------------------
+  // Flush admission: extra MemTable headroom past the configured limit.
+  // While nonzero, Put/Delete defer the inline flush until the MemTable
+  // reaches limit + extra — the controller trades bounded extra device
+  // DRAM for not stacking a flush (and its inline compaction cascade) onto
+  // a tree that is already behind. 0 restores the configured behaviour.
+  void SetFlushDeferralBytes(std::size_t extra) {
+    flush_deferral_bytes_ = extra;
+  }
+  std::size_t flush_deferral_bytes() const { return flush_deferral_bytes_; }
+
+  // One increment of paced background compaction: merges all L0 runs once
+  // L0 holds at least `l0_min_runs` of them, else relieves the first level
+  // above its target size. Returns whether any merge actually ran. Issued
+  // from the controller between ops so the inline MaybeCompact() cascade
+  // inside a flush finds the tree already tidy.
+  Result<bool> CompactStep(std::size_t l0_min_runs);
+
  private:
   struct Table {
     SSTableMeta meta;
@@ -162,6 +180,7 @@ class LsmTree {
   std::uint64_t compaction_bytes_written_ = 0;
   bool flush_in_progress_ = false;
   bool compaction_in_progress_ = false;
+  std::size_t flush_deferral_bytes_ = 0;
 
   stats::Counter* compaction_counter_;
   stats::Counter* flush_counter_;

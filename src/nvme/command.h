@@ -71,6 +71,9 @@ enum class CqStatus : std::uint16_t {
   // Synthesized by the *host* transport when a command never completes
   // within its watchdog window; no device ever posts this on the wire.
   kTimedOut,
+  // Synthesized by the *host* transport when per-queue admission control
+  // sheds the submission before the doorbell; nothing reaches the device.
+  kBusy,
 };
 
 struct CqEntry {
@@ -82,13 +85,15 @@ struct CqEntry {
 
   // NVMe status field split, for hosts that dispatch on SCT before SC.
   // Vendor KV statuses ride in the command-specific type (0x1); media
-  // failures report SCT 0x2 like a real drive; host-synthesized timeouts
-  // use path-related 0x3.
+  // failures report SCT 0x2 like a real drive; host-synthesized statuses
+  // (watchdog timeout, admission-control busy) use path-related 0x3 and
+  // stay distinguishable by SC.
   std::uint8_t status_code_type() const {
     switch (status) {
       case CqStatus::kSuccess: return 0x0;
       case CqStatus::kMediaError: return 0x2;
       case CqStatus::kTimedOut: return 0x3;
+      case CqStatus::kBusy: return 0x3;
       default: return 0x1;
     }
   }

@@ -17,6 +17,7 @@ NvmeTransport::NvmeTransport(sim::VirtualClock* clock, const sim::CostModel* cos
       fault_plan_(fault_plan),
       tracer_(tracer),
       queue_depth_(queue_depth),
+      metrics_(metrics),
       submit_counter_(metrics->RegisterCounter("nvme.commands_submitted")),
       timeout_counter_(metrics->RegisterCounter("nvme.timeouts")),
       retry_counter_(metrics->RegisterCounter("nvme.retries")) {
@@ -167,10 +168,62 @@ CqEntry NvmeTransport::SubmitOne(QueuePair& qp, std::uint16_t queue_id,
   return timed_out;
 }
 
+void NvmeTransport::SetAdmissionControl(std::uint16_t queue_id,
+                                        std::uint32_t credits,
+                                        sim::Nanoseconds busy_backoff_ns) {
+  assert(queue_id < queues_.size());
+  QueuePair& qp = queues_[queue_id];
+  qp.admission_budget = credits;
+  qp.admission_credits = credits;
+  qp.busy_backoff_ns = busy_backoff_ns;
+  // GetCounter (find-or-create) rather than RegisterCounter: admission may
+  // be re-enabled after a PowerCycle rebind, and the counter must only
+  // exist at all when the feature was turned on (export byte-identity for
+  // control-free runs).
+  if (credits > 0 && busy_counter_ == nullptr) {
+    busy_counter_ = metrics_->GetCounter("nvme.busy_rejections");
+  }
+}
+
+void NvmeTransport::RefillQueueCredits() {
+  for (QueuePair& qp : queues_) {
+    if (qp.admission_budget > 0) qp.admission_credits = qp.admission_budget;
+  }
+}
+
+bool NvmeTransport::ShedIfOutOfCredits(QueuePair* qp, const NvmeCommand& cmd,
+                                       CqEntry* rejected) {
+  if (qp->admission_budget == 0) return false;
+  // Trailing fragments ride on the head write's credit; shedding one would
+  // tear the per-queue reassembly stream mid-value.
+  if (cmd.opcode() == Opcode::kKvTransfer) return false;
+  if (qp->admission_credits > 0) {
+    --qp->admission_credits;
+    return false;
+  }
+  // Out of credits: shed before the doorbell. The host waits out the
+  // backoff (so shed-and-retry loops make forward progress in virtual
+  // time), nothing is recorded on the PCIe link, and the device never sees
+  // the command.
+  clock_->Advance(qp->busy_backoff_ns);
+  ++busy_rejections_;
+  if (busy_counter_ != nullptr) busy_counter_->Increment();
+  rejected->result = 0;
+  rejected->cid = cmd.cid();
+  rejected->status = CqStatus::kBusy;
+  return true;
+}
+
 CqEntry NvmeTransport::Submit(std::uint16_t queue_id, const NvmeCommand& cmd) {
   assert(device_ != nullptr && "no device attached");
   assert(queue_id < queues_.size());
   QueuePair& qp = queues_[queue_id];
+
+  CqEntry rejected;
+  if (ShedIfOutOfCredits(&qp, cmd, &rejected)) {
+    if (sampler_ != nullptr) sampler_->Poll();
+    return rejected;
+  }
 
   trace::CommandScope scope(tracer_, queue_id,
                             static_cast<std::uint8_t>(cmd.opcode()));
@@ -197,6 +250,16 @@ void NvmeTransport::SubmitPipelined(std::uint16_t queue_id,
   completions.reserve(cmds.size());
   if (cmds.empty()) return;  // Nothing fetched; device untouched.
   assert(device_ != nullptr && "no device attached");
+
+  // Admission is all-or-nothing per batch: one credit covers the whole
+  // op (head + trailing fragments). Shedding mid-batch would leave the
+  // device holding a partial fragment stream.
+  CqEntry rejected;
+  if (ShedIfOutOfCredits(&qp, cmds.front(), &rejected)) {
+    completions.push_back(rejected);
+    if (sampler_ != nullptr) sampler_->Poll();
+    return;
+  }
 
   bool first = true;
   for (const NvmeCommand& cmd : cmds) {

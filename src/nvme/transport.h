@@ -111,6 +111,22 @@ class NvmeTransport {
   void SetEventLog(telemetry::EventLog* log) { event_log_ = log; }
   void SetSampler(telemetry::Sampler* sampler) { sampler_ = sampler; }
 
+  // --- per-queue admission control (closed-loop load shedding) ----------
+  // With `credits` > 0, each head-of-op submission on `queue_id` consumes
+  // one credit; at zero credits the transport sheds the submission with a
+  // host-synthesized kBusy completion (nothing crosses PCIe) after waiting
+  // out `busy_backoff_ns` of host time — the shed is not free, otherwise a
+  // rejected caller could livelock retrying at the same virtual instant.
+  // Trailing kKvTransfer fragments are NEVER shed: the head write already
+  // consumed the credit and tearing a fragment stream would corrupt
+  // reassembly. `credits` == 0 disables shedding on the queue. The
+  // controller refills every enabled queue to its configured budget once
+  // per control tick via RefillQueueCredits().
+  void SetAdmissionControl(std::uint16_t queue_id, std::uint32_t credits,
+                           sim::Nanoseconds busy_backoff_ns);
+  void RefillQueueCredits();
+  std::uint64_t busy_rejections() const { return busy_rejections_; }
+
  private:
   struct QueuePair {
     SubmissionQueue sq;
@@ -123,6 +139,10 @@ class NvmeTransport {
     std::vector<std::uint8_t> inflight_cids;
     std::uint64_t inflight_count = 0;
     std::uint64_t submitted = 0;
+    // Admission control (disabled unless SetAdmissionControl was called).
+    std::uint32_t admission_budget = 0;  // 0 = shedding disabled.
+    std::uint32_t admission_credits = 0;
+    sim::Nanoseconds busy_backoff_ns = 0;
     QueuePair(std::uint16_t depth) : sq(depth), cq(depth), inflight_cids(65536, 0) {}
   };
 
@@ -142,6 +162,10 @@ class NvmeTransport {
   // the first attempt; resubmissions ring their own.
   CqEntry SubmitOne(QueuePair& qp, std::uint16_t queue_id,
                     const NvmeCommand& cmd, bool first_in_batch);
+  // True when admission control sheds this submission; fills `*rejected`
+  // with the synthesized kBusy completion and charges the backoff wait.
+  bool ShedIfOutOfCredits(QueuePair* qp, const NvmeCommand& cmd,
+                          CqEntry* rejected);
 
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
@@ -158,9 +182,15 @@ class NvmeTransport {
   std::uint64_t commands_submitted_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t busy_rejections_ = 0;
+  stats::MetricsRegistry* metrics_;
   stats::Counter* submit_counter_;
   stats::Counter* timeout_counter_;
   stats::Counter* retry_counter_;
+  // Registered lazily on the first SetAdmissionControl enable: a counter
+  // that exists only when the feature is on keeps the Prometheus export of
+  // control-free runs byte-identical to builds without this feature.
+  stats::Counter* busy_counter_ = nullptr;
 };
 
 }  // namespace bandslim::nvme

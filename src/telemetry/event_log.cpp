@@ -19,6 +19,8 @@ const char* EventTypeName(EventType type) {
     case EventType::kCompactionStart: return "compaction_start";
     case EventType::kCompactionEnd: return "compaction_end";
     case EventType::kMemtableStall: return "memtable_stall";
+    case EventType::kAlertCleared: return "alert_cleared";
+    case EventType::kControl: return "control";
   }
   return "unknown";
 }

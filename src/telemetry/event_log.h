@@ -36,8 +36,10 @@ enum class EventType : std::uint8_t {
   kCompactionStart,  // a = source level, b = tables in the source level.
   kCompactionEnd,    // a = source level, b = SSTable bytes written.
   kMemtableStall,    // a = MemTable bytes at flush, b = L0 run count.
+  kAlertCleared,     // a = watchdog rule index, b = observed series value.
+  kControl,          // a = control rule id, b = new setting (control loop).
 };
-inline constexpr int kNumEventTypes = 15;
+inline constexpr int kNumEventTypes = 17;
 
 const char* EventTypeName(EventType type);
 

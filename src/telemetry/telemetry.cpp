@@ -354,6 +354,11 @@ void Sampler::TakeSample(sim::Nanoseconds stamp) {
   samples_.push_back(std::move(s));
   watchdog_.Evaluate(samples_.back(), series_, &event_log_);
 
+  // Control tick: the observer sees the finalized sample plus this
+  // interval's watchdog edges, and may actuate device knobs. Any clock time
+  // it spends is charged to the op whose Poll() crossed the boundary.
+  if (observer_ != nullptr) observer_->OnSample(samples_.back());
+
   // Rendering is O(samples), so publish on a sample-count cadence only;
   // Finalize publishes the closing sample regardless.
   if (config_.publish_every != 0 &&

@@ -83,6 +83,19 @@ class SnapshotSink {
   virtual void Publish(std::shared_ptr<const PublishedSnapshot> snapshot) = 0;
 };
 
+// Observer of finalized samples, called synchronously from inside
+// TakeSample after the watchdog has evaluated (so alert edges for this
+// interval are visible) and before snapshot publication. The closed-loop
+// controller implements this: ticking on the sample grid means control
+// decisions always see completed interval deltas, never a torn mid-interval
+// view. Unlike the Sampler itself, an observer MAY mutate device state
+// (actuate knobs) — the sampler has already captured this interval.
+class SampleObserver {
+ public:
+  virtual ~SampleObserver() = default;
+  virtual void OnSample(const Sample& sample) = 0;
+};
+
 class Sampler {
  public:
   // What one sample reads. All pointers are observed, never mutated;
@@ -136,6 +149,11 @@ class Sampler {
   // unchanged either way.
   void SetSink(SnapshotSink* sink) { sink_ = sink; }
 
+  // Installs (or clears, with nullptr) the per-sample observer. Exactly one
+  // observer is supported — the control loop; no simulated consumer beyond
+  // it exists, and a list would cost an iteration on the hot path.
+  void SetObserver(SampleObserver* observer) { observer_ = observer; }
+
  private:
   void TakeSample(sim::Nanoseconds stamp);
   // Renders the current state into a PublishedSnapshot and hands it to the
@@ -156,6 +174,7 @@ class Sampler {
   // interval histogram the percentile series are computed from.
   std::map<std::string, stats::HistogramBuckets> last_hist_;
   SnapshotSink* sink_ = nullptr;
+  SampleObserver* observer_ = nullptr;
   std::uint64_t last_published_seq_ = ~0ULL;
   bool anchored_ = false;
   sim::Nanoseconds anchor_ns_ = 0;        // Interval grid origin.

@@ -12,9 +12,12 @@ WatchdogRule TafBudgetRule(std::uint64_t taf_milli, std::uint32_t n) {
                       WatchdogRule::Cmp::kAbove, taf_milli, n};
 }
 
-WatchdogRule RetryStormRule(std::uint64_t retries, std::uint32_t n) {
-  return WatchdogRule{"retry_storm", "delta.nvme.retries",
-                      WatchdogRule::Cmp::kAtLeast, retries, n};
+WatchdogRule RetryStormRule(std::uint64_t retries, std::uint32_t n,
+                            std::uint32_t clear_n) {
+  WatchdogRule rule{"retry_storm", "delta.nvme.retries",
+                    WatchdogRule::Cmp::kAtLeast, retries, n};
+  rule.clear_for_intervals = clear_n;
+  return rule;
 }
 
 WatchdogRule QueueSaturationRule(std::uint16_t q, std::uint64_t inflight,
@@ -71,14 +74,38 @@ void Watchdog::Evaluate(const Sample& sample, const SeriesTable& table,
     const std::int64_t id = table.Find(rule.series);
     const std::uint64_t value =
         id < 0 ? 0 : sample.Value(static_cast<std::uint32_t>(id));
+
+    if (state.active) {
+      // While active, only the recovery condition matters: the negated firing
+      // predicate against the (possibly deadbanded) clear threshold, held for
+      // clear_for_intervals consecutive samples.
+      if (!Holds(rule.cmp, value, rule.effective_clear_threshold())) {
+        ++state.recovering;
+        if (state.recovering < rule.clear_for_intervals) continue;
+        state.active = false;
+        state.recovering = 0;
+        state.holding = 0;
+        ++state.cleared;
+        ++total_cleared_;
+        state.last_clear_ns = sample.t_ns;
+        if (log != nullptr) {
+          log->Emit(EventType::kAlertCleared, static_cast<std::uint64_t>(i),
+                    value);
+        }
+      } else {
+        state.recovering = 0;
+      }
+      continue;
+    }
+
     if (!Holds(rule.cmp, value, rule.threshold)) {
       state.holding = 0;
-      state.active = false;
       continue;
     }
     ++state.holding;
-    if (state.active || state.holding < rule.for_intervals) continue;
+    if (state.holding < rule.for_intervals) continue;
     state.active = true;
+    state.recovering = 0;
     ++state.fired;
     ++total_fired_;
     state.last_value = value;
@@ -87,6 +114,13 @@ void Watchdog::Evaluate(const Sample& sample, const SeriesTable& table,
       log->Emit(EventType::kAlert, static_cast<std::uint64_t>(i), value);
     }
   }
+}
+
+std::int64_t Watchdog::FindRule(const std::string& name) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].name == name) return static_cast<std::int64_t>(i);
+  }
+  return -1;
 }
 
 }  // namespace bandslim::telemetry

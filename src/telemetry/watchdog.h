@@ -4,11 +4,19 @@
 // emitted sample, entirely in integer arithmetic on virtual-time data, so
 // two runs of the same workload raise bit-identical alert streams.
 //
-// Alert semantics are edge-triggered: a rule FIRES when its condition has
-// held for `for_intervals` consecutive samples, stays ACTIVE while the
-// condition keeps holding (no re-fire), and re-arms the moment one sample
-// breaks the condition. Each fire appends an EventType::kAlert record to the
-// event log (a = rule index, b = the observed series value).
+// Alert semantics are edge-triggered on BOTH transitions: a rule FIRES when
+// its condition has held for `for_intervals` consecutive samples, stays
+// ACTIVE while it keeps holding (no re-fire), and CLEARS — the deassert
+// (recovery) edge — once the recovery condition has held for
+// `clear_for_intervals` consecutive samples. The recovery condition is the
+// negation of the firing condition evaluated against `clear_threshold`
+// (default: the firing threshold), so a rule can carry a deadband: e.g.
+// fire above 2000, clear only below 1500. Fires append EventType::kAlert,
+// clears append EventType::kAlertCleared (a = rule index, b = observed
+// value), so consumers — the closed-loop controller foremost — see clean
+// state transitions instead of re-deriving them. The defaults
+// (clear_for_intervals = 1, clear_threshold = threshold) reproduce the
+// historical clear-on-first-break behaviour exactly.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +43,17 @@ struct WatchdogRule {
   std::uint64_t threshold = 0;
   // Consecutive samples the condition must hold before the rule fires.
   std::uint32_t for_intervals = 1;
+  // Deassert hysteresis: consecutive samples the recovery condition (the
+  // negated firing condition, tested against the clear threshold) must hold
+  // before an active alert clears. 1 = clear on the first breaking sample.
+  std::uint32_t clear_for_intervals = 1;
+  // Clear-side deadband threshold; kInheritThreshold = reuse `threshold`.
+  static constexpr std::uint64_t kInheritThreshold = ~0ULL;
+  std::uint64_t clear_threshold = kInheritThreshold;
+
+  std::uint64_t effective_clear_threshold() const {
+    return clear_threshold == kInheritThreshold ? threshold : clear_threshold;
+  }
 };
 
 // --- Canned rules for the failure modes the paper's workloads exhibit ----
@@ -44,8 +63,12 @@ WatchdogRule ZeroOpStallRule(std::uint32_t n);
 // Instantaneous TAF above `taf_milli` (fixed-point x1000) for `n` intervals.
 WatchdogRule TafBudgetRule(std::uint64_t taf_milli, std::uint32_t n);
 // At least `retries` NVMe resubmissions within each of `n` intervals
-// (fault-retry storm).
-WatchdogRule RetryStormRule(std::uint64_t retries, std::uint32_t n);
+// (fault-retry storm). A sustained drop storm is bursty at sample
+// granularity — the watchdog-timeout wait spans intervals whose retry delta
+// is 0 — so without deassert hysteresis the rule re-fired on every bursty
+// interval; `clear_n` quiet intervals must pass before it re-arms.
+WatchdogRule RetryStormRule(std::uint64_t retries, std::uint32_t n,
+                            std::uint32_t clear_n = 4);
 // Queue `q` has >= `inflight` commands outstanding at `n` consecutive
 // sample points. (The synchronous passthrough path drains between ops, so
 // this fires only under pipelined/multi-queue pressure.)
@@ -66,10 +89,14 @@ WatchdogRule MemtableStallRule(std::uint64_t stalls, std::uint32_t n);
 
 struct AlertState {
   std::uint64_t fired = 0;     // Edge-triggered fire count.
+  std::uint64_t cleared = 0;   // Deassert (recovery) edge count.
   std::uint32_t holding = 0;   // Consecutive samples the condition held.
-  bool active = false;         // Condition currently past for_intervals.
+  // Consecutive samples the recovery condition held while active.
+  std::uint32_t recovering = 0;
+  bool active = false;         // Fired and not yet cleared.
   std::uint64_t last_value = 0;  // Series value at the most recent fire.
   sim::Nanoseconds last_fire_ns = 0;
+  sim::Nanoseconds last_clear_ns = 0;
 };
 
 class Watchdog {
@@ -84,11 +111,17 @@ class Watchdog {
   const std::vector<WatchdogRule>& rules() const { return rules_; }
   const std::vector<AlertState>& states() const { return states_; }
   std::uint64_t total_fired() const { return total_fired_; }
+  std::uint64_t total_cleared() const { return total_cleared_; }
+
+  // Index of the rule named `name`, or -1 — the controller resolves the
+  // alert edges it consumes once, by name.
+  std::int64_t FindRule(const std::string& name) const;
 
  private:
   std::vector<WatchdogRule> rules_;
   std::vector<AlertState> states_;
   std::uint64_t total_fired_ = 0;
+  std::uint64_t total_cleared_ = 0;
 };
 
 }  // namespace bandslim::telemetry
