@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
     }
     if (!ssd->Flush().ok()) return 1;
 
-    const std::uint64_t mapped_before = ssd->Inspect().ftl_mapped_pages;
+    const std::uint64_t mapped_before = ssd->InspectDevice().ftl_mapped_pages;
     const auto t0 = ssd->clock().Now();
     std::uint64_t relocated = 0;
     std::uint64_t runs = 0;
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       ++runs;
     }
     if (!ssd->Flush().ok()) return 1;
-    const std::uint64_t mapped_after = ssd->Inspect().ftl_mapped_pages;
+    const std::uint64_t mapped_after = ssd->InspectDevice().ftl_mapped_pages;
     std::printf("%14s | %12llu %14llu %14lld %12.2f\n",
                 scan == 1 ? "oldest-first" : "cost-benefit",
                 static_cast<unsigned long long>(runs),

@@ -101,7 +101,7 @@ HeadroomRun RunHeadroom(std::uint64_t ops, std::uint64_t seed,
           std::min(run.min_free, s.Value(static_cast<std::uint32_t>(id)));
     }
   }
-  for (const auto& alert : ssd->Inspect().alerts) {
+  for (const auto& alert : ssd->InspectDevice().alerts) {
     if (alert.rule == "free_blocks_low") run.free_low_fires = alert.fired;
   }
   if (ssd->control() != nullptr) {
@@ -109,7 +109,7 @@ HeadroomRun RunHeadroom(std::uint64_t ops, std::uint64_t seed,
       if (rec.rule == control::ControlRule::kGcStep) ++run.gc_actuations;
     }
   }
-  run.reserve_remaining = ssd->Inspect().ftl_reserve_blocks;
+  run.reserve_remaining = ssd->InspectDevice().ftl_reserve_blocks;
   return run;
 }
 
@@ -203,7 +203,7 @@ int Run(int argc, char** argv) {
                 " %8" PRIu64 " %9" PRIu64 "\n",
                 point.label, kops, secs * 1e3, s.nand_program_failures,
                 s.bad_block_remaps, s.nvme_retries, s.ecc_corrections,
-                ssd->Inspect().ftl_reserve_blocks);
+                ssd->InspectDevice().ftl_reserve_blocks);
     if (failed_puts != 0) {
       std::printf("       (%" PRIu64 " of %" PRIu64 " PUTs failed)\n",
                   failed_puts, args.ops);
@@ -212,7 +212,7 @@ int Run(int argc, char** argv) {
             ",%" PRIu64,
             point.label, kops, secs * 1e3, s.nand_program_failures,
             s.bad_block_remaps, s.nvme_retries, s.ecc_corrections,
-            ssd->Inspect().ftl_reserve_blocks);
+            ssd->InspectDevice().ftl_reserve_blocks);
   }
   if (control_mode) {
     // Fixed op count: the headroom scenario is a calibrated pass/fail

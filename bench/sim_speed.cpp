@@ -10,6 +10,9 @@
 //   put_1q / get_1q / mixed_1q   — synchronous single-queue driver loop
 //   put_4q / get_4q / mixed_4q   — four queue pairs interleaved through the
 //                                  event engine (the sharded-runner path)
+//   cluster_mixed_4shard         — the KvCluster router: a mixed campaign
+//                                  sharded across four devices through the
+//                                  parallel cluster workload runner
 //
 // All profiles run 128 B values over a fixed 4096-key working set, so PUTs
 // take the piggyback path (1 write + 2 transfer commands) and GETs are
@@ -49,12 +52,14 @@ struct Profile {
   const char* name;
   OpMix mix;
   std::uint16_t streams;  // 1 = synchronous loop; >1 = event-engine sharded.
+  std::uint32_t shards = 0;  // >0 = run through a KvCluster of this size.
 };
 
 constexpr Profile kProfiles[] = {
     {"put_1q", OpMix::kPut, 1},     {"put_4q", OpMix::kPut, 4},
     {"get_1q", OpMix::kGet, 1},     {"get_4q", OpMix::kGet, 4},
     {"mixed_1q", OpMix::kMixed, 1}, {"mixed_4q", OpMix::kMixed, 4},
+    {"cluster_mixed_4shard", OpMix::kMixed, 1, 4},
 };
 constexpr int kNumProfiles = static_cast<int>(std::size(kProfiles));
 
@@ -137,9 +142,63 @@ bool RunOp(driver::KvDriver* d, OpMix mix, std::uint64_t index,
   return d->Put(key, ByteSpan(value)).ok();
 }
 
+// Cluster profile: the same mixed steady-state pass, but routed through a
+// KvCluster and executed by the parallel cluster workload runner — measures
+// the router + per-shard stream hot path end to end.
+ProfileResult RunClusterProfile(const Profile& p, const SpeedArgs& args) {
+  cluster::ClusterConfig cc;
+  cc.num_shards = p.shards;
+  cc.shard = DefaultBenchOptions();
+  cc.shard.retain_payloads = true;
+  auto opened = cluster::KvCluster::Open(cc);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cluster open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(2);
+  }
+  cluster::KvCluster& fleet = *opened.value();
+
+  workload::MixedWorkloadSpec spec;
+  spec.ops = args.ops;
+  spec.num_keys = kNumKeys;
+  spec.value_size = kValueSize;
+  spec.get_permille = 500;
+  spec.seed = 29;
+  if (!workload::PreloadMixedKeys(fleet, spec).ok()) {
+    std::fprintf(stderr, "cluster preload failed\n");
+    std::exit(2);
+  }
+
+  ProfileResult best;
+  best.ops = args.ops;
+  for (int rep = 0; rep < args.reps; ++rep) {
+    const auto wall_start = std::chrono::steady_clock::now();
+    const workload::RunResult r =
+        workload::RunClusterMixedWorkload(fleet, spec, p.name);
+    const auto wall_end = std::chrono::steady_clock::now();
+    if (r.workload.find("FAILED") != std::string::npos) {
+      std::fprintf(stderr, "%s: device op failed mid-run\n", p.name);
+      std::exit(2);
+    }
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(wall_end - wall_start)
+            .count();
+    if (rep == 0 || wall_ms < best.wall_ms) {
+      best.wall_ms = wall_ms;
+      best.virtual_ms = static_cast<double>(r.elapsed_ns) / 1e6;
+    }
+  }
+  best.mops = best.wall_ms > 0.0
+                  ? static_cast<double>(best.ops) / (best.wall_ms * 1e3)
+                  : 0.0;
+  best.v2w = best.wall_ms > 0.0 ? best.virtual_ms / best.wall_ms : 0.0;
+  return best;
+}
+
 // Runs one profile on a freshly opened device: preload the working set,
 // then time `reps` identical passes of `ops` operations and keep the best.
 ProfileResult RunProfile(const Profile& p, const SpeedArgs& args) {
+  if (p.shards > 0) return RunClusterProfile(p, args);
   KvSsdOptions o = DefaultBenchOptions();
   o.retain_payloads = true;  // GETs must exercise the real read path.
   o.num_queues = 4;
@@ -304,12 +363,12 @@ int CheckBaseline(const char* path, double tolerance,
     if (results[i].ops == 0) continue;  // Profile not selected.
     double base = 0.0;
     if (!ParseBaselineEntry(text, kProfiles[i].name, &base)) {
-      std::printf("  %-8s  no baseline entry — skipped\n", kProfiles[i].name);
+      std::printf("  %-20s  no baseline entry — skipped\n", kProfiles[i].name);
       continue;
     }
     const double floor = base * (1.0 - tolerance);
     const bool ok = results[i].mops >= floor;
-    std::printf("  %-8s  %7.4f Mops/s vs baseline %7.4f (floor %7.4f)  %s\n",
+    std::printf("  %-20s  %7.4f Mops/s vs baseline %7.4f (floor %7.4f)  %s\n",
                 kProfiles[i].name, results[i].mops, base, floor,
                 ok ? "OK" : "FAIL");
     if (!ok) ++failures;
@@ -335,14 +394,14 @@ int main(int argc, char** argv) {
   std::printf("sim_speed: %" PRIu64 " ops/profile, %zu B values, %zu keys, "
               "best of %d rep(s)\n\n",
               args.ops, kValueSize, kNumKeys, args.reps);
-  std::printf("%-8s  %10s  %10s  %10s  %10s\n", "profile", "wall_ms",
+  std::printf("%-20s  %10s  %10s  %10s  %10s\n", "profile", "wall_ms",
               "Mops/s", "virt_ms", "virt/wall");
 
   ProfileResult results[kNumProfiles];
   for (int i = 0; i < kNumProfiles; ++i) {
     if (!args.ProfileSelected(kProfiles[i].name)) continue;
     results[i] = RunProfile(kProfiles[i], args);
-    std::printf("%-8s  %10.2f  %10.4f  %10.2f  %9.2fx\n", kProfiles[i].name,
+    std::printf("%-20s  %10.2f  %10.4f  %10.2f  %9.2fx\n", kProfiles[i].name,
                 results[i].wall_ms, results[i].mops, results[i].virtual_ms,
                 results[i].v2w);
     std::fflush(stdout);

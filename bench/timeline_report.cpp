@@ -174,7 +174,7 @@ RunOutput RunTimeline(std::uint64_t ops, bool faults,
   out.csv = telemetry::ToTimeSeriesCsv(t, kCsvSeries);
   out.stats = ssd->GetStats();
   out.timeout_events = t.event_log().count(telemetry::EventType::kTimeout);
-  for (const auto& alert : ssd->Inspect().alerts) {
+  for (const auto& alert : ssd->InspectDevice().alerts) {
     out.alerts_fired += alert.fired;
   }
 
@@ -316,7 +316,7 @@ void RunCompactionStorm(std::uint64_t ops) {
   }
   ssd->Hooks().sampler->Finalize();
 
-  const DeviceSnapshot snap = ssd->Inspect();
+  const DeviceSnapshot snap = ssd->InspectDevice();
   const telemetry::Sampler& t = ssd->telemetry();
   Check(AlertFires(snap, "compaction_debt_over_budget") >= 1,
         "storm fires compaction-debt-budget rule",
@@ -459,7 +459,7 @@ StormRun RunControlStorm(std::uint64_t ops,
   run.stalls = SeriesVec(t, "delta.lsm.memtable_stalls");
   run.max_stall_streak = MaxStreak(run.stalls);
   run.worst_p99 = MaxSeries(t, "trace.op.put.p99");
-  const DeviceSnapshot snap = ssd->Inspect();
+  const DeviceSnapshot snap = ssd->InspectDevice();
   run.free_low_fires = AlertFires(snap, "free_blocks_low");
   run.stall_fires = AlertFires(snap, "memtable_stall");
   run.busy_sheds = ssd->Hooks().transport->busy_rejections();

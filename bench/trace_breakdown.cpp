@@ -48,7 +48,7 @@ TraceArgs ParseTraceArgs(int argc, char** argv) {
 
 // Deterministic PUT stream: fixed sizes cycling through small / sub-page /
 // multi-page so every transfer path inside a technique gets exercised.
-void DrivePuts(KvSsd* ssd, driver::KvDriver* drv, std::uint64_t ops) {
+void DrivePuts(driver::KvDriver* drv, std::uint64_t ops) {
   static const std::size_t kSizes[] = {32, 200, 4096 + 48, 8192};
   Bytes value(8192, 0xA5);
   char key[32];
@@ -60,7 +60,6 @@ void DrivePuts(KvSsd* ssd, driver::KvDriver* drv, std::uint64_t ops) {
       std::exit(1);
     }
   }
-  (void)ssd;
 }
 
 // The tracer's exactness invariant, checked over every retained command.
@@ -132,7 +131,7 @@ int main(int argc, char** argv) {
     o.driver.method = method;
     o.trace.enabled = true;
     auto ssd = KvSsd::Open(o).value();
-    DrivePuts(ssd.get(), ssd->Hooks().driver, args.ops);
+    DrivePuts(ssd->Hooks().driver, args.ops);
     checked += CheckExactness(ssd->tracer(), driver::MethodName(method));
     PrintBreakdown(report, driver::MethodName(method), ssd->tracer());
     if (exporting) {
@@ -149,14 +148,14 @@ int main(int argc, char** argv) {
     o.num_queues = queues;
     o.trace.enabled = true;
     auto ssd = KvSsd::Open(o).value();
-    DrivePuts(ssd.get(), ssd->Hooks().driver, args.ops);
+    DrivePuts(ssd->Hooks().driver, args.ops);
     if (queues > 1) {
       auto d1 = ssd->CreateQueueDriver(1, o.driver);
       if (!d1.ok()) {
         std::fprintf(stderr, "CreateQueueDriver failed\n");
         return 1;
       }
-      DrivePuts(ssd.get(), d1.value(), args.ops);
+      DrivePuts(d1.value(), args.ops);
     }
     char label[32];
     std::snprintf(label, sizeof label, "adaptive %uq", queues);

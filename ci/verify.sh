@@ -166,6 +166,26 @@ sim_speed_gate() {
     --check=bench/baseline_sim_speed.json --tolerance=0.15
 }
 
+# Cluster shard-scaling gates. The bench itself exits nonzero unless
+# (1) a 1-shard cluster run is bit-identical in virtual time and device
+# counters to the same ops on a bare KvSsd (the router adds zero simulated
+# overhead), and (2) uniform-key 4-shard mixed throughput is >= 3x the
+# 1-shard run. Here we additionally check the CSV shape: 2 distributions
+# x 4 cluster sizes = 8 data rows.
+shard_scaling() {
+  local build_dir="$1" ops="${2:-6000}"
+  echo "=== verify pass: cluster shard scaling (${build_dir}) ==="
+  local out="${build_dir}/shard_scaling.csv"
+  "${build_dir}/bench/abl_shard_scaling" --ops="${ops}" --csv="${out}"
+  awk -F, '
+    NR == 1 { if ($0 != "distribution,shards,ops,elapsed_ns,kops_per_sec,speedup")
+                { print "bad header: " $0; exit 1 } next }
+    NF != 6 { print "ragged row " NR; exit 1 }
+    END { if (NR - 1 != 8) { print "expected 8 data rows, got " NR - 1; exit 1 } }
+  ' "${out}"
+  echo "shard scaling: N=1 identity + 4-shard speedup gates passed, CSV well-formed"
+}
+
 # New code must use Inspect()/Hooks(): calling a [[deprecated]] accessor is a
 # build error in CI, so the legacy API can only shrink.
 run_pass release "${prefix}-release" \
@@ -176,6 +196,7 @@ trace_export "${prefix}-release"
 telemetry_timeline "${prefix}-release"
 control_storm "${prefix}-release"
 sim_speed_gate "${prefix}-release"
+shard_scaling "${prefix}-release"
 
 run_pass asan-ubsan "${prefix}-asan" \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -186,5 +207,6 @@ fault_campaign "${prefix}-asan"
 trace_export "${prefix}-asan"
 telemetry_timeline "${prefix}-asan"
 control_storm "${prefix}-asan"
+shard_scaling "${prefix}-asan" 1500
 
 echo "=== verify: all passes green ==="

@@ -38,7 +38,7 @@ struct Outcome {
   std::uint64_t ops = 0;
 };
 
-Outcome RunWorkload(KvSsd& ssd, std::uint64_t num_files) {
+Outcome RunWorkload(KvStore& ssd, std::uint64_t num_files) {
   Xoshiro256 rng(2024);
   Outcome out;
   for (std::uint64_t ino = 1; ino <= num_files; ++ino) {

@@ -1,13 +1,70 @@
 // Quickstart: open a simulated BandSlim KV-SSD, write/read/scan/delete
 // key-value pairs, and inspect the traffic/NAND statistics the device kept.
+// The session logic is written once against the topology-neutral KvStore
+// interface, then run unchanged against a single device AND a 4-shard
+// KvCluster — switching topologies is a one-line change at the call site.
 //
 //   $ ./build/examples/quickstart
 #include <cstdio>
 #include <string>
 
+#include "cluster/kv_cluster.h"
 #include "core/kvssd.h"
 
 using namespace bandslim;
+
+// Everything below drives ANY KvStore: a bare KvSsd, a sharded KvCluster,
+// or the conventional HostKvs stack.
+static int RunSession(KvStore& store) {
+  // --- PUT a few user records (small values: the KV-SSD sweet spot) -------
+  if (!store.Put("user:1001", "alice,admin,2024-01-15").ok() ||
+      !store.Put("user:1002", "bob,editor,2024-02-20").ok() ||
+      !store.Put("user:1003", "carol,viewer,2024-03-08").ok()) {
+    std::fprintf(stderr, "put failed\n");
+    return 1;
+  }
+
+  // --- GET ----------------------------------------------------------------
+  auto value = store.Get("user:1002");
+  if (!value.ok()) {
+    std::fprintf(stderr, "get failed: %s\n", value.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("user:1002 -> %s\n", ToString(ByteSpan(value.value())).c_str());
+
+  // --- Batched GET: results come back in request order, even when the
+  // keys live on different shards of a cluster -----------------------------
+  const std::string keys[] = {"user:1003", "user:1001", "user:9999"};
+  auto batch = store.GetBatch(keys);
+  if (!batch.ok()) return 1;
+  for (std::size_t i = 0; i < std::size(keys); ++i) {
+    const auto& r = batch.value()[i];
+    std::printf("  %s -> %s\n", keys[i].c_str(),
+                r.found ? ToString(ByteSpan(r.value)).c_str() : "(not found)");
+  }
+
+  // --- DELETE -------------------------------------------------------------
+  if (!store.Delete("user:1003").ok()) return 1;
+  std::printf("after delete, user:1003 -> %s\n",
+              store.Get("user:1003").status().ToString().c_str());
+
+  // --- Durability + stats -------------------------------------------------
+  if (!store.Flush().ok()) return 1;
+  const StoreSnapshot snap = store.Inspect();
+  std::printf("store statistics (%u shard%s):\n", snap.num_shards(),
+              snap.num_shards() == 1 ? "" : "s");
+  std::printf("  NVMe commands        : %llu\n",
+              static_cast<unsigned long long>(snap.stats.commands_submitted));
+  std::printf("  PCIe host->device    : %llu B\n",
+              static_cast<unsigned long long>(snap.stats.pcie_h2d_bytes));
+  std::printf("  NAND pages programmed: %llu\n",
+              static_cast<unsigned long long>(snap.stats.nand_pages_programmed));
+  std::printf("  device memcpy        : %llu B\n",
+              static_cast<unsigned long long>(snap.stats.device_memcpy_bytes));
+  std::printf("  virtual elapsed      : %.1f us\n",
+              static_cast<double>(snap.stats.elapsed_ns) / 1e3);
+  return 0;
+}
 
 int main() {
   // Default options: adaptive value transfer + selective packing with
@@ -15,54 +72,36 @@ int main() {
   KvSsdOptions options;
   auto device = KvSsd::Open(options);
   if (!device.ok()) {
-    std::fprintf(stderr, "open failed: %s\n", device.status().ToString().c_str());
+    std::fprintf(stderr, "open failed: %s\n",
+                 device.status().ToString().c_str());
     return 1;
   }
   KvSsd& ssd = *device.value();
 
-  // --- PUT a few user records (small values: the KV-SSD sweet spot) -------
-  if (!ssd.Put("user:1001", "alice,admin,2024-01-15").ok() ||
-      !ssd.Put("user:1002", "bob,editor,2024-02-20").ok() ||
-      !ssd.Put("user:1003", "carol,viewer,2024-03-08").ok()) {
-    std::fprintf(stderr, "put failed\n");
-    return 1;
-  }
+  std::printf("=== single KV-SSD ===\n");
+  if (int rc = RunSession(ssd); rc != 0) return rc;
 
-  // --- GET ----------------------------------------------------------------
-  auto value = ssd.Get("user:1002");
-  if (!value.ok()) {
-    std::fprintf(stderr, "get failed: %s\n", value.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("user:1002 -> %s\n", ToString(ByteSpan(value.value())).c_str());
-
-  // --- SEEK/NEXT range scan (iterator interface, after [22]) --------------
+  // The device-only interface (not part of KvStore): a SEEK/NEXT range
+  // scan over the surviving records.
   auto iter = ssd.Seek("user:");
   if (!iter.ok()) return 1;
-  std::printf("\nall users:\n");
+  std::printf("range scan:\n");
   for (auto& it = iter.value(); it.Valid();) {
     std::printf("  %s = %s\n", it.key().c_str(),
                 ToString(ByteSpan(it.value())).c_str());
     if (!it.Next().ok()) break;
   }
 
-  // --- DELETE ---------------------------------------------------------------
-  if (!ssd.Delete("user:1003").ok()) return 1;
-  std::printf("\nafter delete, user:1003 -> %s\n",
-              ssd.Get("user:1003").status().ToString().c_str());
-
-  // --- Durability + stats ----------------------------------------------------
-  if (!ssd.Flush().ok()) return 1;
-  const KvSsdStats stats = ssd.GetStats();
-  std::printf("\ndevice statistics:\n");
-  std::printf("  NVMe commands        : %llu\n",
-              static_cast<unsigned long long>(stats.commands_submitted));
-  std::printf("  PCIe host->device    : %llu B\n",
-              static_cast<unsigned long long>(stats.pcie_h2d_bytes));
-  std::printf("  NAND pages programmed: %llu\n",
-              static_cast<unsigned long long>(stats.nand_pages_programmed));
-  std::printf("  device memcpy        : %llu B\n",
-              static_cast<unsigned long long>(stats.device_memcpy_bytes));
-  std::printf("  virtual elapsed      : %.1f us\n", stats.elapsed_ns / 1e3);
-  return 0;
+  // --- Same session, sharded across a 4-device cluster --------------------
+  cluster::ClusterConfig cc;
+  cc.num_shards = 4;
+  cc.shard = options;
+  auto fleet = cluster::KvCluster::Open(cc);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "cluster open failed: %s\n",
+                 fleet.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n=== 4-shard KvCluster (same code, via KvStore&) ===\n");
+  return RunSession(*fleet.value());
 }

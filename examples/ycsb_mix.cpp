@@ -33,7 +33,7 @@ struct Outcome {
   std::uint64_t nand_reads = 0;
 };
 
-Result<Outcome> RunMix(KvSsd& ssd, double read_fraction, std::uint64_t ops,
+Result<Outcome> RunMix(KvStore& ssd, double read_fraction, std::uint64_t ops,
                        std::uint64_t seed) {
   Xoshiro256 rng(seed);
   workload::ZipfianKeyChooser zipf(kRecords, 0.99, seed);
@@ -45,16 +45,16 @@ Result<Outcome> RunMix(KvSsd& ssd, double read_fraction, std::uint64_t ops,
   const KvSsdStats before = ssd.GetStats();
   for (std::uint64_t i = 0; i < ops; ++i) {
     const std::string key = KeyOf(zipf.NextIndex());
-    const auto t0 = ssd.clock().Now();
+    const auto t0 = ssd.Now();
     if (rng.NextDouble() < read_fraction) {
       auto v = ssd.Get(key);
       if (!v.ok()) return v.status();
-      read_ns += ssd.clock().Now() - t0;
+      read_ns += ssd.Now() - t0;
       ++reads;
     } else {
       Bytes v = workload::MakeValue(kValueSize, seed, i);
       BANDSLIM_RETURN_IF_ERROR(ssd.Put(key, ByteSpan(v)));
-      update_ns += ssd.clock().Now() - t0;
+      update_ns += ssd.Now() - t0;
       ++updates;
     }
   }

@@ -1,0 +1,72 @@
+// Consistent-hash ring for the KvCluster router. Each shard contributes
+// `virtual_nodes` points on a 64-bit ring; a key is owned by the shard of
+// the first point at or clockwise-after the key's hash. Virtual nodes keep
+// the per-shard key share close to uniform (stddev shrinks ~ 1/sqrt(V)),
+// and the construction is a pure function of (num_shards, virtual_nodes,
+// seed) — no RNG state, so ownership is bit-stable across runs and
+// processes, which the cluster's determinism tests rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bandslim::cluster {
+
+// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class HashRing {
+ public:
+  HashRing(std::uint32_t num_shards, std::uint32_t virtual_nodes,
+           std::uint64_t seed)
+      : seed_(seed) {
+    points_.reserve(static_cast<std::size_t>(num_shards) * virtual_nodes);
+    for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+      for (std::uint32_t replica = 0; replica < virtual_nodes; ++replica) {
+        const std::uint64_t id =
+            (static_cast<std::uint64_t>(shard) << 32) | replica;
+        points_.emplace_back(Mix64(seed ^ Mix64(id)), shard);
+      }
+    }
+    // Sort by (hash, shard): ties — astronomically unlikely but possible —
+    // resolve to the lowest shard index, deterministically.
+    std::sort(points_.begin(), points_.end());
+  }
+
+  std::uint64_t HashKey(std::string_view key) const {
+    // FNV-1a over the key bytes, then mixed with the ring seed so distinct
+    // seeds induce independent placements of the same key set.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : key) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return Mix64(h ^ seed_);
+  }
+
+  std::uint32_t OwnerOf(std::string_view key) const {
+    const std::uint64_t h = HashKey(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(), h,
+        [](const Point& p, std::uint64_t hash) { return p.first < hash; });
+    if (it == points_.end()) it = points_.begin();  // Wrap around.
+    return it->second;
+  }
+
+  std::size_t num_points() const { return points_.size(); }
+
+ private:
+  using Point = std::pair<std::uint64_t, std::uint32_t>;  // (hash, shard).
+  std::vector<Point> points_;
+  std::uint64_t seed_;
+};
+
+}  // namespace bandslim::cluster

@@ -1,0 +1,388 @@
+#include "cluster/kv_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bandslim::cluster {
+
+// ---------------------------------------------------------------------------
+// TenantView: a KvStore facade bound to one tenant index.
+// ---------------------------------------------------------------------------
+
+class KvCluster::TenantView : public KvStore {
+ public:
+  TenantView(KvCluster* cluster, std::size_t tenant)
+      : cluster_(cluster), tenant_(tenant) {}
+
+  using KvStore::Put;
+  using KvStore::PutBatch;
+  Status Put(std::string_view key, ByteSpan value) override {
+    return cluster_->DoPut(tenant_, key, value);
+  }
+  Result<Bytes> Get(std::string_view key) override {
+    return cluster_->DoGet(tenant_, key);
+  }
+  Status GetInto(std::string_view key, Bytes* value) override {
+    return cluster_->DoGetInto(tenant_, key, value);
+  }
+  Status Delete(std::string_view key) override {
+    return cluster_->DoDelete(tenant_, key);
+  }
+  Status PutBatch(std::span<const KvPair> batch) override {
+    return cluster_->DoPutBatch(tenant_, batch);
+  }
+  Result<std::vector<BatchGetResult>> GetBatch(
+      std::span<const std::string> keys) override {
+    return cluster_->DoGetBatch(tenant_, keys);
+  }
+  Result<std::uint32_t> DeleteBatch(
+      std::span<const std::string> keys) override {
+    return cluster_->DoDeleteBatch(tenant_, keys);
+  }
+  Status Flush() override { return cluster_->DoFlush(); }
+
+  // Observation is cluster-wide regardless of tenant: the fleet has one
+  // timeline and one counter space.
+  StoreSnapshot Inspect() const override { return cluster_->Inspect(); }
+  KvSsdStats GetStats() const override { return cluster_->GetStats(); }
+  sim::Nanoseconds Now() const override { return cluster_->Now(); }
+
+ private:
+  KvCluster* cluster_;
+  std::size_t tenant_;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+KvCluster::KvCluster(const ClusterConfig& config)
+    : config_(config),
+      ring_(config.num_shards, config.virtual_nodes, config.ring_seed) {}
+
+KvCluster::~KvCluster() = default;
+
+Result<std::unique_ptr<KvCluster>> KvCluster::Open(
+    const ClusterConfig& config) {
+  if (config.num_shards == 0) {
+    return Status::InvalidArgument("cluster needs at least one shard");
+  }
+  if (config.virtual_nodes == 0) {
+    return Status::InvalidArgument("virtual_nodes must be >= 1");
+  }
+  auto cluster = std::unique_ptr<KvCluster>(new KvCluster(config));
+  BANDSLIM_RETURN_IF_ERROR(cluster->Assemble());
+  return cluster;
+}
+
+Status KvCluster::Assemble() {
+  tenants_ = config_.tenants;
+  if (tenants_.empty()) tenants_.push_back(TenantConfig{});
+
+  std::uint16_t max_queue = 0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    max_queue = std::max(max_queue, tenants_[i].queue_id);
+    for (std::size_t j = i + 1; j < tenants_.size(); ++j) {
+      if (tenants_[i].queue_id == tenants_[j].queue_id) {
+        return Status::InvalidArgument(
+            "tenants must use distinct queue ids");
+      }
+    }
+    if (tenants_[i].credits_per_window > 0) {
+      if (config_.qos_refill_window_ns <= 0) {
+        return Status::InvalidArgument(
+            "qos_refill_window_ns must be > 0 when tenant credits are set");
+      }
+      qos_enabled_ = true;
+    }
+  }
+
+  KvSsdOptions shard_options = config_.shard;
+  shard_options.num_queues = std::max<std::uint16_t>(
+      shard_options.num_queues, static_cast<std::uint16_t>(max_queue + 1));
+
+  shards_.reserve(config_.num_shards);
+  drivers_.resize(config_.num_shards);
+  for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+    auto opened = KvSsd::Open(shard_options);
+    if (!opened.ok()) return opened.status();
+    shards_.push_back(std::move(opened).value());
+    KvSsd& dev = *shards_.back();
+
+    drivers_[s].resize(tenants_.size(), nullptr);
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      if (tenants_[t].queue_id == 0) {
+        // Queue 0 rides the shard's built-in driver: with one unmetered
+        // default tenant this makes the 1-shard cluster's command stream
+        // byte-identical to a bare KvSsd's.
+        drivers_[s][t] = dev.Hooks().driver;
+      } else {
+        auto made =
+            dev.CreateQueueDriver(tenants_[t].queue_id, shard_options.driver);
+        if (!made.ok()) return made.status();
+        drivers_[s][t] = made.value();
+      }
+      if (tenants_[t].credits_per_window > 0) {
+        dev.Hooks().transport->SetAdmissionControl(
+            tenants_[t].queue_id, tenants_[t].credits_per_window,
+            tenants_[t].busy_backoff_ns);
+      }
+    }
+  }
+
+  tenant_views_.reserve(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    tenant_views_.push_back(std::make_unique<TenantView>(this, t));
+  }
+  return Status::Ok();
+}
+
+KvStore& KvCluster::Tenant(std::size_t tenant) {
+  if (tenant == 0) return *this;
+  return *tenant_views_[tenant];
+}
+
+// ---------------------------------------------------------------------------
+// QoS credit refill
+// ---------------------------------------------------------------------------
+
+void KvCluster::MaybeRefillCredits() {
+  if (!qos_enabled_) return;
+  const sim::Nanoseconds now = clock_.Now();
+  const sim::Nanoseconds window = config_.qos_refill_window_ns;
+  if (now - last_refill_ns_ < window) return;
+  const std::uint64_t elapsed =
+      static_cast<std::uint64_t>(now - last_refill_ns_) /
+      static_cast<std::uint64_t>(window);
+  last_refill_ns_ += static_cast<sim::Nanoseconds>(elapsed) * window;
+  qos_refill_windows_ += elapsed;
+  // One refill per crossing, not per elapsed window: credits cap at the
+  // budget anyway, so collapsed windows are indistinguishable.
+  for (auto& dev : shards_) dev->Hooks().transport->RefillQueueCredits();
+}
+
+// ---------------------------------------------------------------------------
+// Serial ops: advance owner shard to router time, run, follow its finish.
+// ---------------------------------------------------------------------------
+
+Status KvCluster::DoPut(std::size_t tenant, std::string_view key,
+                        ByteSpan value) {
+  MaybeRefillCredits();
+  const sim::Nanoseconds start = clock_.Now();
+  const std::uint32_t s = ring_.OwnerOf(key);
+  shards_[s]->Hooks().clock->AdvanceTo(start);
+  const Status status = drivers_[s][tenant]->Put(key, value);
+  clock_.SetTime(std::max(start, shards_[s]->Now()));
+  return status;
+}
+
+Result<Bytes> KvCluster::DoGet(std::size_t tenant, std::string_view key) {
+  MaybeRefillCredits();
+  const sim::Nanoseconds start = clock_.Now();
+  const std::uint32_t s = ring_.OwnerOf(key);
+  shards_[s]->Hooks().clock->AdvanceTo(start);
+  auto got = drivers_[s][tenant]->Get(key);
+  clock_.SetTime(std::max(start, shards_[s]->Now()));
+  return got;
+}
+
+Status KvCluster::DoGetInto(std::size_t tenant, std::string_view key,
+                            Bytes* value) {
+  MaybeRefillCredits();
+  const sim::Nanoseconds start = clock_.Now();
+  const std::uint32_t s = ring_.OwnerOf(key);
+  shards_[s]->Hooks().clock->AdvanceTo(start);
+  const Status status = drivers_[s][tenant]->GetInto(key, value);
+  clock_.SetTime(std::max(start, shards_[s]->Now()));
+  return status;
+}
+
+Status KvCluster::DoDelete(std::size_t tenant, std::string_view key) {
+  MaybeRefillCredits();
+  const sim::Nanoseconds start = clock_.Now();
+  const std::uint32_t s = ring_.OwnerOf(key);
+  shards_[s]->Hooks().clock->AdvanceTo(start);
+  const Status status = drivers_[s][tenant]->Delete(key);
+  clock_.SetTime(std::max(start, shards_[s]->Now()));
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Batch ops: scatter by owner shard from one dispatch time, gather to the
+// max finish. Sub-batches preserve each record's relative order, and
+// GetBatch merges shard results back into REQUEST order (the KvStore
+// contract) via the recorded origin indices.
+// ---------------------------------------------------------------------------
+
+Status KvCluster::DoPutBatch(std::size_t tenant,
+                             std::span<const KvPair> batch) {
+  if (batch.empty()) return Status::Ok();
+  MaybeRefillCredits();
+  const sim::Nanoseconds start = clock_.Now();
+  std::vector<std::vector<KvPair>> groups(shards_.size());
+  for (const KvPair& kv : batch) {
+    groups[ring_.OwnerOf(kv.key)].push_back(kv);
+  }
+  sim::Nanoseconds latest = start;
+  Status first_error = Status::Ok();
+  std::uint32_t touched = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (groups[s].empty()) continue;
+    ++touched;
+    ++batch_subops_;
+    shards_[s]->Hooks().clock->AdvanceTo(start);
+    const Status status = drivers_[s][tenant]->PutBatch(groups[s]);
+    if (!status.ok() && first_error.ok()) first_error = status;
+    latest = std::max(latest, shards_[s]->Now());
+  }
+  if (touched >= 2) ++cross_shard_batches_;
+  clock_.SetTime(latest);
+  return first_error;
+}
+
+Result<std::vector<KvCluster::BatchGetResult>> KvCluster::DoGetBatch(
+    std::size_t tenant, std::span<const std::string> keys) {
+  std::vector<BatchGetResult> merged(keys.size());
+  if (keys.empty()) return merged;
+  MaybeRefillCredits();
+  const sim::Nanoseconds start = clock_.Now();
+  std::vector<std::vector<std::string>> sub(shards_.size());
+  std::vector<std::vector<std::size_t>> origin(shards_.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint32_t s = ring_.OwnerOf(keys[i]);
+    sub[s].push_back(keys[i]);
+    origin[s].push_back(i);
+  }
+  sim::Nanoseconds latest = start;
+  std::uint32_t touched = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (sub[s].empty()) continue;
+    ++touched;
+    ++batch_subops_;
+    shards_[s]->Hooks().clock->AdvanceTo(start);
+    auto got = drivers_[s][tenant]->GetBatch(sub[s]);
+    latest = std::max(latest, shards_[s]->Now());
+    if (!got.ok()) {
+      clock_.SetTime(latest);
+      return got.status();
+    }
+    std::vector<BatchGetResult>& results = got.value();
+    if (results.size() != sub[s].size()) {
+      clock_.SetTime(latest);
+      return Status::Corruption(
+          "shard GetBatch violated the one-result-per-key contract");
+    }
+    // Un-scatter: results[j] answers sub[s][j], which was request slot
+    // origin[s][j]. Origin slots are unique by construction.
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      merged[origin[s][j]] = std::move(results[j]);
+    }
+  }
+  if (touched >= 2) ++cross_shard_batches_;
+  clock_.SetTime(latest);
+  return merged;
+}
+
+Result<std::uint32_t> KvCluster::DoDeleteBatch(
+    std::size_t tenant, std::span<const std::string> keys) {
+  if (keys.empty()) return std::uint32_t{0};
+  MaybeRefillCredits();
+  const sim::Nanoseconds start = clock_.Now();
+  std::vector<std::vector<std::string>> sub(shards_.size());
+  for (const std::string& key : keys) {
+    sub[ring_.OwnerOf(key)].push_back(key);
+  }
+  sim::Nanoseconds latest = start;
+  std::uint32_t removed = 0;
+  std::uint32_t touched = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (sub[s].empty()) continue;
+    ++touched;
+    ++batch_subops_;
+    shards_[s]->Hooks().clock->AdvanceTo(start);
+    auto got = drivers_[s][tenant]->DeleteBatch(sub[s]);
+    latest = std::max(latest, shards_[s]->Now());
+    if (!got.ok()) {
+      clock_.SetTime(latest);
+      return got.status();
+    }
+    removed += got.value();
+  }
+  if (touched >= 2) ++cross_shard_batches_;
+  clock_.SetTime(latest);
+  return removed;
+}
+
+Status KvCluster::DoFlush() {
+  const sim::Nanoseconds start = clock_.Now();
+  sim::Nanoseconds latest = start;
+  Status first_error = Status::Ok();
+  for (auto& dev : shards_) {
+    dev->Hooks().clock->AdvanceTo(start);
+    const Status status = dev->Flush();
+    if (!status.ok() && first_error.ok()) first_error = status;
+    latest = std::max(latest, dev->Now());
+  }
+  clock_.SetTime(latest);
+  return first_error;
+}
+
+// ---------------------------------------------------------------------------
+// Default-tenant KvStore surface
+// ---------------------------------------------------------------------------
+
+Status KvCluster::Put(std::string_view key, ByteSpan value) {
+  return DoPut(0, key, value);
+}
+Result<Bytes> KvCluster::Get(std::string_view key) { return DoGet(0, key); }
+Status KvCluster::GetInto(std::string_view key, Bytes* value) {
+  return DoGetInto(0, key, value);
+}
+Status KvCluster::Delete(std::string_view key) { return DoDelete(0, key); }
+Status KvCluster::PutBatch(std::span<const KvPair> batch) {
+  return DoPutBatch(0, batch);
+}
+Result<std::vector<KvCluster::BatchGetResult>> KvCluster::GetBatch(
+    std::span<const std::string> keys) {
+  return DoGetBatch(0, keys);
+}
+Result<std::uint32_t> KvCluster::DeleteBatch(
+    std::span<const std::string> keys) {
+  return DoDeleteBatch(0, keys);
+}
+Status KvCluster::Flush() { return DoFlush(); }
+
+// ---------------------------------------------------------------------------
+// Observation
+// ---------------------------------------------------------------------------
+
+KvSsdStats KvCluster::GetStats() const {
+  KvSsdStats total;
+  total.elapsed_ns = clock_.Now();
+  for (const auto& dev : shards_) {
+    AccumulateStats(&total, dev->GetStats());
+  }
+  return total;
+}
+
+StoreSnapshot KvCluster::Inspect() const {
+  StoreSnapshot store;
+  store.stats = GetStats();
+  store.shards.reserve(shards_.size());
+  for (const auto& dev : shards_) {
+    store.shards.push_back(dev->InspectDevice());
+  }
+  store.batch_subops = batch_subops_;
+  store.cross_shard_batches = cross_shard_batches_;
+  store.qos_refill_windows = qos_refill_windows_;
+  return store;
+}
+
+void KvCluster::SyncClockToShards() {
+  sim::Nanoseconds latest = clock_.Now();
+  for (const auto& dev : shards_) latest = std::max(latest, dev->Now());
+  clock_.SetTime(latest);
+}
+
+}  // namespace bandslim::cluster

@@ -111,17 +111,7 @@ Status KvSsd::Put(std::string_view key, ByteSpan value) {
   return driver_->Put(key, value);
 }
 
-Status KvSsd::Put(std::string_view key, std::string_view value) {
-  return driver_->Put(
-      key, ByteSpan(reinterpret_cast<const std::uint8_t*>(value.data()),
-                    value.size()));
-}
-
 Status KvSsd::PutBatch(std::span<const driver::KvDriver::KvPair> batch) {
-  return driver_->PutBatch(batch);
-}
-
-Status KvSsd::PutBatch(std::initializer_list<driver::KvDriver::KvPair> batch) {
   return driver_->PutBatch(batch);
 }
 
@@ -265,7 +255,14 @@ KvSsdStats KvSsd::GetStats() const {
   return s;
 }
 
-DeviceSnapshot KvSsd::Inspect() const {
+StoreSnapshot KvSsd::Inspect() const {
+  StoreSnapshot store;
+  store.stats = GetStats();
+  store.shards.push_back(InspectDevice());
+  return store;
+}
+
+DeviceSnapshot KvSsd::InspectDevice() const {
   DeviceSnapshot snap;
   snap.stats = GetStats();
   for (const auto& q : transport_->QueueInfos()) {

@@ -24,6 +24,8 @@
 #include "control/control_loop.h"
 #include "control/policy.h"
 #include "controller/controller.h"
+#include "core/kv_store.h"
+#include "core/snapshot.h"
 #include "dma/dma_engine.h"
 #include "driver/driver.h"
 #include "fault/fault_plan.h"
@@ -79,126 +81,38 @@ struct KvSsdOptions {
   std::uint16_t num_queues = 1;
 };
 
-// Counter snapshot covering the quantities the paper's figures report.
-struct KvSsdStats {
-  sim::Nanoseconds elapsed_ns = 0;
-  std::uint64_t commands_submitted = 0;
-  // PCIe (Figures 3, 8, 9, 10c, 10d).
-  std::uint64_t pcie_h2d_bytes = 0;
-  std::uint64_t pcie_d2h_bytes = 0;
-  std::uint64_t mmio_bytes = 0;
-  std::uint64_t dma_h2d_bytes = 0;
-  // NAND (Figures 4, 11, 12c).
-  std::uint64_t nand_pages_programmed = 0;
-  std::uint64_t nand_pages_read = 0;
-  std::uint64_t nand_blocks_erased = 0;
-  std::uint64_t vlog_pages_flushed = 0;
-  std::uint64_t lsm_pages_programmed = 0;
-  std::uint64_t gc_pages_programmed = 0;
-  // Device packing (Figure 12d).
-  std::uint64_t device_memcpy_bytes = 0;
-  std::uint64_t buffer_wasted_bytes = 0;
-  std::uint64_t dlt_forced_evictions = 0;
-  // KVS-level.
-  std::uint64_t values_written = 0;
-  std::uint64_t value_bytes_written = 0;
-  std::uint64_t lsm_compactions = 0;
-  std::uint64_t memtable_flushes = 0;
-  // Fault handling (all zero on a perfect device).
-  std::uint64_t nvme_timeouts = 0;
-  std::uint64_t nvme_retries = 0;
-  std::uint64_t nand_program_failures = 0;
-  std::uint64_t ecc_corrections = 0;
-  std::uint64_t bad_block_remaps = 0;
-  std::uint64_t recovery_runs = 0;
-  std::uint64_t recovery_replayed_refs = 0;
-};
+// KvSsdStats and DeviceSnapshot moved to core/snapshot.h (re-exported via
+// core/kv_store.h) so the abstract KvStore interface can speak in those
+// types without depending on the concrete device.
 
-// Read-only, value-typed snapshot of the assembled device: the stats block
-// plus the live structural state a test or bench may want to assert on.
-// Produced by KvSsd::Inspect(); holds no pointers into the device.
-struct DeviceSnapshot {
-  KvSsdStats stats;
-
-  struct QueueInfo {
-    std::uint16_t queue_id = 0;
-    std::uint16_t depth = 0;        // Configured SQ/CQ depth.
-    std::uint64_t submitted = 0;    // Commands ever submitted on this queue.
-    std::uint64_t inflight = 0;     // Currently outstanding (unreaped).
-  };
-  std::vector<QueueInfo> queues;
-
-  // NAND page buffer / vLog tail window (byte addresses into the vLog).
-  std::uint64_t buffer_window_base = 0;   // First still-resident byte.
-  std::uint64_t vlog_tail = 0;            // Next append address (buffer WP).
-  std::uint64_t buffer_dma_frontier = 0;  // Page-aligned DMA high-water mark.
-  std::uint64_t buffer_resident_bytes = 0;  // vlog_tail - buffer_window_base.
-
-  // FTL block accounting.
-  std::uint64_t ftl_mapped_pages = 0;
-  std::uint64_t ftl_free_blocks = 0;
-  std::uint64_t ftl_reserve_blocks = 0;  // Spare blocks left for remapping.
-  std::uint64_t ftl_bad_blocks = 0;
-
-  // LSM / compaction state.
-  std::uint64_t lsm_memtable_entries = 0;
-  std::uint64_t lsm_memtable_bytes = 0;
-  std::uint64_t lsm_pending_trim_tables = 0;  // Dropped, awaiting checkpoint.
-  std::uint64_t lsm_compaction_debt_bytes = 0;
-  struct LevelInfo {
-    std::uint64_t tables = 0;
-    std::uint64_t bytes = 0;
-  };
-  std::vector<LevelInfo> lsm_levels;  // Index 0 = L0 runs.
-
-  // Full registry dump (every named counter, sorted by name).
-  std::map<std::string, std::uint64_t> counters;
-
-  // Watchdog alert state, one entry per configured rule (empty when
-  // telemetry is disabled or no rules are set).
-  struct AlertInfo {
-    std::string rule;
-    std::uint64_t fired = 0;     // Edge-triggered fire count.
-    std::uint64_t cleared = 0;   // Deassert (recovery) edge count.
-    bool active = false;         // Condition currently holding.
-    std::uint64_t last_value = 0;
-    sim::Nanoseconds last_fire_ns = 0;
-  };
-  std::vector<AlertInfo> alerts;
-  // Telemetry stream sizes (0 when disabled).
-  std::uint64_t telemetry_samples = 0;
-  std::uint64_t telemetry_events = 0;
-};
-
-class KvSsd {
+class KvSsd : public KvStore {
  public:
   static Result<std::unique_ptr<KvSsd>> Open(const KvSsdOptions& options = {});
-  ~KvSsd();
+  ~KvSsd() override;
 
-  KvSsd(const KvSsd&) = delete;
-  KvSsd& operator=(const KvSsd&) = delete;
-
-  // --- KV API --------------------------------------------------------------
-  Status Put(std::string_view key, ByteSpan value);
-  Status Put(std::string_view key, std::string_view value);
+  // --- KV API (the KvStore interface) --------------------------------------
+  // The string_view Put and initializer_list PutBatch conveniences come
+  // from the base class and forward to the virtual span overloads.
+  using KvStore::Put;
+  using KvStore::PutBatch;
+  Status Put(std::string_view key, ByteSpan value) override;
   // Host-side batching comparator (Dotori/KV-CSD style, Section 1). One
   // command carries the whole batch; see KvDriver for the trade-off notes.
-  Status PutBatch(std::span<const driver::KvDriver::KvPair> batch);
-  Status PutBatch(std::initializer_list<driver::KvDriver::KvPair> batch);
+  Status PutBatch(std::span<const driver::KvDriver::KvPair> batch) override;
   // Bulk GET: one result per key, in key order (absent keys -> !found).
   Result<std::vector<driver::KvDriver::BatchGetResult>> GetBatch(
-      std::span<const std::string> keys);
+      std::span<const std::string> keys) override;
   // Bulk DELETE: removes every present key (absent keys are skipped, not an
   // error) and returns how many were actually removed.
-  Result<std::uint32_t> DeleteBatch(std::span<const std::string> keys);
-  Result<Bytes> Get(std::string_view key);
+  Result<std::uint32_t> DeleteBatch(std::span<const std::string> keys) override;
+  Result<Bytes> Get(std::string_view key) override;
   // Allocation-free GET: fills `*value` in place, reusing its capacity
   // (see driver::KvDriver::GetInto).
-  Status GetInto(std::string_view key, Bytes* value);
-  Status Delete(std::string_view key);
+  Status GetInto(std::string_view key, Bytes* value) override;
+  Status Delete(std::string_view key) override;
   Result<std::uint32_t> Exists(std::string_view key);
   // Drains the NAND page buffer and checkpoints the LSM-tree manifest.
-  Status Flush();
+  Status Flush() override;
   Result<driver::KvDriver::Iterator> Seek(std::string_view from);
 
   // --- Maintenance / fault injection ---------------------------------------
@@ -220,10 +134,13 @@ class KvSsd {
 
   // --- Introspection --------------------------------------------------------
   // One-call observation point: everything a test, bench or operator
-  // dashboard needs, as plain values. Replaces the old per-component
-  // reference accessors (see the deprecated block below).
-  DeviceSnapshot Inspect() const;
-  KvSsdStats GetStats() const;
+  // dashboard needs, as plain values, for THIS device.
+  DeviceSnapshot InspectDevice() const;
+  // KvStore view of the same data: a one-shard StoreSnapshot wrapping
+  // InspectDevice(), so topology-neutral callers aggregate uniformly.
+  StoreSnapshot Inspect() const override;
+  KvSsdStats GetStats() const override;
+  sim::Nanoseconds Now() const override { return clock_.Now(); }
   const sim::VirtualClock& clock() const { return clock_; }
   const pcie::PcieLink& link() const { return link_; }
   const stats::MetricsRegistry& metrics() const { return metrics_; }

@@ -1,0 +1,140 @@
+// Value-typed observation structs shared by every KvStore topology: the
+// counter block the paper's figures report (KvSsdStats) and the one-call
+// structural snapshot of a single assembled device (DeviceSnapshot). They
+// live apart from kvssd.h so the abstract KvStore interface (kv_store.h)
+// can speak in these types without depending on the concrete device.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace bandslim {
+
+// Counter snapshot covering the quantities the paper's figures report.
+struct KvSsdStats {
+  sim::Nanoseconds elapsed_ns = 0;
+  std::uint64_t commands_submitted = 0;
+  // PCIe (Figures 3, 8, 9, 10c, 10d).
+  std::uint64_t pcie_h2d_bytes = 0;
+  std::uint64_t pcie_d2h_bytes = 0;
+  std::uint64_t mmio_bytes = 0;
+  std::uint64_t dma_h2d_bytes = 0;
+  // NAND (Figures 4, 11, 12c).
+  std::uint64_t nand_pages_programmed = 0;
+  std::uint64_t nand_pages_read = 0;
+  std::uint64_t nand_blocks_erased = 0;
+  std::uint64_t vlog_pages_flushed = 0;
+  std::uint64_t lsm_pages_programmed = 0;
+  std::uint64_t gc_pages_programmed = 0;
+  // Device packing (Figure 12d).
+  std::uint64_t device_memcpy_bytes = 0;
+  std::uint64_t buffer_wasted_bytes = 0;
+  std::uint64_t dlt_forced_evictions = 0;
+  // KVS-level.
+  std::uint64_t values_written = 0;
+  std::uint64_t value_bytes_written = 0;
+  std::uint64_t lsm_compactions = 0;
+  std::uint64_t memtable_flushes = 0;
+  // Fault handling (all zero on a perfect device).
+  std::uint64_t nvme_timeouts = 0;
+  std::uint64_t nvme_retries = 0;
+  std::uint64_t nand_program_failures = 0;
+  std::uint64_t ecc_corrections = 0;
+  std::uint64_t bad_block_remaps = 0;
+  std::uint64_t recovery_runs = 0;
+  std::uint64_t recovery_replayed_refs = 0;
+};
+
+// Adds every counter of `from` into `into`, EXCEPT elapsed_ns: virtual
+// times of independent devices do not sum — the caller owns the clock
+// semantics (a cluster reports its own router clock). Used to aggregate a
+// shard fleet into one KvSsdStats.
+inline void AccumulateStats(KvSsdStats* into, const KvSsdStats& from) {
+  into->commands_submitted += from.commands_submitted;
+  into->pcie_h2d_bytes += from.pcie_h2d_bytes;
+  into->pcie_d2h_bytes += from.pcie_d2h_bytes;
+  into->mmio_bytes += from.mmio_bytes;
+  into->dma_h2d_bytes += from.dma_h2d_bytes;
+  into->nand_pages_programmed += from.nand_pages_programmed;
+  into->nand_pages_read += from.nand_pages_read;
+  into->nand_blocks_erased += from.nand_blocks_erased;
+  into->vlog_pages_flushed += from.vlog_pages_flushed;
+  into->lsm_pages_programmed += from.lsm_pages_programmed;
+  into->gc_pages_programmed += from.gc_pages_programmed;
+  into->device_memcpy_bytes += from.device_memcpy_bytes;
+  into->buffer_wasted_bytes += from.buffer_wasted_bytes;
+  into->dlt_forced_evictions += from.dlt_forced_evictions;
+  into->values_written += from.values_written;
+  into->value_bytes_written += from.value_bytes_written;
+  into->lsm_compactions += from.lsm_compactions;
+  into->memtable_flushes += from.memtable_flushes;
+  into->nvme_timeouts += from.nvme_timeouts;
+  into->nvme_retries += from.nvme_retries;
+  into->nand_program_failures += from.nand_program_failures;
+  into->ecc_corrections += from.ecc_corrections;
+  into->bad_block_remaps += from.bad_block_remaps;
+  into->recovery_runs += from.recovery_runs;
+  into->recovery_replayed_refs += from.recovery_replayed_refs;
+}
+
+// Read-only, value-typed snapshot of one assembled device: the stats block
+// plus the live structural state a test or bench may want to assert on.
+// Produced by KvSsd::InspectDevice(); holds no pointers into the device.
+struct DeviceSnapshot {
+  KvSsdStats stats;
+
+  struct QueueInfo {
+    std::uint16_t queue_id = 0;
+    std::uint16_t depth = 0;        // Configured SQ/CQ depth.
+    std::uint64_t submitted = 0;    // Commands ever submitted on this queue.
+    std::uint64_t inflight = 0;     // Currently outstanding (unreaped).
+  };
+  std::vector<QueueInfo> queues;
+
+  // NAND page buffer / vLog tail window (byte addresses into the vLog).
+  std::uint64_t buffer_window_base = 0;   // First still-resident byte.
+  std::uint64_t vlog_tail = 0;            // Next append address (buffer WP).
+  std::uint64_t buffer_dma_frontier = 0;  // Page-aligned DMA high-water mark.
+  std::uint64_t buffer_resident_bytes = 0;  // vlog_tail - buffer_window_base.
+
+  // FTL block accounting.
+  std::uint64_t ftl_mapped_pages = 0;
+  std::uint64_t ftl_free_blocks = 0;
+  std::uint64_t ftl_reserve_blocks = 0;  // Spare blocks left for remapping.
+  std::uint64_t ftl_bad_blocks = 0;
+
+  // LSM / compaction state.
+  std::uint64_t lsm_memtable_entries = 0;
+  std::uint64_t lsm_memtable_bytes = 0;
+  std::uint64_t lsm_pending_trim_tables = 0;  // Dropped, awaiting checkpoint.
+  std::uint64_t lsm_compaction_debt_bytes = 0;
+  struct LevelInfo {
+    std::uint64_t tables = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<LevelInfo> lsm_levels;  // Index 0 = L0 runs.
+
+  // Full registry dump (every named counter, sorted by name).
+  std::map<std::string, std::uint64_t> counters;
+
+  // Watchdog alert state, one entry per configured rule (empty when
+  // telemetry is disabled or no rules are set).
+  struct AlertInfo {
+    std::string rule;
+    std::uint64_t fired = 0;     // Edge-triggered fire count.
+    std::uint64_t cleared = 0;   // Deassert (recovery) edge count.
+    bool active = false;         // Condition currently holding.
+    std::uint64_t last_value = 0;
+    sim::Nanoseconds last_fire_ns = 0;
+  };
+  std::vector<AlertInfo> alerts;
+  // Telemetry stream sizes (0 when disabled).
+  std::uint64_t telemetry_samples = 0;
+  std::uint64_t telemetry_events = 0;
+};
+
+}  // namespace bandslim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "lsm/sstable.h"
 
@@ -19,6 +20,7 @@ HostKvs::HostKvs(blockdev::BlockSsd* ssd, sim::VirtualClock* clock,
     : ssd_(ssd),
       clock_(clock),
       cost_(cost),
+      metrics_(metrics),
       config_(config),
       kernel_crossings_(metrics->GetCounter("hostkvs.kernel_crossings")),
       block_ios_(metrics->GetCounter("hostkvs.block_ios")) {}
@@ -78,6 +80,7 @@ Status HostKvs::Put(std::string_view key, ByteSpan value) {
   vlog_tail_ += record.size();
   index_.Put(std::string(key), lsm::ValueRef{value_addr, vsize, false});
   ++puts_issued_;
+  value_bytes_written_ += value.size();
 
   if (config_.fsync_each_put) {
     return SyncTail();
@@ -170,6 +173,68 @@ Status HostKvs::Flush() {
   BANDSLIM_RETURN_IF_ERROR(ssd_->Write(index_lba, ByteSpan(snapshot)));
   ChargeKernelPath();
   return ssd_->FlushCache();
+}
+
+Status HostKvs::GetInto(std::string_view key, Bytes* value) {
+  auto got = Get(key);
+  if (!got.ok()) return got.status();
+  *value = std::move(got).value();
+  return Status::Ok();
+}
+
+// Each batch record walks the full kernel path on its own — there is no
+// bulk command a block SSD understands. That per-record syscall tax is the
+// conventional-stack baseline the KV-SSD batch ops are measured against.
+Status HostKvs::PutBatch(std::span<const KvPair> batch) {
+  for (const KvPair& kv : batch) {
+    BANDSLIM_RETURN_IF_ERROR(Put(kv.key, ByteSpan(kv.value)));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<HostKvs::BatchGetResult>> HostKvs::GetBatch(
+    std::span<const std::string> keys) {
+  std::vector<BatchGetResult> results(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    auto got = Get(keys[i]);
+    if (got.ok()) {
+      results[i].found = true;
+      results[i].value = std::move(got).value();
+    } else if (!got.status().IsNotFound()) {
+      return got.status();
+    }
+  }
+  return results;
+}
+
+Result<std::uint32_t> HostKvs::DeleteBatch(std::span<const std::string> keys) {
+  std::uint32_t removed = 0;
+  for (const std::string& key : keys) {
+    const lsm::ValueRef* ref = index_.Get(key);
+    if (ref == nullptr || ref->tombstone) continue;  // Absent: skipped.
+    BANDSLIM_RETURN_IF_ERROR(Delete(key));
+    ++removed;
+  }
+  return removed;
+}
+
+KvSsdStats HostKvs::GetStats() const {
+  KvSsdStats s;
+  s.elapsed_ns = clock_->Now();
+  s.values_written = puts_issued_;
+  s.value_bytes_written = value_bytes_written_;
+  return s;
+}
+
+StoreSnapshot HostKvs::Inspect() const {
+  StoreSnapshot store;
+  store.stats = GetStats();
+  DeviceSnapshot dev;
+  dev.stats = store.stats;
+  dev.vlog_tail = vlog_tail_;
+  dev.counters = metrics_->SnapshotCounters();
+  store.shards.push_back(std::move(dev));
+  return store;
 }
 
 }  // namespace bandslim::hostkvs

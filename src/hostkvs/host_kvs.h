@@ -19,6 +19,7 @@
 
 #include "blockdev/block_ssd.h"
 #include "common/status.h"
+#include "core/kv_store.h"
 #include "lsm/memtable.h"
 
 namespace bandslim::hostkvs {
@@ -27,18 +28,38 @@ struct HostKvsConfig {
   bool fsync_each_put = true;
 };
 
-class HostKvs {
+// Implements the topology-neutral KvStore interface, so any harness that
+// drives a KvSsd or KvCluster through a KvStore& runs unchanged against
+// the conventional stack. The batch ops have no kernel bulk path on this
+// design: each record pays its own syscall crossings, which IS the
+// comparison the paper draws (host-side batching only helps once the
+// device understands it).
+class HostKvs : public KvStore {
  public:
   HostKvs(blockdev::BlockSsd* ssd, sim::VirtualClock* clock,
           const sim::CostModel* cost, stats::MetricsRegistry* metrics,
           HostKvsConfig config = {});
 
-  Status Put(std::string_view key, ByteSpan value);
-  Result<Bytes> Get(std::string_view key);
-  Status Delete(std::string_view key);
+  using KvStore::Put;
+  using KvStore::PutBatch;
+  Status Put(std::string_view key, ByteSpan value) override;
+  Result<Bytes> Get(std::string_view key) override;
+  Status GetInto(std::string_view key, Bytes* value) override;
+  Status Delete(std::string_view key) override;
+  Status PutBatch(std::span<const KvPair> batch) override;
+  Result<std::vector<BatchGetResult>> GetBatch(
+      std::span<const std::string> keys) override;
+  Result<std::uint32_t> DeleteBatch(std::span<const std::string> keys) override;
   // Writes out the buffered tail and the index snapshot, then flushes the
   // device cache (fsync + fdatasync of the index file).
-  Status Flush();
+  Status Flush() override;
+
+  // KvStore introspection. The conventional stack reports what it can
+  // observe from the host: kernel/block counters (via the registry dump),
+  // values written, and the block device's clock.
+  StoreSnapshot Inspect() const override;
+  KvSsdStats GetStats() const override;
+  sim::Nanoseconds Now() const override { return clock_->Now(); }
 
   std::uint64_t puts_issued() const { return puts_issued_; }
   std::uint64_t vlog_bytes() const { return vlog_tail_; }
@@ -52,7 +73,9 @@ class HostKvs {
   blockdev::BlockSsd* ssd_;
   sim::VirtualClock* clock_;
   const sim::CostModel* cost_;
+  stats::MetricsRegistry* metrics_;  // For the Inspect() counter dump.
   HostKvsConfig config_;
+  std::uint64_t value_bytes_written_ = 0;
 
   lsm::MemTable index_;       // Key -> (vLog offset, size); host RAM.
   std::uint64_t vlog_tail_ = 0;       // Append offset (bytes).

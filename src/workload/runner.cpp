@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <functional>
 
 #include "sim/event_engine.h"
+#include "workload/key_gen.h"
 
 namespace bandslim::workload {
 
@@ -36,7 +38,7 @@ KvSsdStats StatsDelta(const KvSsdStats& after, const KvSsdStats& before) {
   return d;
 }
 
-RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
+RunResult RunPutWorkload(KvStore& store, const WorkloadSpec& spec,
                          const std::string& config_label) {
   RunResult result;
   result.workload = spec.name;
@@ -47,8 +49,8 @@ RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
   Bytes value(spec.sizes->MaxSize(), 0xA5);
   spec.keys->Reset();
 
-  const KvSsdStats before = ssd.GetStats();
-  const sim::Nanoseconds start = ssd.clock().Now();
+  const KvSsdStats before = store.GetStats();
+  const sim::Nanoseconds start = store.Now();
 
   for (std::uint64_t i = 0; i < spec.ops; ++i) {
     const std::string key = spec.keys->Next();
@@ -57,19 +59,19 @@ RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
     for (int b = 0; b < 8 && static_cast<std::size_t>(b) < size; ++b) {
       value[static_cast<std::size_t>(b)] = static_cast<std::uint8_t>(i >> (8 * b));
     }
-    const sim::Nanoseconds op_start = ssd.clock().Now();
-    const Status st = ssd.Put(key, ByteSpan(value).subspan(0, size));
+    const sim::Nanoseconds op_start = store.Now();
+    const Status st = store.Put(key, ByteSpan(value).subspan(0, size));
     if (!st.ok()) {
       // Surface failures loudly: a bench must not silently keep going.
       result.workload += " [FAILED: " + st.ToString() + "]";
       break;
     }
-    result.latency_ns.Record(ssd.clock().Now() - op_start);
+    result.latency_ns.Record(store.Now() - op_start);
     result.requested_value_bytes += size;
   }
 
-  result.elapsed_ns = ssd.clock().Now() - start;
-  result.delta = StatsDelta(ssd.GetStats(), before);
+  result.elapsed_ns = store.Now() - start;
+  result.delta = StatsDelta(store.GetStats(), before);
   return result;
 }
 
@@ -172,6 +174,177 @@ RunResult RunShardedPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
 
   result.elapsed_ns = latest_finish - start;
   result.delta = StatsDelta(ssd.GetStats(), before);
+  return result;
+}
+
+
+// --- Mixed read/write workloads --------------------------------------------
+
+namespace {
+
+struct MixedOp {
+  std::uint64_t key_index = 0;
+  bool is_get = false;
+};
+
+// Pre-draws the full op sequence in canonical order: the serial and the
+// cluster-parallel runner consume the SAME draws, so they issue identical
+// ops (only the time frames differ).
+std::vector<MixedOp> DrawMixedOps(const MixedWorkloadSpec& spec) {
+  std::vector<MixedOp> ops(spec.ops);
+  Xoshiro256 rng(spec.seed);
+  ZipfianKeyChooser zipf(spec.num_keys, spec.zipf_theta, spec.seed + 1);
+  for (std::uint64_t i = 0; i < spec.ops; ++i) {
+    ops[i].is_get = (rng() % 1000) < spec.get_permille;
+    ops[i].key_index =
+        spec.zipfian ? zipf.NextIndex() : rng() % spec.num_keys;
+  }
+  return ops;
+}
+
+// Stamps the key index into the value head so updates carry distinct bytes.
+void StampValue(Bytes* value, std::uint64_t key_index) {
+  for (int b = 0; b < 8 && static_cast<std::size_t>(b) < value->size(); ++b) {
+    (*value)[static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(key_index >> (8 * b));
+  }
+}
+
+}  // namespace
+
+std::string MixedKeyName(std::uint64_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%08llx",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+Status PreloadMixedKeys(KvStore& store, const MixedWorkloadSpec& spec) {
+  Bytes value(spec.value_size, 0x5A);
+  for (std::uint64_t i = 0; i < spec.num_keys; ++i) {
+    StampValue(&value, i);
+    BANDSLIM_RETURN_IF_ERROR(store.Put(MixedKeyName(i), ByteSpan(value)));
+  }
+  return store.Flush();
+}
+
+RunResult RunMixedWorkload(KvStore& store, const MixedWorkloadSpec& spec,
+                           const std::string& config_label) {
+  RunResult result;
+  result.workload = spec.name;
+  result.config = config_label;
+  result.ops = spec.ops;
+
+  const std::vector<MixedOp> ops = DrawMixedOps(spec);
+  Bytes value(spec.value_size, 0x5A);
+  Bytes got;
+
+  const KvSsdStats before = store.GetStats();
+  const sim::Nanoseconds start = store.Now();
+
+  for (const MixedOp& op : ops) {
+    const std::string key = MixedKeyName(op.key_index);
+    const sim::Nanoseconds op_start = store.Now();
+    Status st = Status::Ok();
+    if (op.is_get) {
+      st = store.GetInto(key, &got);
+    } else {
+      StampValue(&value, op.key_index);
+      st = store.Put(key, ByteSpan(value));
+      result.requested_value_bytes += value.size();
+    }
+    if (!st.ok()) {
+      result.workload += " [FAILED: " + st.ToString() + "]";
+      break;
+    }
+    result.latency_ns.Record(store.Now() - op_start);
+  }
+
+  result.elapsed_ns = store.Now() - start;
+  result.delta = StatsDelta(store.GetStats(), before);
+  return result;
+}
+
+RunResult RunClusterMixedWorkload(cluster::KvCluster& cluster,
+                                  const MixedWorkloadSpec& spec,
+                                  const std::string& config_label) {
+  RunResult result;
+  result.workload = spec.name;
+  result.config = config_label;
+  result.ops = spec.ops;
+
+  const std::vector<MixedOp> ops = DrawMixedOps(spec);
+
+  // Partition the canonical sequence by owner shard; each shard runs its
+  // sub-sequence as one closed-loop stream.
+  const std::uint32_t num_shards = cluster.num_shards();
+  std::vector<std::vector<std::uint64_t>> stream(num_shards);
+  for (std::uint64_t i = 0; i < ops.size(); ++i) {
+    stream[cluster.ShardOf(MixedKeyName(ops[i].key_index))].push_back(i);
+  }
+
+  // Common dispatch barrier: every shard starts in the router's frame.
+  const sim::Nanoseconds start = cluster.Now();
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    cluster.shard(s).Hooks().clock->AdvanceTo(start);
+  }
+
+  const KvSsdStats before = cluster.GetStats();
+  sim::Nanoseconds latest_finish = start;
+  bool failed = false;
+
+  std::vector<Bytes> values(num_shards, Bytes(spec.value_size, 0x5A));
+  std::vector<Bytes> gots(num_shards);
+
+  // The engine orders stream turns by each shard's LOCAL time on a scratch
+  // clock; the shards themselves keep their own clocks. Shards share no
+  // simulated resources, so the interleaving affects only host-side append
+  // order (deterministic either way) — but it mirrors how a real multi-
+  // device host drains completions in global time order.
+  sim::VirtualClock scratch;
+  scratch.SetTime(start);
+  sim::EventEngine engine(&scratch);
+  engine.Reserve(2u * num_shards + 4u);
+  std::function<void(std::uint32_t, std::size_t)> run_op =
+      [&](std::uint32_t s, std::size_t pos) {
+        if (failed) return;
+        const MixedOp& op = ops[stream[s][pos]];
+        const std::string key = MixedKeyName(op.key_index);
+        KvSsd& dev = cluster.shard(s);
+        const sim::Nanoseconds op_start = dev.Now();
+        Status st = Status::Ok();
+        if (op.is_get) {
+          st = dev.GetInto(key, &gots[s]);
+        } else {
+          StampValue(&values[s], op.key_index);
+          st = dev.Put(key, ByteSpan(values[s]));
+          result.requested_value_bytes += values[s].size();
+        }
+        if (!st.ok()) {
+          result.workload += " [FAILED: " + st.ToString() + "]";
+          failed = true;
+          return;
+        }
+        result.latency_ns.Record(dev.Now() - op_start);
+        latest_finish = std::max(latest_finish, dev.Now());
+        if (pos + 1 < stream[s].size()) {
+          engine.Schedule(dev.Now(), [&run_op, s, pos] { run_op(s, pos + 1); });
+        }
+      };
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    if (stream[s].empty()) continue;
+    const std::uint32_t shard = s;
+    engine.Schedule(start, [&run_op, shard] { run_op(shard, 0); });
+  }
+  engine.RunUntilIdle();
+
+  // Hand the router a consistent timeline: the run ends when the slowest
+  // shard finishes.
+  cluster.SyncClockToShards();
+
+  result.elapsed_ns = latest_finish - start;
+  result.delta = StatsDelta(cluster.GetStats(), before);
+  result.delta.elapsed_ns = result.elapsed_ns;
   return result;
 }
 

@@ -1,10 +1,13 @@
-// Workload runner: drives a KvSsd through a WorkloadSpec on the virtual
+// Workload runner: drives any KvStore (bare KvSsd, sharded KvCluster, or
+// the conventional HostKvs stack) through a workload spec on the virtual
 // clock, collecting the per-op latency histogram and the counter deltas the
 // paper's figures are built from.
 #pragma once
 
 #include <string>
 
+#include "cluster/kv_cluster.h"
+#include "core/kv_store.h"
 #include "core/kvssd.h"
 #include "stats/histogram.h"
 #include "workload/workloads.h"
@@ -54,8 +57,9 @@ struct RunResult {
 KvSsdStats StatsDelta(const KvSsdStats& after, const KvSsdStats& before);
 
 // Issues `spec.ops` PUTs. Value contents are a cheap deterministic pattern
-// (benches measure transfer/packing, not data entropy).
-RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
+// (benches measure transfer/packing, not data entropy). Topology-neutral:
+// accepts anything behind the KvStore interface.
+RunResult RunPutWorkload(KvStore& store, const WorkloadSpec& spec,
                          const std::string& config_label);
 
 // Issues the same PUT sequence sharded across `num_streams` NVMe queue
@@ -69,5 +73,46 @@ RunResult RunPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
 RunResult RunShardedPutWorkload(KvSsd& ssd, const WorkloadSpec& spec,
                                 std::uint16_t num_streams,
                                 const std::string& config_label);
+
+// --- Mixed read/write workloads over a preloaded key space -----------------
+
+// A GET/PUT mix over `num_keys` preloaded keys; the knob set the shard
+// scaling ablation sweeps. Key popularity is either uniform or Zipfian
+// (YCSB request distribution). Fully deterministic for a given spec.
+struct MixedWorkloadSpec {
+  std::string name = "mixed";
+  std::uint64_t ops = 0;
+  std::uint64_t num_keys = 4096;   // Preloaded key-space size.
+  std::size_t value_size = 128;
+  std::uint32_t get_permille = 500;  // GET share per mille; the rest update.
+  bool zipfian = false;
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 1;
+};
+
+// The canonical key name for key-space index `i` ("k" + 8 hex digits).
+std::string MixedKeyName(std::uint64_t index);
+
+// PUTs every key of the spec's key space once (serially, through the
+// store's normal path) so the mixed run's GETs always hit.
+Status PreloadMixedKeys(KvStore& store, const MixedWorkloadSpec& spec);
+
+// Serial mixed run: ops issue back-to-back on the store's own timeline.
+// On a KvCluster this is the router's serial path (each op waits for its
+// owner shard) — the closed-loop single-client view.
+RunResult RunMixedWorkload(KvStore& store, const MixedWorkloadSpec& spec,
+                           const std::string& config_label);
+
+// Parallel mixed run against a cluster: the SAME op sequence is pre-drawn,
+// partitioned by owner shard, and each shard executes its sub-sequence as
+// an independent closed-loop stream in its own time frame; the event
+// engine interleaves streams deterministically by (local time, sequence).
+// elapsed_ns is the latest shard finish minus the common dispatch time —
+// the open-loop N-client view the shard scaling ablation measures. With
+// num_shards == 1 the run is op-for-op identical to RunMixedWorkload on
+// the same cluster (one stream, no interleaving).
+RunResult RunClusterMixedWorkload(cluster::KvCluster& cluster,
+                                  const MixedWorkloadSpec& spec,
+                                  const std::string& config_label);
 
 }  // namespace bandslim::workload

@@ -187,7 +187,7 @@ TEST(TelemetryDeviceTest, DeltasTelescopeToFinalCounters) {
   EXPECT_EQ(t.Latest("nand.pages_programmed"), stats.nand_pages_programmed);
 
   // Snapshot surfaces the stream sizes.
-  const DeviceSnapshot snap = ssd->Inspect();
+  const DeviceSnapshot snap = ssd->InspectDevice();
   EXPECT_EQ(snap.telemetry_samples, t.samples().size());
 }
 
@@ -234,7 +234,7 @@ TEST(TelemetryDeviceTest, WatchdogFiresUnderFaultStormOnly) {
   auto clean_ssd = KvSsd::Open(clean).value();
   RunSmallWorkload(*clean_ssd, 150);
   clean_ssd->Hooks().sampler->Finalize();
-  const DeviceSnapshot clean_snap = clean_ssd->Inspect();
+  const DeviceSnapshot clean_snap = clean_ssd->InspectDevice();
   ASSERT_EQ(clean_snap.alerts.size(), 1u);
   EXPECT_EQ(clean_snap.alerts[0].rule, "retry_storm");
   EXPECT_EQ(clean_snap.alerts[0].fired, 0u);
@@ -247,7 +247,7 @@ TEST(TelemetryDeviceTest, WatchdogFiresUnderFaultStormOnly) {
   auto faulty_ssd = KvSsd::Open(faulty).value();
   RunSmallWorkload(*faulty_ssd, 150);
   faulty_ssd->Hooks().sampler->Finalize();
-  const DeviceSnapshot snap = faulty_ssd->Inspect();
+  const DeviceSnapshot snap = faulty_ssd->InspectDevice();
   ASSERT_EQ(snap.alerts.size(), 1u);
   EXPECT_GE(snap.alerts[0].fired, 1u);
   EXPECT_GT(snap.alerts[0].last_fire_ns, 0u);
@@ -282,7 +282,7 @@ TEST(TelemetryDeviceTest, DisabledTelemetryChangesNoSimulatedOutcome) {
   EXPECT_EQ(a.value_bytes_written, b.value_bytes_written);
 
   // The disabled sampler records nothing.
-  const DeviceSnapshot snap = off_ssd->Inspect();
+  const DeviceSnapshot snap = off_ssd->InspectDevice();
   EXPECT_EQ(snap.telemetry_samples, 0u);
   EXPECT_EQ(snap.telemetry_events, 0u);
   EXPECT_FALSE(off_ssd->telemetry().enabled());
@@ -451,7 +451,7 @@ TEST(TelemetryDeviceTest, LsmGaugesMatchIntrospection) {
 
   // The closing sample's LSM gauges are the same numbers Inspect() reports.
   const Sampler& t = ssd->telemetry();
-  const DeviceSnapshot snap = ssd->Inspect();
+  const DeviceSnapshot snap = ssd->InspectDevice();
   EXPECT_EQ(t.Latest("gauge.lsm.memtable_bytes"), snap.lsm_memtable_bytes);
   EXPECT_EQ(t.Latest("gauge.lsm.memtable_entries"),
             snap.lsm_memtable_entries);
@@ -499,7 +499,7 @@ TEST(TelemetryDeviceTest, CompactionStormFiresLsmRulesCleanRunSilent) {
   auto clean_ssd = KvSsd::Open(clean).value();
   RunSmallWorkload(*clean_ssd, 200);
   clean_ssd->Hooks().sampler->Finalize();
-  for (const auto& alert : clean_ssd->Inspect().alerts) {
+  for (const auto& alert : clean_ssd->InspectDevice().alerts) {
     EXPECT_EQ(alert.fired, 0u) << alert.rule;
   }
   EXPECT_EQ(
@@ -516,7 +516,7 @@ TEST(TelemetryDeviceTest, CompactionStormFiresLsmRulesCleanRunSilent) {
   ASSERT_TRUE(ssd->Flush().ok());
   ssd->Hooks().sampler->Finalize();
 
-  const DeviceSnapshot snap = ssd->Inspect();
+  const DeviceSnapshot snap = ssd->InspectDevice();
   ASSERT_EQ(snap.alerts.size(), 3u);
   for (const auto& alert : snap.alerts) {
     EXPECT_GE(alert.fired, 1u) << alert.rule;

@@ -337,7 +337,7 @@ TEST(InspectTest, SnapshotAgreesWithStatsAndStructure) {
     ASSERT_TRUE(ssd->Put("s" + std::to_string(i), ByteSpan(v)).ok());
   }
 
-  const DeviceSnapshot snap = ssd->Inspect();
+  const DeviceSnapshot snap = ssd->InspectDevice();
   EXPECT_EQ(snap.stats.values_written, 10u);
   EXPECT_EQ(snap.stats.commands_submitted,
             snap.counters.at("nvme.commands_submitted"));
