@@ -126,6 +126,82 @@ telemetry_timeline() {
   fi
 }
 
+# Fleet observability: the bench itself enforces the aggregation invariants
+# (every fleet interval sums its per-shard deltas, the deltas telescope to
+# the summed final shard counters, merged-bucket percentiles equal the union
+# quantiles, double-run byte-identical exports, a disabled aggregator
+# bit-identical to an enabled run, the hot-shard storm firing the
+# shard-imbalance/ring-skew/straggler rules while uniform routing stays
+# silent) and exits nonzero on violation; here we additionally scrape the
+# live federated endpoint from a real external client (curl), byte-compare
+# both documents against the file exports, and validate the formats —
+# Prometheus text exposition (promtool or the line-grammar fallback) for the
+# shard-labeled scrape, and the per-shard JSONL document's schema via jq.
+fleet_timeline() {
+  local build_dir="$1" ops="${2:-2000}"
+  echo "=== verify pass: fleet timeline (${build_dir}) ==="
+  local out="${build_dir}/fleet"
+  rm -f "${out}.port"
+  "${build_dir}/bench/fleet_timeline" --ops="${ops}" --export="${out}" \
+    --serve=0 --serve-hold=30000 &
+  local bench_pid=$!
+  local waited=0
+  while [ ! -f "${out}.port" ]; do
+    if ! kill -0 "${bench_pid}" 2> /dev/null; then
+      wait "${bench_pid}"
+      echo "fleet: bench exited before serving" >&2
+      return 1
+    fi
+    sleep 0.2
+    waited=$((waited + 1))
+    if [ "${waited}" -gt 1500 ]; then
+      echo "fleet: timed out waiting for ${out}.port" >&2
+      kill "${bench_pid}" 2> /dev/null || true
+      return 1
+    fi
+  done
+  local port
+  port="$(cat "${out}.port")"
+  if command -v curl > /dev/null; then
+    curl -sf "http://127.0.0.1:${port}/healthz" | grep -q '"shards":4'
+    curl -sf "http://127.0.0.1:${port}/metrics" -o "${out}.scraped.prom"
+    curl -sf "http://127.0.0.1:${port}/shards.jsonl" \
+      -o "${out}.scraped.shards.jsonl"
+    cmp "${out}.scraped.prom" "${out}.prom"
+    cmp "${out}.scraped.shards.jsonl" "${out}.shards.jsonl"
+    echo "fleet: live federated scrape byte-matches the file exports"
+  else
+    echo "fleet: curl not found, external scrape skipped"
+  fi
+  rm -f "${out}.port"  # Releases the hold.
+  wait "${bench_pid}"
+  if command -v promtool > /dev/null; then
+    promtool check metrics < "${out}.prom"
+    echo "fleet: promtool exposition check passed"
+  else
+    awk '
+      /^#/ { next }
+      /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+( [0-9]+)?$/ { next }
+      { print "bad exposition line " NR ": " $0; bad = 1 }
+      END { exit bad }
+    ' "${out}.prom"
+    echo "fleet: exposition line-grammar check passed (promtool not found)"
+  fi
+  grep -q 'bandslim_shard_ops_total{shard="3"}' "${out}.prom"
+  if command -v jq > /dev/null; then
+    jq -e -s '
+      length == 4
+      and all(has("shard") and has("t_ns") and has("ops") and has("delta_ops")
+              and has("routed_keys") and has("expected_share_permille")
+              and has("actual_share_permille"))
+      and ([.[].shard] == [0, 1, 2, 3])
+    ' "${out}.shards.jsonl" > /dev/null
+    echo "fleet: jq shards.jsonl schema checks passed"
+  else
+    echo "fleet: jq not found, shards.jsonl schema checks skipped"
+  fi
+}
+
 # Closed-loop control storm: the bench replays the undersized-LSM storm
 # three ways — uncontrolled, null policy (controller built with every knob
 # off; exports must byte-match the uncontrolled run), and controlled — and
@@ -194,6 +270,7 @@ run_pass release "${prefix}-release" \
 
 trace_export "${prefix}-release"
 telemetry_timeline "${prefix}-release"
+fleet_timeline "${prefix}-release"
 control_storm "${prefix}-release"
 sim_speed_gate "${prefix}-release"
 shard_scaling "${prefix}-release"
@@ -206,6 +283,7 @@ run_pass asan-ubsan "${prefix}-asan" \
 fault_campaign "${prefix}-asan"
 trace_export "${prefix}-asan"
 telemetry_timeline "${prefix}-asan"
+fleet_timeline "${prefix}-asan" 1200
 control_storm "${prefix}-asan"
 shard_scaling "${prefix}-asan" 1500
 

@@ -63,6 +63,36 @@ class HashRing {
 
   std::size_t num_points() const { return points_.size(); }
 
+  // Fraction of the 64-bit ring each shard owns, in permille. Keys hash
+  // uniformly over the ring, so these are the EXPECTED keys-per-shard
+  // shares implied by the virtual-node placement — the baseline the fleet
+  // ring-skew watchdog compares actual routed counts against. Entries sum
+  // to ~1000 (truncation can lose up to num_shards - 1 permille).
+  std::vector<std::uint64_t> OwnershipWeightsPermille(
+      std::uint32_t num_shards) const {
+    std::vector<std::uint64_t> weights(num_shards, 0);
+    if (points_.empty() || num_shards == 0) return weights;
+    if (num_shards == 1) {
+      weights[0] = 1000;
+      return weights;
+    }
+    // OwnerOf resolves a hash to the first point at or clockwise-after it,
+    // so the arc (prev_point, point] belongs to point's shard. Unsigned
+    // wraparound handles both the first point's arc and per-shard sums
+    // (each strictly below 2^64 once num_shards >= 2).
+    std::vector<std::uint64_t> arcs(num_shards, 0);
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const std::uint64_t prev =
+          points_[i == 0 ? points_.size() - 1 : i - 1].first;
+      arcs[points_[i].second] += points_[i].first - prev;
+    }
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      weights[s] = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(arcs[s]) * 1000) >> 64);
+    }
+    return weights;
+  }
+
  private:
   using Point = std::pair<std::uint64_t, std::uint32_t>;  // (hash, shard).
   std::vector<Point> points_;

@@ -45,6 +45,9 @@ class KvCluster::TenantView : public KvStore {
   // Observation is cluster-wide regardless of tenant: the fleet has one
   // timeline and one counter space.
   StoreSnapshot Inspect() const override { return cluster_->Inspect(); }
+  void InspectInto(StoreSnapshot* out) const override {
+    cluster_->InspectInto(out);
+  }
   KvSsdStats GetStats() const override { return cluster_->GetStats(); }
   sim::Nanoseconds Now() const override { return cluster_->Now(); }
 
@@ -104,11 +107,18 @@ Status KvCluster::Assemble() {
 
   shards_.reserve(config_.num_shards);
   drivers_.resize(config_.num_shards);
+  shard_tracers_.reserve(config_.num_shards);
   for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
     auto opened = KvSsd::Open(shard_options);
     if (!opened.ok()) return opened.status();
     shards_.push_back(std::move(opened).value());
     KvSsd& dev = *shards_.back();
+
+    // Shard-tag the tracer (s + 1; 0 means untagged) so a merged Chrome
+    // trace renders one process lane per shard and trace_breakdown rows
+    // carry their shard. Plain stamps — no simulated effect.
+    dev.Hooks().tracer->SetShardTag(static_cast<std::uint16_t>(s + 1));
+    shard_tracers_.push_back(dev.Hooks().tracer);
 
     drivers_[s].resize(tenants_.size(), nullptr);
     for (std::size_t t = 0; t < tenants_.size(); ++t) {
@@ -135,6 +145,20 @@ Status KvCluster::Assemble() {
   for (std::size_t t = 0; t < tenants_.size(); ++t) {
     tenant_views_.push_back(std::make_unique<TenantView>(this, t));
   }
+
+  // Fleet aggregator: samples every shard's registry on the router clock's
+  // interval grid. Always constructed (Poll is one branch when disabled);
+  // Bind anchors the grid at router time 0.
+  routed_keys_.assign(shards_.size(), 0);
+  fleet_ = std::make_unique<telemetry::FleetAggregator>(&clock_,
+                                                        config_.fleet);
+  std::vector<telemetry::FleetAggregator::ShardSource> sources;
+  sources.reserve(shards_.size());
+  for (const auto& dev : shards_) {
+    sources.push_back({&dev->metrics(), &dev->clock()});
+  }
+  fleet_->Bind(std::move(sources), &routed_keys_,
+               ring_.OwnershipWeightsPermille(config_.num_shards));
   return Status::Ok();
 }
 
@@ -171,9 +195,13 @@ Status KvCluster::DoPut(std::size_t tenant, std::string_view key,
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
+  ++routed_keys_[s];
+  shard_tracers_[s]->SetClientOpContext(next_client_op_++);
   shards_[s]->Hooks().clock->AdvanceTo(start);
   const Status status = drivers_[s][tenant]->Put(key, value);
+  shard_tracers_[s]->ClearClientOpContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  fleet_->Poll();
   return status;
 }
 
@@ -181,9 +209,13 @@ Result<Bytes> KvCluster::DoGet(std::size_t tenant, std::string_view key) {
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
+  ++routed_keys_[s];
+  shard_tracers_[s]->SetClientOpContext(next_client_op_++);
   shards_[s]->Hooks().clock->AdvanceTo(start);
   auto got = drivers_[s][tenant]->Get(key);
+  shard_tracers_[s]->ClearClientOpContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  fleet_->Poll();
   return got;
 }
 
@@ -192,9 +224,13 @@ Status KvCluster::DoGetInto(std::size_t tenant, std::string_view key,
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
+  ++routed_keys_[s];
+  shard_tracers_[s]->SetClientOpContext(next_client_op_++);
   shards_[s]->Hooks().clock->AdvanceTo(start);
   const Status status = drivers_[s][tenant]->GetInto(key, value);
+  shard_tracers_[s]->ClearClientOpContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  fleet_->Poll();
   return status;
 }
 
@@ -202,9 +238,13 @@ Status KvCluster::DoDelete(std::size_t tenant, std::string_view key) {
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
+  ++routed_keys_[s];
+  shard_tracers_[s]->SetClientOpContext(next_client_op_++);
   shards_[s]->Hooks().clock->AdvanceTo(start);
   const Status status = drivers_[s][tenant]->Delete(key);
+  shard_tracers_[s]->ClearClientOpContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  fleet_->Poll();
   return status;
 }
 
@@ -220,9 +260,12 @@ Status KvCluster::DoPutBatch(std::size_t tenant,
   if (batch.empty()) return Status::Ok();
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
+  const std::uint64_t client_op = next_client_op_++;
   std::vector<std::vector<KvPair>> groups(shards_.size());
   for (const KvPair& kv : batch) {
-    groups[ring_.OwnerOf(kv.key)].push_back(kv);
+    const std::uint32_t s = ring_.OwnerOf(kv.key);
+    ++routed_keys_[s];
+    groups[s].push_back(kv);
   }
   sim::Nanoseconds latest = start;
   Status first_error = Status::Ok();
@@ -231,13 +274,18 @@ Status KvCluster::DoPutBatch(std::size_t tenant,
     if (groups[s].empty()) continue;
     ++touched;
     ++batch_subops_;
+    // Every shard-local sub-batch carries the same router client op, so a
+    // cross-shard batch can be reassembled from the per-shard traces.
+    shard_tracers_[s]->SetClientOpContext(client_op);
     shards_[s]->Hooks().clock->AdvanceTo(start);
     const Status status = drivers_[s][tenant]->PutBatch(groups[s]);
+    shard_tracers_[s]->ClearClientOpContext();
     if (!status.ok() && first_error.ok()) first_error = status;
     latest = std::max(latest, shards_[s]->Now());
   }
   if (touched >= 2) ++cross_shard_batches_;
   clock_.SetTime(latest);
+  fleet_->Poll();
   return first_error;
 }
 
@@ -247,10 +295,12 @@ Result<std::vector<KvCluster::BatchGetResult>> KvCluster::DoGetBatch(
   if (keys.empty()) return merged;
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
+  const std::uint64_t client_op = next_client_op_++;
   std::vector<std::vector<std::string>> sub(shards_.size());
   std::vector<std::vector<std::size_t>> origin(shards_.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
     const std::uint32_t s = ring_.OwnerOf(keys[i]);
+    ++routed_keys_[s];
     sub[s].push_back(keys[i]);
     origin[s].push_back(i);
   }
@@ -260,16 +310,20 @@ Result<std::vector<KvCluster::BatchGetResult>> KvCluster::DoGetBatch(
     if (sub[s].empty()) continue;
     ++touched;
     ++batch_subops_;
+    shard_tracers_[s]->SetClientOpContext(client_op);
     shards_[s]->Hooks().clock->AdvanceTo(start);
     auto got = drivers_[s][tenant]->GetBatch(sub[s]);
+    shard_tracers_[s]->ClearClientOpContext();
     latest = std::max(latest, shards_[s]->Now());
     if (!got.ok()) {
       clock_.SetTime(latest);
+      fleet_->Poll();
       return got.status();
     }
     std::vector<BatchGetResult>& results = got.value();
     if (results.size() != sub[s].size()) {
       clock_.SetTime(latest);
+      fleet_->Poll();
       return Status::Corruption(
           "shard GetBatch violated the one-result-per-key contract");
     }
@@ -281,6 +335,7 @@ Result<std::vector<KvCluster::BatchGetResult>> KvCluster::DoGetBatch(
   }
   if (touched >= 2) ++cross_shard_batches_;
   clock_.SetTime(latest);
+  fleet_->Poll();
   return merged;
 }
 
@@ -289,9 +344,12 @@ Result<std::uint32_t> KvCluster::DoDeleteBatch(
   if (keys.empty()) return std::uint32_t{0};
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
+  const std::uint64_t client_op = next_client_op_++;
   std::vector<std::vector<std::string>> sub(shards_.size());
   for (const std::string& key : keys) {
-    sub[ring_.OwnerOf(key)].push_back(key);
+    const std::uint32_t s = ring_.OwnerOf(key);
+    ++routed_keys_[s];
+    sub[s].push_back(key);
   }
   sim::Nanoseconds latest = start;
   std::uint32_t removed = 0;
@@ -300,31 +358,40 @@ Result<std::uint32_t> KvCluster::DoDeleteBatch(
     if (sub[s].empty()) continue;
     ++touched;
     ++batch_subops_;
+    shard_tracers_[s]->SetClientOpContext(client_op);
     shards_[s]->Hooks().clock->AdvanceTo(start);
     auto got = drivers_[s][tenant]->DeleteBatch(sub[s]);
+    shard_tracers_[s]->ClearClientOpContext();
     latest = std::max(latest, shards_[s]->Now());
     if (!got.ok()) {
       clock_.SetTime(latest);
+      fleet_->Poll();
       return got.status();
     }
     removed += got.value();
   }
   if (touched >= 2) ++cross_shard_batches_;
   clock_.SetTime(latest);
+  fleet_->Poll();
   return removed;
 }
 
 Status KvCluster::DoFlush() {
   const sim::Nanoseconds start = clock_.Now();
+  const std::uint64_t client_op = next_client_op_++;
   sim::Nanoseconds latest = start;
   Status first_error = Status::Ok();
-  for (auto& dev : shards_) {
-    dev->Hooks().clock->AdvanceTo(start);
-    const Status status = dev->Flush();
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    KvSsd& dev = *shards_[s];
+    shard_tracers_[s]->SetClientOpContext(client_op);
+    dev.Hooks().clock->AdvanceTo(start);
+    const Status status = dev.Flush();
+    shard_tracers_[s]->ClearClientOpContext();
     if (!status.ok() && first_error.ok()) first_error = status;
-    latest = std::max(latest, dev->Now());
+    latest = std::max(latest, dev.Now());
   }
   clock_.SetTime(latest);
+  fleet_->Poll();
   return first_error;
 }
 
@@ -368,21 +435,44 @@ KvSsdStats KvCluster::GetStats() const {
 
 StoreSnapshot KvCluster::Inspect() const {
   StoreSnapshot store;
-  store.stats = GetStats();
-  store.shards.reserve(shards_.size());
-  for (const auto& dev : shards_) {
-    store.shards.push_back(dev->InspectDevice());
-  }
-  store.batch_subops = batch_subops_;
-  store.cross_shard_batches = cross_shard_batches_;
-  store.qos_refill_windows = qos_refill_windows_;
+  InspectInto(&store);
   return store;
+}
+
+void KvCluster::InspectInto(StoreSnapshot* out) const {
+  out->stats = GetStats();
+  out->shards.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->InspectDeviceInto(&out->shards[s]);
+  }
+  out->batch_subops = batch_subops_;
+  out->cross_shard_batches = cross_shard_batches_;
+  out->qos_refill_windows = qos_refill_windows_;
+  // Fleet-level watchdog state (shard imbalance, p99 skew, ring skew,
+  // straggler stall) — distinct from each shard's per-device alerts.
+  const telemetry::Watchdog& wd = fleet_->watchdog();
+  out->alerts.resize(wd.rules().size());
+  for (std::size_t i = 0; i < wd.rules().size(); ++i) {
+    const telemetry::AlertState& st = wd.states()[i];
+    DeviceSnapshot::AlertInfo& a = out->alerts[i];
+    a.rule.assign(wd.rules()[i].name);
+    a.fired = st.fired;
+    a.cleared = st.cleared;
+    a.active = st.active;
+    a.last_value = st.last_value;
+    a.last_fire_ns = st.last_fire_ns;
+  }
+  out->fleet_samples = fleet_->samples_emitted();
+  out->fleet_events = fleet_->event_log().total_emitted();
 }
 
 void KvCluster::SyncClockToShards() {
   sim::Nanoseconds latest = clock_.Now();
   for (const auto& dev : shards_) latest = std::max(latest, dev->Now());
   clock_.SetTime(latest);
+  // Harness-driven shards may have crossed fleet interval boundaries while
+  // the router clock stood still; catch up now that it is consistent.
+  fleet_->Poll();
 }
 
 }  // namespace bandslim::cluster

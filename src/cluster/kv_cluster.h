@@ -45,6 +45,7 @@
 #include "common/status.h"
 #include "core/kv_store.h"
 #include "core/kvssd.h"
+#include "telemetry/fleet.h"
 
 namespace bandslim::cluster {
 
@@ -71,6 +72,12 @@ struct ClusterConfig {
   // Credit refill grid (virtual ns). Only meaningful when some tenant has
   // credits_per_window > 0.
   sim::Nanoseconds qos_refill_window_ns = 100000;
+  // Fleet-level observability (telemetry/fleet.h): a cluster-wide sampler
+  // on the router clock aggregating every shard's registry, with merged
+  // percentiles and shard-imbalance watchdogs. Disabled by default; the
+  // aggregator is observation-only either way, so enabling it changes no
+  // simulated outcome.
+  telemetry::FleetConfig fleet;
 };
 
 class KvCluster : public KvStore {
@@ -92,8 +99,12 @@ class KvCluster : public KvStore {
   Status Flush() override;
 
   // Aggregated snapshot: summed stats + one DeviceSnapshot per shard (in
-  // shard-index order) + router-level batch/QoS accounting.
+  // shard-index order) + router-level batch/QoS accounting + fleet alerts.
   StoreSnapshot Inspect() const override;
+  // Allocation-free in steady state: reuses `out`'s per-shard snapshots,
+  // counter maps and alert strings, so a sampling loop can call this every
+  // interval without touching the heap.
+  void InspectInto(StoreSnapshot* out) const override;
   KvSsdStats GetStats() const override;
   sim::Nanoseconds Now() const override { return clock_.Now(); }
 
@@ -124,6 +135,19 @@ class KvCluster : public KvStore {
   void SyncClockToShards();
 
   std::uint64_t qos_refill_windows() const { return qos_refill_windows_; }
+
+  // --- Fleet observability -------------------------------------------------
+  // The cluster-wide aggregator (always constructed; inert unless
+  // config().fleet.enabled). Call fleet().Finalize() before exporting so
+  // the closing fleet sample reconciles with GetStats().
+  telemetry::FleetAggregator& fleet() { return *fleet_; }
+  const telemetry::FleetAggregator& fleet() const { return *fleet_; }
+  // Router placement decisions per shard (one increment per routed key,
+  // including batch members) — the actual-share input to the ring-skew
+  // watchdog.
+  const std::vector<std::uint64_t>& routed_keys() const {
+    return routed_keys_;
+  }
 
  private:
   // Per-tenant KvStore facade; forwards every op with its tenant index.
@@ -166,6 +190,14 @@ class KvCluster : public KvStore {
   std::uint64_t qos_refill_windows_ = 0;
   std::uint64_t batch_subops_ = 0;
   std::uint64_t cross_shard_batches_ = 0;
+
+  // Fleet observability. routed_keys_ and the tracer tagging are always on
+  // (plain integer stamps, no simulated effect); the aggregator itself is a
+  // single branch per Poll() when config_.fleet.enabled is false.
+  std::unique_ptr<telemetry::FleetAggregator> fleet_;
+  std::vector<std::uint64_t> routed_keys_;    // One entry per shard.
+  std::vector<trace::Tracer*> shard_tracers_;  // Shard-index order.
+  std::uint64_t next_client_op_ = 0;  // Router-level client op ids.
 };
 
 }  // namespace bandslim::cluster

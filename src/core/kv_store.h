@@ -53,6 +53,15 @@ struct StoreSnapshot {
   std::uint64_t cross_shard_batches = 0;  // Batches spanning >= 2 shards.
   std::uint64_t qos_refill_windows = 0;   // Admission credit refills.
 
+  // Fleet-level watchdog state (telemetry/fleet.h), one entry per configured
+  // fleet rule — shard imbalance, hot-shard p99 skew, ring skew, straggler
+  // stall. Empty for a non-clustered store or a disabled aggregator;
+  // per-DEVICE watchdog alerts stay on each shard's DeviceSnapshot.
+  std::vector<DeviceSnapshot::AlertInfo> alerts;
+  // Fleet aggregator stream sizes (0 when absent or disabled).
+  std::uint64_t fleet_samples = 0;
+  std::uint64_t fleet_events = 0;
+
   std::uint32_t num_shards() const {
     return static_cast<std::uint32_t>(shards.size());
   }
@@ -99,6 +108,11 @@ class KvStore {
   // --- Introspection -------------------------------------------------------
   // One-call observation point aggregating every backing device.
   virtual StoreSnapshot Inspect() const = 0;
+  // In-place variant for sampling loops: refills `*out`, reusing its
+  // vectors, maps and strings. Concrete stores override this to be
+  // allocation-free in steady state (no structural change since the last
+  // call); the default falls back to a full Inspect() copy.
+  virtual void InspectInto(StoreSnapshot* out) const { *out = Inspect(); }
   // Summed counter block (cheaper than Inspect when only counters matter).
   virtual KvSsdStats GetStats() const = 0;
   // The store's client-visible virtual time.

@@ -257,44 +257,71 @@ KvSsdStats KvSsd::GetStats() const {
 
 StoreSnapshot KvSsd::Inspect() const {
   StoreSnapshot store;
-  store.stats = GetStats();
-  store.shards.push_back(InspectDevice());
+  InspectInto(&store);
   return store;
+}
+
+void KvSsd::InspectInto(StoreSnapshot* out) const {
+  out->stats = GetStats();
+  out->shards.resize(1);
+  InspectDeviceInto(&out->shards[0]);
+  // Router-level accounting and fleet-level alerts: none on a bare device.
+  out->batch_subops = 0;
+  out->cross_shard_batches = 0;
+  out->qos_refill_windows = 0;
+  out->alerts.clear();
+  out->fleet_samples = 0;
+  out->fleet_events = 0;
 }
 
 DeviceSnapshot KvSsd::InspectDevice() const {
   DeviceSnapshot snap;
-  snap.stats = GetStats();
-  for (const auto& q : transport_->QueueInfos()) {
-    snap.queues.push_back({q.queue_id, q.depth, q.submitted, q.inflight});
+  InspectDeviceInto(&snap);
+  return snap;
+}
+
+void KvSsd::InspectDeviceInto(DeviceSnapshot* out) const {
+  out->stats = GetStats();
+  out->queues.resize(transport_->num_queue_pairs());
+  for (std::size_t q = 0; q < out->queues.size(); ++q) {
+    const nvme::NvmeTransport::QueueInfo info =
+        transport_->QueueInfoAt(static_cast<std::uint16_t>(q));
+    out->queues[q] = {info.queue_id, info.depth, info.submitted,
+                      info.inflight};
   }
   const buffer::NandPageBuffer& buf = vlog_->buffer();
-  snap.buffer_window_base = buf.window_base_addr();
-  snap.vlog_tail = buf.wp();
-  snap.buffer_dma_frontier = buf.dma_frontier();
-  snap.buffer_resident_bytes = buf.wp() - buf.window_base_addr();
-  snap.ftl_mapped_pages = ftl_->mapped_pages();
-  snap.ftl_free_blocks = ftl_->free_blocks();
-  snap.ftl_reserve_blocks = ftl_->reserve_remaining();
-  snap.ftl_bad_blocks = ftl_->bad_blocks();
-  snap.lsm_memtable_entries = lsm_->memtable_entries();
-  snap.lsm_memtable_bytes = lsm_->memtable_bytes();
-  snap.lsm_pending_trim_tables = lsm_->pending_trim_tables();
-  snap.lsm_compaction_debt_bytes = lsm_->CompactionDebtBytes();
+  out->buffer_window_base = buf.window_base_addr();
+  out->vlog_tail = buf.wp();
+  out->buffer_dma_frontier = buf.dma_frontier();
+  out->buffer_resident_bytes = buf.wp() - buf.window_base_addr();
+  out->ftl_mapped_pages = ftl_->mapped_pages();
+  out->ftl_free_blocks = ftl_->free_blocks();
+  out->ftl_reserve_blocks = ftl_->reserve_remaining();
+  out->ftl_bad_blocks = ftl_->bad_blocks();
+  out->lsm_memtable_entries = lsm_->memtable_entries();
+  out->lsm_memtable_bytes = lsm_->memtable_bytes();
+  out->lsm_pending_trim_tables = lsm_->pending_trim_tables();
+  out->lsm_compaction_debt_bytes = lsm_->CompactionDebtBytes();
+  out->lsm_levels.resize(static_cast<std::size_t>(lsm_->level_count()));
   for (int l = 0; l < lsm_->level_count(); ++l) {
-    snap.lsm_levels.push_back(
-        {lsm_->TableCount(l), lsm_->LevelBytes(l)});
+    out->lsm_levels[static_cast<std::size_t>(l)] = {lsm_->TableCount(l),
+                                                    lsm_->LevelBytes(l)};
   }
-  snap.counters = metrics_.SnapshotCounters();
-  snap.telemetry_samples = sampler_->samples_emitted();
-  snap.telemetry_events = sampler_->event_log().total_emitted();
+  metrics_.SnapshotCountersInto(&out->counters);
+  out->telemetry_samples = sampler_->samples_emitted();
+  out->telemetry_events = sampler_->event_log().total_emitted();
   const telemetry::Watchdog& wd = sampler_->watchdog();
+  out->alerts.resize(wd.rules().size());
   for (std::size_t i = 0; i < wd.rules().size(); ++i) {
     const telemetry::AlertState& st = wd.states()[i];
-    snap.alerts.push_back({wd.rules()[i].name, st.fired, st.cleared,
-                           st.active, st.last_value, st.last_fire_ns});
+    DeviceSnapshot::AlertInfo& a = out->alerts[i];
+    a.rule.assign(wd.rules()[i].name);  // Reuses the string's capacity.
+    a.fired = st.fired;
+    a.cleared = st.cleared;
+    a.active = st.active;
+    a.last_value = st.last_value;
+    a.last_fire_ns = st.last_fire_ns;
   }
-  return snap;
 }
 
 KvSsd::TestHooks KvSsd::Hooks() {

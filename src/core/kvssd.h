@@ -136,9 +136,15 @@ class KvSsd : public KvStore {
   // One-call observation point: everything a test, bench or operator
   // dashboard needs, as plain values, for THIS device.
   DeviceSnapshot InspectDevice() const;
+  // In-place variant: refills `*out` reusing its vectors, maps and strings.
+  // Steady state — no new counters, rules, queues or LSM levels since the
+  // last call on the same snapshot — performs zero heap allocations, so a
+  // sampling loop can Inspect every interval for free.
+  void InspectDeviceInto(DeviceSnapshot* out) const;
   // KvStore view of the same data: a one-shard StoreSnapshot wrapping
   // InspectDevice(), so topology-neutral callers aggregate uniformly.
   StoreSnapshot Inspect() const override;
+  void InspectInto(StoreSnapshot* out) const override;
   KvSsdStats GetStats() const override;
   sim::Nanoseconds Now() const override { return clock_.Now(); }
   const sim::VirtualClock& clock() const { return clock_; }

@@ -228,13 +228,39 @@ KvSsdStats HostKvs::GetStats() const {
 
 StoreSnapshot HostKvs::Inspect() const {
   StoreSnapshot store;
-  store.stats = GetStats();
-  DeviceSnapshot dev;
-  dev.stats = store.stats;
-  dev.vlog_tail = vlog_tail_;
-  dev.counters = metrics_->SnapshotCounters();
-  store.shards.push_back(std::move(dev));
+  InspectInto(&store);
   return store;
+}
+
+void HostKvs::InspectInto(StoreSnapshot* out) const {
+  out->stats = GetStats();
+  out->shards.resize(1);
+  DeviceSnapshot& dev = out->shards[0];
+  dev.stats = out->stats;
+  dev.queues.clear();
+  dev.buffer_window_base = 0;
+  dev.vlog_tail = vlog_tail_;
+  dev.buffer_dma_frontier = 0;
+  dev.buffer_resident_bytes = 0;
+  dev.ftl_mapped_pages = 0;
+  dev.ftl_free_blocks = 0;
+  dev.ftl_reserve_blocks = 0;
+  dev.ftl_bad_blocks = 0;
+  dev.lsm_memtable_entries = 0;
+  dev.lsm_memtable_bytes = 0;
+  dev.lsm_pending_trim_tables = 0;
+  dev.lsm_compaction_debt_bytes = 0;
+  dev.lsm_levels.clear();
+  metrics_->SnapshotCountersInto(&dev.counters);
+  dev.alerts.clear();
+  dev.telemetry_samples = 0;
+  dev.telemetry_events = 0;
+  out->batch_subops = 0;
+  out->cross_shard_batches = 0;
+  out->qos_refill_windows = 0;
+  out->alerts.clear();
+  out->fleet_samples = 0;
+  out->fleet_events = 0;
 }
 
 }  // namespace bandslim::hostkvs

@@ -58,6 +58,11 @@ class HostKvs : public KvStore {
   // observe from the host: kernel/block counters (via the registry dump),
   // values written, and the block device's clock.
   StoreSnapshot Inspect() const override;
+  // In-place variant, allocation-free in steady state (mirrors the KvSsd /
+  // KvCluster contract): refills `*out` reusing its one-shard snapshot and
+  // counter map, so fleet-style sampling loops can poll the conventional
+  // stack on the same terms as the KV-SSD topologies.
+  void InspectInto(StoreSnapshot* out) const override;
   KvSsdStats GetStats() const override;
   sim::Nanoseconds Now() const override { return clock_->Now(); }
 

@@ -288,14 +288,19 @@ std::vector<NvmeTransport::QueueInfo> NvmeTransport::QueueInfos() const {
   std::vector<QueueInfo> infos;
   infos.reserve(queues_.size());
   for (std::size_t q = 0; q < queues_.size(); ++q) {
-    QueueInfo info;
-    info.queue_id = static_cast<std::uint16_t>(q);
-    info.depth = queue_depth_;
-    info.submitted = queues_[q].submitted;
-    info.inflight = queues_[q].inflight_count;
-    infos.push_back(info);
+    infos.push_back(QueueInfoAt(static_cast<std::uint16_t>(q)));
   }
   return infos;
+}
+
+NvmeTransport::QueueInfo NvmeTransport::QueueInfoAt(
+    std::uint16_t queue_id) const {
+  QueueInfo info;
+  info.queue_id = queue_id;
+  info.depth = queue_depth_;
+  info.submitted = queues_[queue_id].submitted;
+  info.inflight = queues_[queue_id].inflight_count;
+  return info;
 }
 
 }  // namespace bandslim::nvme

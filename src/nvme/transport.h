@@ -102,6 +102,10 @@ class NvmeTransport {
     std::uint64_t inflight = 0;
   };
   std::vector<QueueInfo> QueueInfos() const;
+  // Allocation-free per-queue access for reusable snapshots
+  // (KvSsd::InspectDeviceInto).
+  std::size_t num_queue_pairs() const { return queues_.size(); }
+  QueueInfo QueueInfoAt(std::uint16_t queue_id) const;
 
   // Telemetry taps (optional, null = untapped). The transport is the one
   // deterministic choke point every host op funnels through — including

@@ -83,6 +83,19 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+void Histogram::MergeFrom(const BucketArray& buckets, std::uint64_t count,
+                          std::uint64_t sum) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    buckets_[static_cast<std::size_t>(i)] += n;
+    min_ = std::min(min_, BucketLowerBound(i));
+    max_ = std::max(max_, BucketLowerBound(i));
+  }
+  count_ += count;
+  sum_ += sum;
+}
+
 void Histogram::Reset() {
   buckets_.fill(0);
   count_ = 0;

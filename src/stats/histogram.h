@@ -48,6 +48,16 @@ class Histogram {
   }
 
   void Merge(const Histogram& other);
+  // Merges a detached bucket snapshot (the shape MetricsRegistry hands out
+  // as HistogramBuckets) into this histogram. Counts, sums, and every
+  // quantile computed via QuantileFromBuckets are exact — merging N shards'
+  // bucket arrays and taking a quantile equals taking the quantile over the
+  // union of their recordings, because the bucket boundaries are shared.
+  // min/max are recovered at bucket resolution only (the snapshot does not
+  // carry them): min snaps to the lowest non-empty bucket's lower bound,
+  // max to the highest non-empty bucket's lower bound.
+  void MergeFrom(const BucketArray& buckets, std::uint64_t count,
+                 std::uint64_t sum);
   void Reset();
 
   std::string ToString() const;

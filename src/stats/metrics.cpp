@@ -44,7 +44,7 @@ Histogram* MetricsRegistry::RegisterHistogram(const std::string& name) {
   return result.ok() ? result.value() : GetHistogram(name);
 }
 
-std::uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value();
 }
@@ -53,6 +53,26 @@ std::map<std::string, std::uint64_t> MetricsRegistry::SnapshotCounters() const {
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, c] : counters_) out.emplace(name, c.value());
   return out;
+}
+
+void MetricsRegistry::SnapshotCountersInto(
+    std::map<std::string, std::uint64_t>* out) const {
+  // Both maps iterate in name order, so one lockstep sweep updates matching
+  // nodes in place; inserts (a counter created since the previous call) and
+  // erases (only possible with a different registry) stay off the steady
+  // state path.
+  auto it = out->begin();
+  for (const auto& [name, c] : counters_) {
+    while (it != out->end() && it->first < name) it = out->erase(it);
+    if (it != out->end() && it->first == name) {
+      it->second = c.value();
+      ++it;
+    } else {
+      it = out->emplace_hint(it, name, c.value());
+      ++it;
+    }
+  }
+  out->erase(it, out->end());
 }
 
 std::map<std::string, HistogramSnapshot> MetricsRegistry::SnapshotHistograms()

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 #include "stats/counter.h"
@@ -61,10 +62,19 @@ class MetricsRegistry {
   Counter* RegisterCounter(const std::string& name);
   Histogram* RegisterHistogram(const std::string& name);
 
-  std::uint64_t CounterValue(const std::string& name) const;
+  // Heterogeneous lookup: a string literal or string_view probes the map
+  // without materializing a std::string, so stat assembly (KvSsd::GetStats)
+  // stays allocation-free.
+  std::uint64_t CounterValue(std::string_view name) const;
 
   // Flat snapshot of every counter (name -> value), sorted by name.
   std::map<std::string, std::uint64_t> SnapshotCounters() const;
+
+  // In-place variant for sampling loops: updates `*out` to mirror the
+  // current counter set, reusing existing nodes. Steady state — when no
+  // counter was created since the previous call — performs zero heap
+  // allocations; new names are inserted and stale ones erased otherwise.
+  void SnapshotCountersInto(std::map<std::string, std::uint64_t>* out) const;
 
   // Summary snapshot of every histogram (name -> summary), sorted by name.
   // Empty histograms are included (count = 0).
@@ -80,8 +90,9 @@ class MetricsRegistry {
   std::string ToString() const;
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Histogram> histograms_;
+  // std::less<> enables find(string_view) without a temporary std::string.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace bandslim::stats

@@ -19,45 +19,56 @@ std::string SanitizeMetricName(const std::string& name) {
   return out;
 }
 
-std::string ToPrometheusText(const Sampler& sampler) {
+std::string PrometheusTextCore(const std::deque<Sample>& samples,
+                               const SeriesTable& series,
+                               const Watchdog& watchdog,
+                               std::uint64_t samples_emitted,
+                               const char* counter_name,
+                               const char* counter_help) {
   std::ostringstream os;
-  os << "# HELP bandslim_telemetry_samples_total Samples emitted by the "
-        "virtual-time sampler.\n";
-  os << "# TYPE bandslim_telemetry_samples_total counter\n";
-  os << "bandslim_telemetry_samples_total " << sampler.samples_emitted()
-     << "\n";
-  if (!sampler.samples().empty()) {
-    const Sample& last = sampler.samples().back();
+  os << "# HELP " << counter_name << " " << counter_help << "\n";
+  os << "# TYPE " << counter_name << " counter\n";
+  os << counter_name << " " << samples_emitted << "\n";
+  if (!samples.empty()) {
+    const Sample& last = samples.back();
     const std::uint64_t ts_ms = last.t_ns / sim::kMillisecond;
     // Stable order: sort the latest sample's series by name.
     std::map<std::string, std::uint64_t> by_name;
     for (const auto& [id, value] : last.values) {
-      by_name.emplace(SanitizeMetricName(sampler.series().NameOf(id)), value);
+      by_name.emplace(SanitizeMetricName(series.NameOf(id)), value);
     }
     for (const auto& [name, value] : by_name) {
       os << "# TYPE bandslim_" << name << " gauge\n";
       os << "bandslim_" << name << " " << value << " " << ts_ms << "\n";
     }
   }
-  const Watchdog& wd = sampler.watchdog();
-  for (std::size_t i = 0; i < wd.rules().size(); ++i) {
+  for (std::size_t i = 0; i < watchdog.rules().size(); ++i) {
     if (i == 0) {
       os << "# HELP bandslim_watchdog_alerts_total Edge-triggered watchdog "
             "rule fires.\n";
       os << "# TYPE bandslim_watchdog_alerts_total counter\n";
     }
     os << "bandslim_watchdog_alerts_total{rule=\""
-       << SanitizeMetricName(wd.rules()[i].name) << "\"} "
-       << wd.states()[i].fired << "\n";
+       << SanitizeMetricName(watchdog.rules()[i].name) << "\"} "
+       << watchdog.states()[i].fired << "\n";
   }
   return os.str();
 }
 
-std::string ToJsonl(const Sampler& sampler) {
+std::string ToPrometheusText(const Sampler& sampler) {
+  return PrometheusTextCore(
+      sampler.samples(), sampler.series(), sampler.watchdog(),
+      sampler.samples_emitted(), "bandslim_telemetry_samples_total",
+      "Samples emitted by the virtual-time sampler.");
+}
+
+std::string TimelineJsonlCore(const std::deque<Sample>& samples,
+                              const SeriesTable& series,
+                              const EventLog& event_log,
+                              const Watchdog& watchdog) {
   std::ostringstream os;
-  const auto& samples = sampler.samples();
-  const auto& events = sampler.event_log().records();
-  const auto& rules = sampler.watchdog().rules();
+  const auto& events = event_log.records();
+  const auto& rules = watchdog.rules();
 
   const auto emit_event = [&](const EventRecord& e) {
     os << "{\"kind\":\"event\",\"t_ns\":" << e.t_ns << ",\"seq\":" << e.seq
@@ -75,7 +86,7 @@ std::string ToJsonl(const Sampler& sampler) {
     for (const auto& [id, value] : s.values) {
       if (!first) os << ",";
       first = false;
-      os << "\"" << sampler.series().NameOf(id) << "\":" << value;
+      os << "\"" << series.NameOf(id) << "\":" << value;
     }
     os << "}}\n";
   };
@@ -98,6 +109,11 @@ std::string ToJsonl(const Sampler& sampler) {
     }
   }
   return os.str();
+}
+
+std::string ToJsonl(const Sampler& sampler) {
+  return TimelineJsonlCore(sampler.samples(), sampler.series(),
+                           sampler.event_log(), sampler.watchdog());
 }
 
 std::string ToTimeSeriesCsv(const Sampler& sampler,

@@ -12,6 +12,7 @@
 //    fig* plots consume.
 #pragma once
 
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,24 @@ std::string ToPrometheusText(const Sampler& sampler);
 //   {"kind":"event","t_ns":..,"seq":..,"type":"gc_start","a":..,"b":..}
 // Alert events additionally carry "rule":"<name>".
 std::string ToJsonl(const Sampler& sampler);
+
+// Component-parameterized cores behind the two renderers above. The device
+// Sampler and the fleet aggregator (telemetry/fleet.h) hold the same pieces
+// — a sample deque, an interning table, an event log, a watchdog — so both
+// render through one implementation and their exports stay format-identical
+// by construction. `counter_name`/`counter_help` label the leading
+// samples-emitted counter ("bandslim_telemetry_samples_total" for the
+// device sampler, "bandslim_fleet_samples_total" for the fleet).
+std::string PrometheusTextCore(const std::deque<Sample>& samples,
+                               const SeriesTable& series,
+                               const Watchdog& watchdog,
+                               std::uint64_t samples_emitted,
+                               const char* counter_name,
+                               const char* counter_help);
+std::string TimelineJsonlCore(const std::deque<Sample>& samples,
+                              const SeriesTable& series,
+                              const EventLog& event_log,
+                              const Watchdog& watchdog);
 
 // Time-series CSV with the named series as columns (missing values print
 // as 0). The first two columns are always t_ns and interval_ns.

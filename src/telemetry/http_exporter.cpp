@@ -168,6 +168,10 @@ void HttpExporter::HandleConnection(int fd) {
                  snap->metrics_text);
   } else if (path == "/timeline.jsonl") {
     SendResponse(fd, "200 OK", "application/x-ndjson", snap->timeline_jsonl);
+  } else if (path == "/shards.jsonl" && !snap->shards_jsonl.empty()) {
+    // Federated per-shard snapshots; only the fleet aggregator publishes
+    // them, so a single-device sampler keeps 404-ing here.
+    SendResponse(fd, "200 OK", "application/x-ndjson", snap->shards_jsonl);
   } else {
     SendResponse(fd, "404 Not Found", "text/plain; charset=utf-8",
                  "unknown path\n");

@@ -72,6 +72,10 @@ struct PublishedSnapshot {
   std::string metrics_text;       // Prometheus 0.0.4, == ToPrometheusText().
   std::string timeline_jsonl;     // Full timeline so far, == ToJsonl().
   std::string healthz_json;       // Tiny liveness document for /healthz.
+  // Per-shard snapshot stream for /shards.jsonl. Only the fleet aggregator
+  // fills this; the single-device Sampler leaves it empty and the exporter
+  // answers 404 for the route, keeping single-device serving unchanged.
+  std::string shards_jsonl;
 };
 
 // Consumer of published snapshots. Publish() is called on the simulation

@@ -115,6 +115,8 @@ void Tracer::BeginOp(OpType type, std::uint16_t queue_id,
   cur_op_.seq = next_op_seq_++;
   cur_op_.type = type;
   cur_op_.queue_id = queue_id;
+  cur_op_.shard_id = shard_tag_;
+  cur_op_.client_op = client_op_ctx_;
   cur_op_.payload_bytes = payload_bytes;
   cur_op_.start_ns = clock_->Now();
 }
@@ -156,6 +158,7 @@ void Tracer::BeginCommand(std::uint16_t queue_id, std::uint8_t opcode) {
   cur_cmd_ = CommandRecord{};
   cur_cmd_.seq = next_cmd_seq_++;
   cur_cmd_.op_seq = op_active_ ? cur_op_.seq : kNoSeq;
+  cur_cmd_.shard_id = shard_tag_;
   cur_cmd_.queue_id = queue_id;
   cur_cmd_.opcode = opcode;
   cur_cmd_.start_ns = clock_->Now();
@@ -253,6 +256,7 @@ void Tracer::CloseSpan() {
   rec.cmd_seq = cmd_active_ ? cur_cmd_.seq : kNoSeq;
   rec.op_seq = op_active_ ? cur_op_.seq : kNoSeq;
   rec.category = state.category;
+  rec.shard_id = shard_tag_;
   rec.queue_id = cmd_active_ ? cur_cmd_.queue_id
                              : (op_active_ ? cur_op_.queue_id : 0);
   rec.cid = cmd_active_ ? cur_cmd_.cid : 0;
@@ -335,9 +339,17 @@ struct ChromeEvent {
   std::uint16_t depth;
   std::string name;
   const char* cat;
+  std::uint16_t pid;
   std::uint16_t tid;
   std::string args;
 };
+
+// Untagged tracers (single device) keep the historical pid 1; a cluster
+// shard's tag s + 1 becomes its pid, so a merged multi-shard trace renders
+// one process lane per shard in chrome://tracing.
+std::uint16_t PidOf(std::uint16_t shard_tag) {
+  return shard_tag == 0 ? 1 : shard_tag;
+}
 
 }  // namespace
 
@@ -354,9 +366,14 @@ std::string ToChromeTraceJson(const Tracer& tracer) {
     e.depth = 0;
     e.name = OpTypeName(op.type);
     e.cat = "op";
+    e.pid = PidOf(op.shard_id);
     e.tid = op.queue_id;
     e.args = "{\"seq\":";
     AppendU64(&e.args, op.seq);
+    if (op.client_op != kNoSeq) {
+      e.args += ",\"client_op\":";
+      AppendU64(&e.args, op.client_op);
+    }
     e.args += ",\"payload_bytes\":";
     AppendU64(&e.args, op.payload_bytes);
     e.args += ",\"commands\":";
@@ -373,6 +390,7 @@ std::string ToChromeTraceJson(const Tracer& tracer) {
     e.depth = 0;
     e.name = OpcodeMnemonic(cmd.opcode);
     e.cat = "cmd";
+    e.pid = PidOf(cmd.shard_id);
     e.tid = cmd.queue_id;
     e.args = "{\"seq\":";
     AppendU64(&e.args, cmd.seq);
@@ -392,6 +410,7 @@ std::string ToChromeTraceJson(const Tracer& tracer) {
     e.depth = span.depth;
     e.name = CategoryName(span.category);
     e.cat = "span";
+    e.pid = PidOf(span.shard_id);
     e.tid = span.queue_id;
     e.args = "{\"cmd_seq\":";
     AppendU64(&e.args, span.cmd_seq);
@@ -417,7 +436,9 @@ std::string ToChromeTraceJson(const Tracer& tracer) {
     out += e.name;
     out += "\",\"cat\":\"";
     out += e.cat;
-    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += "\",\"ph\":\"X\",\"pid\":";
+    AppendU64(&out, e.pid);
+    out += ",\"tid\":";
     AppendU64(&out, e.tid);
     out += ",\"ts\":";
     AppendMicros(&out, e.start_ns);
@@ -442,11 +463,17 @@ std::string ToBreakdownCsv(const Tracer& tracer) {
     out += name;
     out += "_bytes";
   }
-  out += "\n";
+  out += ",shard,client_op\n";
 
-  std::unordered_map<std::uint64_t, OpType> op_types;
+  struct OpInfo {
+    OpType type;
+    std::uint64_t client_op;
+  };
+  std::unordered_map<std::uint64_t, OpInfo> op_types;
   op_types.reserve(tracer.ops().size());
-  for (const auto& op : tracer.ops()) op_types.emplace(op.seq, op.type);
+  for (const auto& op : tracer.ops()) {
+    op_types.emplace(op.seq, OpInfo{op.type, op.client_op});
+  }
 
   for (const auto& cmd : tracer.commands()) {
     AppendU64(&out, cmd.seq);
@@ -458,7 +485,7 @@ std::string ToBreakdownCsv(const Tracer& tracer) {
     }
     out += ",";
     const auto it = op_types.find(cmd.op_seq);
-    out += it != op_types.end() ? OpTypeName(it->second) : "-";
+    out += it != op_types.end() ? OpTypeName(it->second.type) : "-";
     out += ",";
     out += OpcodeMnemonic(cmd.opcode);
     out += ",";
@@ -476,6 +503,21 @@ std::string ToBreakdownCsv(const Tracer& tracer) {
       AppendU64(&out, cmd.stages.ns[i]);
       out += ",";
       AppendU64(&out, cmd.stages.bytes[i]);
+    }
+    // Shard tag (s + 1 on a cluster shard, "-" untagged) and the router
+    // client op this shard op belongs to, so a cross-shard batch can be
+    // reassembled from the flat per-command rows.
+    out += ",";
+    if (cmd.shard_id == 0) {
+      out += "-";
+    } else {
+      AppendU64(&out, static_cast<std::uint64_t>(cmd.shard_id - 1));
+    }
+    out += ",";
+    if (it != op_types.end() && it->second.client_op != kNoSeq) {
+      AppendU64(&out, it->second.client_op);
+    } else {
+      out += "-";
     }
     out += "\n";
   }

@@ -107,6 +107,14 @@ struct OpRecord {
   std::uint64_t seq = kNoSeq;
   OpType type = OpType::kOther;
   std::uint16_t queue_id = 0;
+  // Shard tag of the tracer that recorded this op (0 = untagged / single
+  // device; a KvCluster tags shard s as s + 1).
+  std::uint16_t shard_id = 0;
+  // Router-level client operation this shard-local op served (kNoSeq when
+  // not dispatched through a cluster). One cross-shard batch fans out into
+  // N shard ops sharing the same client_op, which is how trace_breakdown
+  // stitches a fleet-wide request back together.
+  std::uint64_t client_op = kNoSeq;
   bool ok = true;
   std::uint64_t payload_bytes = 0;
   sim::Nanoseconds start_ns = 0;
@@ -121,6 +129,7 @@ struct OpRecord {
 struct CommandRecord {
   std::uint64_t seq = kNoSeq;
   std::uint64_t op_seq = kNoSeq;
+  std::uint16_t shard_id = 0;  // See OpRecord::shard_id.
   std::uint16_t queue_id = 0;
   std::uint16_t cid = 0;
   std::uint8_t opcode = 0;
@@ -136,6 +145,7 @@ struct SpanRecord {
   std::uint64_t cmd_seq = kNoSeq;
   std::uint64_t op_seq = kNoSeq;
   Category category = Category::kOther;
+  std::uint16_t shard_id = 0;  // See OpRecord::shard_id.
   std::uint16_t queue_id = 0;
   std::uint16_t cid = 0;
   std::uint16_t depth = 0;
@@ -153,6 +163,19 @@ class Tracer {
   // Toggling mid-operation is not supported: all scopes must be closed.
   void SetEnabled(bool on);
   const TraceConfig& config() const { return config_; }
+
+  // --- Fleet attribution (cluster routing). A KvCluster tags each shard's
+  // tracer once at assembly (shard s -> tag s + 1; 0 means untagged) and
+  // brackets every dispatched sub-operation with the router-level client-op
+  // sequence, so shard-local records can be stitched back into the
+  // cross-shard request that caused them. Both are plain stamps copied onto
+  // records at Begin*: they never touch the clock or the rings.
+  void SetShardTag(std::uint16_t tag) { shard_tag_ = tag; }
+  std::uint16_t shard_tag() const { return shard_tag_; }
+  void SetClientOpContext(std::uint64_t client_op) {
+    client_op_ctx_ = client_op;
+  }
+  void ClearClientOpContext() { client_op_ctx_ = kNoSeq; }
 
   // --- Operation lifecycle (driver API calls). Ops may nest (e.g. a
   // recovery op replaying PUTs); inner ops fold into the outermost one.
@@ -231,6 +254,8 @@ class Tracer {
   // span stack or the clock.
   bool op_recording_ = true;
   bool cmd_recording_ = true;
+  std::uint16_t shard_tag_ = 0;
+  std::uint64_t client_op_ctx_ = kNoSeq;
   std::uint64_t op_counter_ = 0;
   std::uint64_t ops_sampled_out_ = 0;
   std::uint64_t suppressed_spans_ = 0;

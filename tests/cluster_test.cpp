@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/hash_ring.h"
@@ -98,6 +99,77 @@ TEST(HashRingTest, DeterministicAndReasonablyBalanced) {
     moved += ring.OwnerOf(key) != reseeded.OwnerOf(key) ? 1 : 0;
   }
   EXPECT_GT(moved, 100u);
+}
+
+TEST(HashRingTest, ArcWeightsPredictKeyDistribution) {
+  // Chi-square-style goodness of fit: keys-per-shard across seeds and
+  // virtual-node counts must match the EXPECTED shares implied by the
+  // ring's arc weights (OwnershipWeightsPermille) — the baseline the fleet
+  // ring-skew watchdog compares routed counts against. 7.81 is the 95th
+  // percentile of chi-square with 3 degrees of freedom; the deterministic
+  // configurations below all sit under 3.
+  const std::uint64_t kKeys = 20000;
+  for (const std::uint32_t vnodes : {16u, 64u, 256u}) {
+    for (const std::uint64_t seed :
+         {0xB5CCA11ull, 0xD15EA5Eull, 0x5EEDull}) {
+      const HashRing ring(4, vnodes, seed);
+      const std::vector<std::uint64_t> weights =
+          ring.OwnershipWeightsPermille(4);
+      std::uint64_t total_weight = 0;
+      for (const std::uint64_t w : weights) total_weight += w;
+      // Truncation loses at most num_shards - 1 permille.
+      EXPECT_GE(total_weight, 997u);
+      EXPECT_LE(total_weight, 1000u);
+
+      std::vector<std::uint64_t> share(4, 0);
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        ++share[ring.OwnerOf("key-" + std::to_string(i))];
+      }
+      double chi2_arcs = 0.0, chi2_fair = 0.0;
+      for (int s = 0; s < 4; ++s) {
+        const double expected =
+            static_cast<double>(weights[static_cast<std::size_t>(s)]) *
+            static_cast<double>(kKeys) / 1000.0;
+        const double observed =
+            static_cast<double>(share[static_cast<std::size_t>(s)]);
+        chi2_arcs += (observed - expected) * (observed - expected) / expected;
+        const double fair = static_cast<double>(kKeys) / 4.0;
+        chi2_fair += (observed - fair) * (observed - fair) / fair;
+      }
+      EXPECT_LT(chi2_arcs, 7.81)
+          << "vnodes " << vnodes << " seed " << seed;
+      // At low virtual-node counts the ring is legitimately lumpy: the arc
+      // weights explain the placement where a naive fair-share model does
+      // not — that asymmetry is exactly what makes them the right watchdog
+      // baseline.
+      if (vnodes == 16) {
+        EXPECT_GT(chi2_fair, 100.0) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(HashRingTest, SeededPlacementIsPinned) {
+  // Regression pin: the default cluster ring (4 shards, 64 virtual nodes,
+  // seed 0xB5CCA11) places these keys exactly here. Any change to the hash,
+  // the mixer, or the point construction shows up as a diff in this table —
+  // and would silently reshuffle every persisted placement.
+  const HashRing ring(4, 64, 0xB5CCA11);
+  const std::pair<const char*, std::uint32_t> pinned[] = {
+      {"key-0", 0u}, {"key-1", 1u}, {"key-2", 0u}, {"key-3", 0u},
+      {"key-4", 0u}, {"key-5", 0u}, {"key-6", 0u}, {"key-7", 1u},
+  };
+  for (const auto& [key, owner] : pinned) {
+    EXPECT_EQ(ring.OwnerOf(key), owner) << key;
+  }
+  // The arc weights of the default ring are pinned too (they feed the
+  // ring-skew rule's expected shares).
+  EXPECT_EQ(ring.OwnershipWeightsPermille(4),
+            (std::vector<std::uint64_t>{282u, 261u, 259u, 195u}));
+  // A single-shard ring owns the whole keyspace by definition.
+  const HashRing solo(1, 64, 0xB5CCA11);
+  EXPECT_EQ(solo.OwnershipWeightsPermille(1),
+            (std::vector<std::uint64_t>{1000u}));
 }
 
 // --- 1-shard bit-identity ----------------------------------------------------

@@ -16,9 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "cluster/kv_cluster.h"
 #include "common/types.h"
 #include "core/kvssd.h"
 #include "sim/event_engine.h"
+#include "telemetry/fleet.h"
 
 // --- Counting allocator ------------------------------------------------------
 // Every operator-new in the process bumps g_heap_allocs. The strict
@@ -331,6 +333,48 @@ TEST(SteadyStateAllocationTest, PutAndGetAllocateNothingAfterWarmup) {
     EXPECT_EQ(nand_delta, 0u) << "NAND-path GET must not allocate";
   }
   EXPECT_EQ(got, value);
+}
+
+// Observation-loop contract for the fleet plane: once one warm-up call has
+// seeded the snapshot's vectors, counter maps, and alert strings, repeated
+// KvCluster::InspectInto refills perform zero heap allocations — a sampling
+// loop can inspect every interval for free. Same contract for the
+// device-level InspectDeviceInto underneath it.
+TEST(SteadyStateAllocationTest, ClusterInspectIntoAllocatesNothingAfterWarmup) {
+  cluster::ClusterConfig cc;
+  cc.num_shards = 2;
+  cc.shard.geometry.channels = 2;
+  cc.shard.geometry.ways = 2;
+  cc.shard.geometry.blocks_per_die = 256;
+  cc.shard.geometry.pages_per_block = 32;
+  cc.shard.buffer.num_entries = 32;
+  cc.shard.buffer.dlt_entries = 32;
+  cc.fleet.enabled = true;
+  cc.fleet.rules = {telemetry::ShardImbalanceRule(3000, 3),
+                    telemetry::StragglerShardRule(4)};
+  auto fleet = cluster::KvCluster::Open(cc).value();
+  const Bytes value(96, 0xCD);
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(fleet->Put("ins" + std::to_string(i),
+                           ByteSpan(value.data(), value.size()))
+                    .ok());
+  }
+
+  StoreSnapshot snap;
+  fleet->InspectInto(&snap);  // Warm-up: seeds every buffer and string.
+  AllocCounter allocs;
+  for (int round = 0; round < 100; ++round) {
+    fleet->InspectInto(&snap);
+  }
+  if (kStrictAllocChecks) {
+    EXPECT_EQ(allocs.delta(), 0u)
+        << "steady-state InspectInto must not touch the heap";
+  }
+  ASSERT_EQ(snap.num_shards(), 2u);
+  EXPECT_GT(snap.stats.commands_submitted, 0u);
+  EXPECT_EQ(snap.alerts.size(), 2u);
+  EXPECT_EQ(snap.alerts[0].rule, "shard_imbalance");
+  EXPECT_FALSE(snap.shards[0].counters.empty());
 }
 
 }  // namespace

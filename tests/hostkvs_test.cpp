@@ -198,6 +198,31 @@ TEST_F(HostKvsTest, FlushWritesIndexSnapshot) {
   EXPECT_TRUE(kvs_.Get("k1").ok());
 }
 
+TEST_F(HostKvsTest, InspectIntoMatchesInspectAndReusesBuffers) {
+  for (int i = 0; i < 20; ++i) {
+    Bytes v = workload::MakeValue(300, 9, static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(kvs_.Put("ins" + std::to_string(i), ByteSpan(v)).ok());
+  }
+  // The in-place parity path fills the same one-shard, stats-only snapshot
+  // the copying Inspect() returns.
+  const StoreSnapshot copied = kvs_.Inspect();
+  StoreSnapshot refilled;
+  refilled.shards.resize(3);  // Stale structure from a previous store...
+  refilled.fleet_samples = 99;
+  kvs_.InspectInto(&refilled);  // ...is corrected in place.
+  ASSERT_EQ(refilled.num_shards(), 1u);
+  EXPECT_EQ(refilled.stats.values_written, copied.stats.values_written);
+  EXPECT_EQ(refilled.stats.value_bytes_written,
+            copied.stats.value_bytes_written);
+  EXPECT_EQ(refilled.stats.elapsed_ns, copied.stats.elapsed_ns);
+  EXPECT_EQ(refilled.shards[0].vlog_tail, copied.shards[0].vlog_tail);
+  EXPECT_EQ(refilled.shards[0].counters, copied.shards[0].counters);
+  EXPECT_EQ(refilled.fleet_samples, 0u);
+  EXPECT_TRUE(refilled.alerts.empty());
+  // The kernel-path counters the conventional stack reports ride along.
+  EXPECT_GT(refilled.shards[0].counters.at("hostkvs.kernel_crossings"), 0u);
+}
+
 TEST_F(HostKvsTest, OverwriteReturnsLatest) {
   for (int i = 0; i < 5; ++i) {
     Bytes v = workload::MakeValue(200, 5, static_cast<std::uint64_t>(i));
