@@ -117,7 +117,8 @@ telemetry_timeline() {
       and all(select(.kind == "sample")
               | has("interval_ns") and (.values | type == "object"))
       and all(select(.kind == "event")
-              | (.type | type == "string") and has("a") and has("b"))
+              | (.type | type == "string") and has("a") and has("b")
+                and has("tenant"))
       and ([.[].t_ns] as $t | $t == ($t | sort))
     ' "${out}.jsonl" > /dev/null
     echo "telemetry: jq JSONL schema checks passed"
@@ -202,6 +203,89 @@ fleet_timeline() {
   fi
 }
 
+# Tenant/key-space attribution: the bench itself enforces the attribution
+# invariants (every fleet interval's tenant + untagged deltas sum exactly to
+# the fleet delta across all four charge dimensions and telescope to the
+# summed final counters, the attribution ledger matches the runner's issued
+# op/shed counts, double-run byte-identical prom/timeline/slo exports, a
+# disabled plane bit-identical in virtual time and device counters, the
+# noisy-neighbor storm firing the burn-rate and hot-key-range rules while
+# the clean blend stays silent and shed-free) and exits nonzero on
+# violation; here we additionally scrape /metrics and /slo.jsonl from a real
+# external client (curl), byte-compare both against the file exports,
+# validate the tenant-labeled exposition (promtool or the line-grammar
+# fallback), and check the /slo.jsonl per-tenant schema via jq.
+tenant_slo() {
+  local build_dir="$1" ops="${2:-3000}"
+  echo "=== verify pass: tenant SLO attribution (${build_dir}) ==="
+  local out="${build_dir}/tenant_slo"
+  rm -f "${out}.port"
+  "${build_dir}/bench/tenant_slo_report" --ops="${ops}" --export="${out}" \
+    --serve=0 --serve-hold=30000 &
+  local bench_pid=$!
+  local waited=0
+  while [ ! -f "${out}.port" ]; do
+    if ! kill -0 "${bench_pid}" 2> /dev/null; then
+      wait "${bench_pid}"
+      echo "tenant_slo: bench exited before serving" >&2
+      return 1
+    fi
+    sleep 0.2
+    waited=$((waited + 1))
+    if [ "${waited}" -gt 1500 ]; then
+      echo "tenant_slo: timed out waiting for ${out}.port" >&2
+      kill "${bench_pid}" 2> /dev/null || true
+      return 1
+    fi
+  done
+  local port
+  port="$(cat "${out}.port")"
+  if command -v curl > /dev/null; then
+    curl -sf "http://127.0.0.1:${port}/healthz" | grep -q '"status":"ok"'
+    curl -sf "http://127.0.0.1:${port}/metrics" -o "${out}.scraped.prom"
+    curl -sf "http://127.0.0.1:${port}/slo.jsonl" -o "${out}.scraped.slo.jsonl"
+    cmp "${out}.scraped.prom" "${out}.prom"
+    cmp "${out}.scraped.slo.jsonl" "${out}.slo.jsonl"
+    echo "tenant_slo: live scrape byte-matches the file exports"
+  else
+    echo "tenant_slo: curl not found, external scrape skipped"
+  fi
+  rm -f "${out}.port"  # Releases the hold.
+  wait "${bench_pid}"
+  if command -v promtool > /dev/null; then
+    promtool check metrics < "${out}.prom"
+    echo "tenant_slo: promtool exposition check passed"
+  else
+    awk '
+      /^#/ { next }
+      /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+( [0-9]+)?$/ { next }
+      { print "bad exposition line " NR ": " $0; bad = 1 }
+      END { exit bad }
+    ' "${out}.prom"
+    echo "tenant_slo: exposition line-grammar check passed (promtool not found)"
+  fi
+  grep -q 'bandslim_tenant_ops_total{tenant="frontend"}' "${out}.prom"
+  grep -q 'bandslim_keyspace_heat_max_share_permille' "${out}.prom"
+  if command -v jq > /dev/null; then
+    jq -e -s '
+      length == 2
+      and all(has("tenant") and has("name") and has("ops") and has("good")
+              and has("bad") and has("shed") and has("errors")
+              and has("latency_target_ns")
+              and has("availability_target_permille")
+              and has("allowed_bad_permille") and has("budget_spent_permille")
+              and has("burn_fast_milli") and has("burn_slow_milli")
+              and has("p99_ns") and has("dev_ops") and has("value_bytes")
+              and has("pcie_h2d_bytes") and has("nand_pages_programmed")
+              and has("taf_milli"))
+      and ([.[].tenant] == [0, 1])
+    ' "${out}.slo.jsonl" > /dev/null
+    echo "tenant_slo: jq slo.jsonl schema checks passed"
+  else
+    echo "tenant_slo: jq not found, slo.jsonl schema checks skipped"
+  fi
+}
+
 # Closed-loop control storm: the bench replays the undersized-LSM storm
 # three ways — uncontrolled, null policy (controller built with every knob
 # off; exports must byte-match the uncontrolled run), and controlled — and
@@ -271,6 +355,7 @@ run_pass release "${prefix}-release" \
 trace_export "${prefix}-release"
 telemetry_timeline "${prefix}-release"
 fleet_timeline "${prefix}-release"
+tenant_slo "${prefix}-release"
 control_storm "${prefix}-release"
 sim_speed_gate "${prefix}-release"
 shard_scaling "${prefix}-release"
@@ -284,6 +369,7 @@ fault_campaign "${prefix}-asan"
 trace_export "${prefix}-asan"
 telemetry_timeline "${prefix}-asan"
 fleet_timeline "${prefix}-asan" 1200
+tenant_slo "${prefix}-asan" 1500
 control_storm "${prefix}-asan"
 shard_scaling "${prefix}-asan" 1500
 

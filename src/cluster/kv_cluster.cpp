@@ -83,6 +83,16 @@ Status KvCluster::Assemble() {
   tenants_ = config_.tenants;
   if (tenants_.empty()) tenants_.push_back(TenantConfig{});
 
+  if (config_.attribution.enabled && !config_.fleet.enabled) {
+    // The plane has no sampler of its own: its series ride the fleet grid.
+    return Status::InvalidArgument(
+        "attribution requires fleet telemetry (ClusterConfig::fleet.enabled)");
+  }
+  if (config_.attribution.slo.size() > tenants_.size()) {
+    return Status::InvalidArgument(
+        "attribution.slo has more entries than tenants");
+  }
+
   std::uint16_t max_queue = 0;
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     max_queue = std::max(max_queue, tenants_[i].queue_id);
@@ -159,6 +169,20 @@ Status KvCluster::Assemble() {
   }
   fleet_->Bind(std::move(sources), &routed_keys_,
                ring_.OwnershipWeightsPermille(config_.num_shards));
+
+  // Attribution plane: per-tenant charging against the same shard counters
+  // the fleet sums, so the untagged residual reconciles exactly. Always
+  // constructed (hot-path hooks are one branch when disabled).
+  attribution_ = std::make_unique<telemetry::attribution::AttributionPlane>(
+      config_.attribution);
+  std::vector<stats::MetricsRegistry*> shard_metrics;
+  shard_metrics.reserve(shards_.size());
+  for (auto& dev : shards_) shard_metrics.push_back(dev->Hooks().metrics);
+  std::vector<std::string> tenant_names;
+  tenant_names.reserve(tenants_.size());
+  for (const TenantConfig& t : tenants_) tenant_names.push_back(t.name);
+  attribution_->Bind(shard_metrics, std::move(tenant_names));
+  fleet_->SetAttribution(attribution_.get());
   return Status::Ok();
 }
 
@@ -196,11 +220,26 @@ Status KvCluster::DoPut(std::size_t tenant, std::string_view key,
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
   ++routed_keys_[s];
+  // Tenant trace stamp (t + 1, like shard tags) is always on; the
+  // attribution hooks bracket the op so the counter deltas the shard
+  // accrues while serving it are charged to this tenant.
+  const bool attr = attribution_->enabled();
   shard_tracers_[s]->SetClientOpContext(next_client_op_++);
+  shard_tracers_[s]->SetTenantContext(static_cast<std::uint16_t>(tenant + 1));
+  if (attr) {
+    attribution_->TouchKey(ring_.HashKey(key));
+    attribution_->ChargeBegin(s);
+  }
   shards_[s]->Hooks().clock->AdvanceTo(start);
   const Status status = drivers_[s][tenant]->Put(key, value);
   shard_tracers_[s]->ClearClientOpContext();
+  shard_tracers_[s]->ClearTenantContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  if (attr) {
+    attribution_->ChargeEnd(tenant, s);
+    attribution_->RecordOp(tenant, clock_.Now() - start, status.code(),
+                           value.size());
+  }
   fleet_->Poll();
   return status;
 }
@@ -210,11 +249,23 @@ Result<Bytes> KvCluster::DoGet(std::size_t tenant, std::string_view key) {
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
   ++routed_keys_[s];
+  const bool attr = attribution_->enabled();
   shard_tracers_[s]->SetClientOpContext(next_client_op_++);
+  shard_tracers_[s]->SetTenantContext(static_cast<std::uint16_t>(tenant + 1));
+  if (attr) {
+    attribution_->TouchKey(ring_.HashKey(key));
+    attribution_->ChargeBegin(s);
+  }
   shards_[s]->Hooks().clock->AdvanceTo(start);
   auto got = drivers_[s][tenant]->Get(key);
   shard_tracers_[s]->ClearClientOpContext();
+  shard_tracers_[s]->ClearTenantContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  if (attr) {
+    attribution_->ChargeEnd(tenant, s);
+    attribution_->RecordOp(tenant, clock_.Now() - start, got.status().code(),
+                           got.ok() ? got.value().size() : 0);
+  }
   fleet_->Poll();
   return got;
 }
@@ -225,11 +276,23 @@ Status KvCluster::DoGetInto(std::size_t tenant, std::string_view key,
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
   ++routed_keys_[s];
+  const bool attr = attribution_->enabled();
   shard_tracers_[s]->SetClientOpContext(next_client_op_++);
+  shard_tracers_[s]->SetTenantContext(static_cast<std::uint16_t>(tenant + 1));
+  if (attr) {
+    attribution_->TouchKey(ring_.HashKey(key));
+    attribution_->ChargeBegin(s);
+  }
   shards_[s]->Hooks().clock->AdvanceTo(start);
   const Status status = drivers_[s][tenant]->GetInto(key, value);
   shard_tracers_[s]->ClearClientOpContext();
+  shard_tracers_[s]->ClearTenantContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  if (attr) {
+    attribution_->ChargeEnd(tenant, s);
+    attribution_->RecordOp(tenant, clock_.Now() - start, status.code(),
+                           status.ok() ? value->size() : 0);
+  }
   fleet_->Poll();
   return status;
 }
@@ -239,11 +302,22 @@ Status KvCluster::DoDelete(std::size_t tenant, std::string_view key) {
   const sim::Nanoseconds start = clock_.Now();
   const std::uint32_t s = ring_.OwnerOf(key);
   ++routed_keys_[s];
+  const bool attr = attribution_->enabled();
   shard_tracers_[s]->SetClientOpContext(next_client_op_++);
+  shard_tracers_[s]->SetTenantContext(static_cast<std::uint16_t>(tenant + 1));
+  if (attr) {
+    attribution_->TouchKey(ring_.HashKey(key));
+    attribution_->ChargeBegin(s);
+  }
   shards_[s]->Hooks().clock->AdvanceTo(start);
   const Status status = drivers_[s][tenant]->Delete(key);
   shard_tracers_[s]->ClearClientOpContext();
+  shard_tracers_[s]->ClearTenantContext();
   clock_.SetTime(std::max(start, shards_[s]->Now()));
+  if (attr) {
+    attribution_->ChargeEnd(tenant, s);
+    attribution_->RecordOp(tenant, clock_.Now() - start, status.code(), 0);
+  }
   fleet_->Poll();
   return status;
 }
@@ -261,10 +335,14 @@ Status KvCluster::DoPutBatch(std::size_t tenant,
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
   const std::uint64_t client_op = next_client_op_++;
+  const bool attr = attribution_->enabled();
+  std::uint64_t payload_bytes = 0;
   std::vector<std::vector<KvPair>> groups(shards_.size());
   for (const KvPair& kv : batch) {
     const std::uint32_t s = ring_.OwnerOf(kv.key);
     ++routed_keys_[s];
+    if (attr) attribution_->TouchKey(ring_.HashKey(kv.key));
+    payload_bytes += kv.value.size();
     groups[s].push_back(kv);
   }
   sim::Nanoseconds latest = start;
@@ -277,14 +355,24 @@ Status KvCluster::DoPutBatch(std::size_t tenant,
     // Every shard-local sub-batch carries the same router client op, so a
     // cross-shard batch can be reassembled from the per-shard traces.
     shard_tracers_[s]->SetClientOpContext(client_op);
+    shard_tracers_[s]->SetTenantContext(
+        static_cast<std::uint16_t>(tenant + 1));
+    if (attr) attribution_->ChargeBegin(s);
     shards_[s]->Hooks().clock->AdvanceTo(start);
     const Status status = drivers_[s][tenant]->PutBatch(groups[s]);
     shard_tracers_[s]->ClearClientOpContext();
+    shard_tracers_[s]->ClearTenantContext();
+    if (attr) attribution_->ChargeEnd(tenant, s);
     if (!status.ok() && first_error.ok()) first_error = status;
     latest = std::max(latest, shards_[s]->Now());
   }
   if (touched >= 2) ++cross_shard_batches_;
   clock_.SetTime(latest);
+  if (attr) {
+    // One client-visible op: its latency is the gather (slowest shard).
+    attribution_->RecordOp(tenant, latest - start, first_error.code(),
+                           payload_bytes);
+  }
   fleet_->Poll();
   return first_error;
 }
@@ -296,11 +384,13 @@ Result<std::vector<KvCluster::BatchGetResult>> KvCluster::DoGetBatch(
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
   const std::uint64_t client_op = next_client_op_++;
+  const bool attr = attribution_->enabled();
   std::vector<std::vector<std::string>> sub(shards_.size());
   std::vector<std::vector<std::size_t>> origin(shards_.size());
   for (std::size_t i = 0; i < keys.size(); ++i) {
     const std::uint32_t s = ring_.OwnerOf(keys[i]);
     ++routed_keys_[s];
+    if (attr) attribution_->TouchKey(ring_.HashKey(keys[i]));
     sub[s].push_back(keys[i]);
     origin[s].push_back(i);
   }
@@ -311,18 +401,31 @@ Result<std::vector<KvCluster::BatchGetResult>> KvCluster::DoGetBatch(
     ++touched;
     ++batch_subops_;
     shard_tracers_[s]->SetClientOpContext(client_op);
+    shard_tracers_[s]->SetTenantContext(
+        static_cast<std::uint16_t>(tenant + 1));
+    if (attr) attribution_->ChargeBegin(s);
     shards_[s]->Hooks().clock->AdvanceTo(start);
     auto got = drivers_[s][tenant]->GetBatch(sub[s]);
     shard_tracers_[s]->ClearClientOpContext();
+    shard_tracers_[s]->ClearTenantContext();
+    if (attr) attribution_->ChargeEnd(tenant, s);
     latest = std::max(latest, shards_[s]->Now());
     if (!got.ok()) {
       clock_.SetTime(latest);
+      if (attr) {
+        attribution_->RecordOp(tenant, latest - start, got.status().code(),
+                               0);
+      }
       fleet_->Poll();
       return got.status();
     }
     std::vector<BatchGetResult>& results = got.value();
     if (results.size() != sub[s].size()) {
       clock_.SetTime(latest);
+      if (attr) {
+        attribution_->RecordOp(tenant, latest - start,
+                               StatusCode::kCorruption, 0);
+      }
       fleet_->Poll();
       return Status::Corruption(
           "shard GetBatch violated the one-result-per-key contract");
@@ -335,6 +438,12 @@ Result<std::vector<KvCluster::BatchGetResult>> KvCluster::DoGetBatch(
   }
   if (touched >= 2) ++cross_shard_batches_;
   clock_.SetTime(latest);
+  if (attr) {
+    std::uint64_t returned_bytes = 0;
+    for (const BatchGetResult& r : merged) returned_bytes += r.value.size();
+    attribution_->RecordOp(tenant, latest - start, StatusCode::kOk,
+                           returned_bytes);
+  }
   fleet_->Poll();
   return merged;
 }
@@ -345,10 +454,12 @@ Result<std::uint32_t> KvCluster::DoDeleteBatch(
   MaybeRefillCredits();
   const sim::Nanoseconds start = clock_.Now();
   const std::uint64_t client_op = next_client_op_++;
+  const bool attr = attribution_->enabled();
   std::vector<std::vector<std::string>> sub(shards_.size());
   for (const std::string& key : keys) {
     const std::uint32_t s = ring_.OwnerOf(key);
     ++routed_keys_[s];
+    if (attr) attribution_->TouchKey(ring_.HashKey(key));
     sub[s].push_back(key);
   }
   sim::Nanoseconds latest = start;
@@ -359,12 +470,21 @@ Result<std::uint32_t> KvCluster::DoDeleteBatch(
     ++touched;
     ++batch_subops_;
     shard_tracers_[s]->SetClientOpContext(client_op);
+    shard_tracers_[s]->SetTenantContext(
+        static_cast<std::uint16_t>(tenant + 1));
+    if (attr) attribution_->ChargeBegin(s);
     shards_[s]->Hooks().clock->AdvanceTo(start);
     auto got = drivers_[s][tenant]->DeleteBatch(sub[s]);
     shard_tracers_[s]->ClearClientOpContext();
+    shard_tracers_[s]->ClearTenantContext();
+    if (attr) attribution_->ChargeEnd(tenant, s);
     latest = std::max(latest, shards_[s]->Now());
     if (!got.ok()) {
       clock_.SetTime(latest);
+      if (attr) {
+        attribution_->RecordOp(tenant, latest - start, got.status().code(),
+                               0);
+      }
       fleet_->Poll();
       return got.status();
     }
@@ -372,11 +492,16 @@ Result<std::uint32_t> KvCluster::DoDeleteBatch(
   }
   if (touched >= 2) ++cross_shard_batches_;
   clock_.SetTime(latest);
+  if (attr) {
+    attribution_->RecordOp(tenant, latest - start, StatusCode::kOk, 0);
+  }
   fleet_->Poll();
   return removed;
 }
 
 Status KvCluster::DoFlush() {
+  // Flush is fleet-wide maintenance, not tenant traffic: it stays untagged,
+  // so its device work lands in the attribution plane's untagged residual.
   const sim::Nanoseconds start = clock_.Now();
   const std::uint64_t client_op = next_client_op_++;
   sim::Nanoseconds latest = start;

@@ -45,6 +45,7 @@
 #include "common/status.h"
 #include "core/kv_store.h"
 #include "core/kvssd.h"
+#include "telemetry/attribution/attribution.h"
 #include "telemetry/fleet.h"
 
 namespace bandslim::cluster {
@@ -78,6 +79,11 @@ struct ClusterConfig {
   // aggregator is observation-only either way, so enabling it changes no
   // simulated outcome.
   telemetry::FleetConfig fleet;
+  // Tenant/key-space attribution plane (telemetry/attribution). Requires
+  // fleet.enabled — its series ride the fleet sample grid. Per-tenant SLOs
+  // in attribution.slo pair positionally with `tenants`. Observation-only:
+  // enabling it changes no simulated outcome.
+  telemetry::attribution::AttributionConfig attribution;
 };
 
 class KvCluster : public KvStore {
@@ -148,6 +154,14 @@ class KvCluster : public KvStore {
   const std::vector<std::uint64_t>& routed_keys() const {
     return routed_keys_;
   }
+  // The tenant/key-space attribution plane (always constructed; inert unless
+  // config().attribution.enabled). Its series appear in fleet() samples.
+  telemetry::attribution::AttributionPlane& attribution() {
+    return *attribution_;
+  }
+  const telemetry::attribution::AttributionPlane& attribution() const {
+    return *attribution_;
+  }
 
  private:
   // Per-tenant KvStore facade; forwards every op with its tenant index.
@@ -195,6 +209,7 @@ class KvCluster : public KvStore {
   // (plain integer stamps, no simulated effect); the aggregator itself is a
   // single branch per Poll() when config_.fleet.enabled is false.
   std::unique_ptr<telemetry::FleetAggregator> fleet_;
+  std::unique_ptr<telemetry::attribution::AttributionPlane> attribution_;
   std::vector<std::uint64_t> routed_keys_;    // One entry per shard.
   std::vector<trace::Tracer*> shard_tracers_;  // Shard-index order.
   std::uint64_t next_client_op_ = 0;  // Router-level client op ids.

@@ -332,6 +332,7 @@ KvSsd::TestHooks KvSsd::Hooks() {
   hooks.driver = driver_.get();
   hooks.tracer = &tracer_;
   hooks.sampler = sampler_.get();
+  hooks.metrics = &metrics_;
   return hooks;
 }
 

@@ -177,6 +177,9 @@ class KvSsd : public KvStore {
     driver::KvDriver* driver = nullptr;  // The built-in queue-0 driver.
     trace::Tracer* tracer = nullptr;
     telemetry::Sampler* sampler = nullptr;
+    // Mutable registry access: the attribution plane caches stable Counter*
+    // via the find-or-create GetCounter path (it only ever reads them).
+    stats::MetricsRegistry* metrics = nullptr;
   };
   TestHooks Hooks();
 

@@ -52,6 +52,10 @@ struct EventRecord {
   EventType type = EventType::kGcStart;
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  // Tenant attribution: 0 = untagged (device-internal or pre-attribution
+  // emit sites), t+1 = cluster tenant index t. Last field so existing
+  // positional aggregate initialization keeps working.
+  std::uint16_t tenant = 0;
 };
 
 class EventLog {
@@ -59,12 +63,14 @@ class EventLog {
   EventLog(const sim::VirtualClock* clock, std::size_t capacity)
       : clock_(clock), capacity_(capacity) {}
 
-  void Emit(EventType type, std::uint64_t a = 0, std::uint64_t b = 0) {
+  void Emit(EventType type, std::uint64_t a = 0, std::uint64_t b = 0,
+            std::uint16_t tenant = 0) {
     if (records_.size() == capacity_) {
       records_.pop_front();
       ++dropped_;
     }
-    records_.push_back(EventRecord{clock_->Now(), next_seq_++, type, a, b});
+    records_.push_back(
+        EventRecord{clock_->Now(), next_seq_++, type, a, b, tenant});
     ++counts_[static_cast<int>(type)];
   }
 

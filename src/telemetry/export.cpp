@@ -77,7 +77,8 @@ std::string TimelineJsonlCore(const std::deque<Sample>& samples,
       os << ",\"rule\":\"" << rules[static_cast<std::size_t>(e.a)].name
          << "\"";
     }
-    os << ",\"a\":" << e.a << ",\"b\":" << e.b << "}\n";
+    os << ",\"a\":" << e.a << ",\"b\":" << e.b
+       << ",\"tenant\":" << e.tenant << "}\n";
   };
   const auto emit_sample = [&](const Sample& s) {
     os << "{\"kind\":\"sample\",\"t_ns\":" << s.t_ns << ",\"seq\":" << s.seq

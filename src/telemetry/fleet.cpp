@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/attribution/attribution.h"
 #include "telemetry/export.h"
 
 namespace bandslim::telemetry {
@@ -244,16 +245,18 @@ void FleetAggregator::TakeSample(sim::Nanoseconds stamp) {
   }
 
   // --- Cluster cumulative series: summed shard counters, verbatim names --
-  std::uint64_t cum_vb = 0, cum_h2d = 0;
+  std::uint64_t cum_ops = 0, cum_vb = 0, cum_h2d = 0, cum_pages = 0;
   std::uint64_t d_ops = 0, d_vb = 0, d_pages = 0, d_h2d = 0;
   for (const auto& [name, value] : summed_) {
     const std::uint64_t delta = cumulative(name, value);
     if (name == "nvme.commands_submitted") {
+      cum_ops = value;
       d_ops = delta;
     } else if (name == "controller.value_bytes_written") {
       cum_vb = value;
       d_vb = delta;
     } else if (name == "nand.pages_programmed") {
+      cum_pages = value;
       d_pages = delta;
     } else if (IsPcieH2dBytes(name)) {
       cum_h2d += value;
@@ -344,6 +347,20 @@ void FleetAggregator::TakeSample(sim::Nanoseconds stamp) {
   set("fleet.ring.skew_permille", ring_skew);
   set("fleet.straggler.stalled_shards", d_ops > 0 ? stalled : 0);
 
+  // --- Tenant/key-space attribution series --------------------------------
+  // Folded into THIS sample before the sort and the watchdog pass, so the
+  // burn-rate and hot-range rules evaluate against the same interval cut as
+  // every fleet rule, and the untagged residual reconciles against the
+  // exact cumulative counters captured above.
+  if (attribution_ != nullptr && attribution_->enabled()) {
+    attribution::AttributionPlane::FleetTotals totals;
+    totals.ops = cum_ops;
+    totals.value_bytes = cum_vb;
+    totals.pcie_h2d_bytes = cum_h2d;
+    totals.nand_pages = cum_pages;
+    attribution_->OnFleetSample(&s, &series_, totals);
+  }
+
   std::sort(s.values.begin(), s.values.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   s.events_before = event_log_.total_emitted();
@@ -393,6 +410,9 @@ std::string FleetAggregator::ToPrometheusText() const {
   family("bandslim_shard_p99_ns", "gauge",
          [](const ShardWindow& w) { return w.p99_ns; });
   out += os.str();
+  if (attribution_ != nullptr && attribution_->enabled()) {
+    attribution_->AppendPrometheus(&out, ts_ms);
+  }
   return out;
 }
 
@@ -434,6 +454,9 @@ void FleetAggregator::PublishSnapshot() {
   snap->metrics_text = ToPrometheusText();
   snap->timeline_jsonl = ToJsonl();
   snap->shards_jsonl = ShardsJsonl();
+  if (attribution_ != nullptr && attribution_->enabled()) {
+    snap->slo_jsonl = attribution_->SloJsonl();
+  }
   std::string health = "{\"status\":\"ok\",\"sample_seq\":";
   health += std::to_string(snap->sample_seq);
   health += ",\"t_ns\":";

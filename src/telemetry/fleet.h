@@ -40,6 +40,10 @@
 
 namespace bandslim::telemetry {
 
+namespace attribution {
+class AttributionPlane;
+}
+
 struct FleetConfig {
   bool enabled = false;
   // Virtual time between fleet samples, on the router clock.
@@ -152,6 +156,19 @@ class FleetAggregator {
   // Installs (or clears) the snapshot consumer, e.g. the HTTP exporter.
   void SetSink(SnapshotSink* sink) { sink_ = sink; }
 
+  // Attaches (or clears) the tenant/key-space attribution plane. The plane
+  // folds its per-tenant and heat series into THIS aggregator's samples —
+  // there is no second sampler — so its burn-rate rules ride the fleet
+  // watchdog and its exports share the fleet's publish cadence. Observed
+  // convention: the cluster calls this once at assembly when
+  // ClusterConfig::attribution.enabled.
+  void SetAttribution(attribution::AttributionPlane* plane) {
+    attribution_ = plane;
+  }
+  const attribution::AttributionPlane* attribution() const {
+    return attribution_;
+  }
+
  private:
   void TakeSample(sim::Nanoseconds stamp);
   void PublishSnapshot();
@@ -178,6 +195,7 @@ class FleetAggregator {
   std::map<std::string, stats::HistogramBuckets> merged_hist_;
 
   SnapshotSink* sink_ = nullptr;
+  attribution::AttributionPlane* attribution_ = nullptr;
   std::uint64_t last_published_seq_ = ~0ULL;
   bool anchored_ = false;
   sim::Nanoseconds anchor_ns_ = 0;

@@ -33,23 +33,35 @@ bool SendAll(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+// `head_only` sends the full header block — including the Content-Length the
+// body WOULD have — but suppresses the body itself: HEAD semantics.
+// `extra_header` is a complete "Name: value" line or null.
 void SendResponse(int fd, const char* status_line, const char* content_type,
-                  const std::string& body) {
+                  const std::string& body, bool head_only = false,
+                  const char* extra_header = nullptr) {
   std::string head = "HTTP/1.1 ";
   head += status_line;
   head += "\r\nContent-Type: ";
   head += content_type;
   head += "\r\nContent-Length: ";
   head += std::to_string(body.size());
+  if (extra_header != nullptr) {
+    head += "\r\n";
+    head += extra_header;
+  }
   head += "\r\nConnection: close\r\n\r\n";
-  if (SendAll(fd, head.data(), head.size())) {
+  if (SendAll(fd, head.data(), head.size()) && !head_only) {
     SendAll(fd, body.data(), body.size());
   }
 }
 
-// Reads until the header terminator and returns the request path, or an
-// empty string on malformed/oversized input.
-std::string ReadRequestPath(int fd) {
+// Method + path of one request; empty method = malformed/oversized input.
+struct RequestLine {
+  std::string method;
+  std::string path;
+};
+
+RequestLine ReadRequestLine(int fd) {
   std::string req;
   char buf[1024];
   while (req.find("\r\n\r\n") == std::string::npos &&
@@ -59,10 +71,20 @@ std::string ReadRequestPath(int fd) {
     if (n <= 0) break;
     req.append(buf, static_cast<std::size_t>(n));
   }
-  if (req.compare(0, 4, "GET ") != 0) return "";
-  const std::size_t path_end = req.find(' ', 4);
-  if (path_end == std::string::npos) return "";
-  return req.substr(4, path_end - 4);
+  RequestLine line;
+  const std::size_t method_end = req.find(' ');
+  if (method_end == std::string::npos || method_end == 0) return line;
+  const std::size_t path_end = req.find(' ', method_end + 1);
+  if (path_end == std::string::npos) return line;
+  const std::string method = req.substr(0, method_end);
+  // A method token is ASCII upper-case letters; anything else is garbage,
+  // not a verb worth a 405.
+  for (char c : method) {
+    if (c < 'A' || c > 'Z') return line;
+  }
+  line.method = method;
+  line.path = req.substr(method_end + 1, path_end - method_end - 1);
+  return line;
 }
 
 }  // namespace
@@ -143,39 +165,98 @@ void HttpExporter::ServeLoop() {
 }
 
 void HttpExporter::HandleConnection(int fd) {
-  const std::string path = ReadRequestPath(fd);
+  const RequestLine req = ReadRequestLine(fd);
   requests_served_.fetch_add(1, std::memory_order_acq_rel);
-  if (path.empty()) {
+  if (req.method.empty()) {
     SendResponse(fd, "400 Bad Request", "text/plain; charset=utf-8",
                  "bad request\n");
     return;
   }
+  if (req.method != "GET" && req.method != "HEAD") {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain; charset=utf-8",
+                 "method not allowed\n", /*head_only=*/false,
+                 "Allow: GET, HEAD");
+    return;
+  }
+  // HEAD is GET with the body suppressed: identical routing, identical
+  // status and headers (Content-Length included), zero body bytes.
+  const bool head_only = req.method == "HEAD";
+  const std::string& path = req.path;
   const std::shared_ptr<const PublishedSnapshot> snap = Current();
   if (path == "/healthz") {
     // Liveness is meaningful before the first sample too.
     SendResponse(fd, "200 OK", "application/json",
                  snap != nullptr ? snap->healthz_json
-                                 : "{\"status\":\"starting\"}\n");
+                                 : "{\"status\":\"starting\"}\n",
+                 head_only);
     return;
   }
   if (snap == nullptr) {
     SendResponse(fd, "503 Service Unavailable", "text/plain; charset=utf-8",
-                 "no snapshot published yet\n");
+                 "no snapshot published yet\n", head_only);
     return;
   }
   if (path == "/metrics") {
     SendResponse(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
-                 snap->metrics_text);
+                 snap->metrics_text, head_only);
   } else if (path == "/timeline.jsonl") {
-    SendResponse(fd, "200 OK", "application/x-ndjson", snap->timeline_jsonl);
+    SendResponse(fd, "200 OK", "application/x-ndjson", snap->timeline_jsonl,
+                 head_only);
   } else if (path == "/shards.jsonl" && !snap->shards_jsonl.empty()) {
     // Federated per-shard snapshots; only the fleet aggregator publishes
     // them, so a single-device sampler keeps 404-ing here.
-    SendResponse(fd, "200 OK", "application/x-ndjson", snap->shards_jsonl);
+    SendResponse(fd, "200 OK", "application/x-ndjson", snap->shards_jsonl,
+                 head_only);
+  } else if (path == "/slo.jsonl" && !snap->slo_jsonl.empty()) {
+    // Per-tenant SLO ledger; published only by a fleet aggregator with an
+    // attribution plane attached.
+    SendResponse(fd, "200 OK", "application/x-ndjson", snap->slo_jsonl,
+                 head_only);
   } else {
     SendResponse(fd, "404 Not Found", "text/plain; charset=utf-8",
-                 "unknown path\n");
+                 "unknown path\n", head_only);
   }
+}
+
+Result<std::string> HttpRequestRaw(std::uint16_t port,
+                                   const std::string& method,
+                                   const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect 127.0.0.1:" + std::to_string(port) +
+                           ": " + err);
+  }
+  const std::string req = method + " " + path +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  if (!SendAll(fd, req.data(), req.size())) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("send: " + err);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.find("\r\n\r\n") == std::string::npos) {
+    return Status::IoError("malformed HTTP response");
+  }
+  return response;
 }
 
 Result<std::string> HttpGet(std::uint16_t port, const std::string& path) {

@@ -3,9 +3,13 @@
 //
 //   GET /metrics        Prometheus text exposition 0.0.4 (ToPrometheusText)
 //   GET /timeline.jsonl the full sample/event timeline so far (ToJsonl)
+//   GET /shards.jsonl   per-shard snapshots (fleet aggregator only)
+//   GET /slo.jsonl      per-tenant SLO ledger (attribution plane only)
 //   GET /healthz        a tiny JSON liveness document
 //
 // from the most recent PublishedSnapshot the Sampler handed to Publish().
+// HEAD mirrors GET (same status/headers/Content-Length, no body); any other
+// method answers 405 with an Allow header.
 //
 // Concurrency model: the simulation stays single-threaded and deterministic.
 // The Sampler renders each snapshot on the simulation thread and swaps it in
@@ -69,5 +73,12 @@ class HttpExporter : public SnapshotSink {
 // response body on 200, an error Status otherwise. Used by the bench/CI
 // self-scrape to prove the over-the-wire bytes match the file export.
 Result<std::string> HttpGet(std::uint16_t port, const std::string& path);
+
+// Blocking one-shot request with an arbitrary method; returns the FULL
+// response (status line + headers + body) regardless of status code, so
+// tests can assert on 405 Allow headers and HEAD Content-Length.
+Result<std::string> HttpRequestRaw(std::uint16_t port,
+                                   const std::string& method,
+                                   const std::string& path);
 
 }  // namespace bandslim::telemetry

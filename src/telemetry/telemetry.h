@@ -76,6 +76,9 @@ struct PublishedSnapshot {
   // fills this; the single-device Sampler leaves it empty and the exporter
   // answers 404 for the route, keeping single-device serving unchanged.
   std::string shards_jsonl;
+  // Per-tenant SLO ledger for /slo.jsonl. Filled only by a fleet aggregator
+  // with an attribution plane attached; empty = route answers 404.
+  std::string slo_jsonl;
 };
 
 // Consumer of published snapshots. Publish() is called on the simulation

@@ -90,7 +90,7 @@ void Watchdog::Evaluate(const Sample& sample, const SeriesTable& table,
         state.last_clear_ns = sample.t_ns;
         if (log != nullptr) {
           log->Emit(EventType::kAlertCleared, static_cast<std::uint64_t>(i),
-                    value);
+                    value, rule.tenant);
         }
       } else {
         state.recovering = 0;
@@ -111,7 +111,8 @@ void Watchdog::Evaluate(const Sample& sample, const SeriesTable& table,
     state.last_value = value;
     state.last_fire_ns = sample.t_ns;
     if (log != nullptr) {
-      log->Emit(EventType::kAlert, static_cast<std::uint64_t>(i), value);
+      log->Emit(EventType::kAlert, static_cast<std::uint64_t>(i), value,
+                rule.tenant);
     }
   }
 }

@@ -50,6 +50,10 @@ struct WatchdogRule {
   // Clear-side deadband threshold; kInheritThreshold = reuse `threshold`.
   static constexpr std::uint64_t kInheritThreshold = ~0ULL;
   std::uint64_t clear_threshold = kInheritThreshold;
+  // Tenant the rule attributes to (0 = untagged): stamped onto the
+  // kAlert/kAlertCleared event records so alert edges in the timeline are
+  // attributable. Last field — the canned rules aggregate-initialize.
+  std::uint16_t tenant = 0;
 
   std::uint64_t effective_clear_threshold() const {
     return clear_threshold == kInheritThreshold ? threshold : clear_threshold;

@@ -117,6 +117,7 @@ void Tracer::BeginOp(OpType type, std::uint16_t queue_id,
   cur_op_.queue_id = queue_id;
   cur_op_.shard_id = shard_tag_;
   cur_op_.client_op = client_op_ctx_;
+  cur_op_.tenant = tenant_ctx_;
   cur_op_.payload_bytes = payload_bytes;
   cur_op_.start_ns = clock_->Now();
 }
@@ -159,6 +160,7 @@ void Tracer::BeginCommand(std::uint16_t queue_id, std::uint8_t opcode) {
   cur_cmd_.seq = next_cmd_seq_++;
   cur_cmd_.op_seq = op_active_ ? cur_op_.seq : kNoSeq;
   cur_cmd_.shard_id = shard_tag_;
+  cur_cmd_.tenant = tenant_ctx_;
   cur_cmd_.queue_id = queue_id;
   cur_cmd_.opcode = opcode;
   cur_cmd_.start_ns = clock_->Now();
@@ -463,7 +465,7 @@ std::string ToBreakdownCsv(const Tracer& tracer) {
     out += name;
     out += "_bytes";
   }
-  out += ",shard,client_op\n";
+  out += ",shard,client_op,tenant\n";
 
   struct OpInfo {
     OpType type;
@@ -518,6 +520,14 @@ std::string ToBreakdownCsv(const Tracer& tracer) {
       AppendU64(&out, it->second.client_op);
     } else {
       out += "-";
+    }
+    // Tenant tag (t + 1 stamped by the cluster, "-" untagged), same
+    // convention as the shard column.
+    out += ",";
+    if (cmd.tenant == 0) {
+      out += "-";
+    } else {
+      AppendU64(&out, static_cast<std::uint64_t>(cmd.tenant - 1));
     }
     out += "\n";
   }

@@ -115,6 +115,9 @@ struct OpRecord {
   // N shard ops sharing the same client_op, which is how trace_breakdown
   // stitches a fleet-wide request back together.
   std::uint64_t client_op = kNoSeq;
+  // Tenant that issued the op (0 = untagged; a KvCluster tags tenant t as
+  // t + 1, mirroring shard_id).
+  std::uint16_t tenant = 0;
   bool ok = true;
   std::uint64_t payload_bytes = 0;
   sim::Nanoseconds start_ns = 0;
@@ -130,6 +133,7 @@ struct CommandRecord {
   std::uint64_t seq = kNoSeq;
   std::uint64_t op_seq = kNoSeq;
   std::uint16_t shard_id = 0;  // See OpRecord::shard_id.
+  std::uint16_t tenant = 0;    // See OpRecord::tenant.
   std::uint16_t queue_id = 0;
   std::uint16_t cid = 0;
   std::uint8_t opcode = 0;
@@ -176,6 +180,12 @@ class Tracer {
     client_op_ctx_ = client_op;
   }
   void ClearClientOpContext() { client_op_ctx_ = kNoSeq; }
+  // Tenant stamp for ops/commands begun while set (0 = untagged; cluster
+  // tenant t stamps t + 1). Same plain-stamp semantics as the client-op
+  // context: never touches the clock or the rings.
+  void SetTenantContext(std::uint16_t tenant) { tenant_ctx_ = tenant; }
+  void ClearTenantContext() { tenant_ctx_ = 0; }
+  std::uint16_t tenant_context() const { return tenant_ctx_; }
 
   // --- Operation lifecycle (driver API calls). Ops may nest (e.g. a
   // recovery op replaying PUTs); inner ops fold into the outermost one.
@@ -256,6 +266,7 @@ class Tracer {
   bool cmd_recording_ = true;
   std::uint16_t shard_tag_ = 0;
   std::uint64_t client_op_ctx_ = kNoSeq;
+  std::uint16_t tenant_ctx_ = 0;
   std::uint64_t op_counter_ = 0;
   std::uint64_t ops_sampled_out_ = 0;
   std::uint64_t suppressed_spans_ = 0;

@@ -210,6 +210,12 @@ void StampValue(Bytes* value, std::uint64_t key_index) {
   }
 }
 
+// spec.key_prefix + canonical name; the default "" prefix concatenates to
+// the historical key byte-for-byte.
+std::string SpecKeyName(const MixedWorkloadSpec& spec, std::uint64_t index) {
+  return spec.key_prefix + MixedKeyName(index);
+}
+
 }  // namespace
 
 std::string MixedKeyName(std::uint64_t index) {
@@ -223,7 +229,7 @@ Status PreloadMixedKeys(KvStore& store, const MixedWorkloadSpec& spec) {
   Bytes value(spec.value_size, 0x5A);
   for (std::uint64_t i = 0; i < spec.num_keys; ++i) {
     StampValue(&value, i);
-    BANDSLIM_RETURN_IF_ERROR(store.Put(MixedKeyName(i), ByteSpan(value)));
+    BANDSLIM_RETURN_IF_ERROR(store.Put(SpecKeyName(spec, i), ByteSpan(value)));
   }
   return store.Flush();
 }
@@ -243,7 +249,7 @@ RunResult RunMixedWorkload(KvStore& store, const MixedWorkloadSpec& spec,
   const sim::Nanoseconds start = store.Now();
 
   for (const MixedOp& op : ops) {
-    const std::string key = MixedKeyName(op.key_index);
+    const std::string key = SpecKeyName(spec, op.key_index);
     const sim::Nanoseconds op_start = store.Now();
     Status st = Status::Ok();
     if (op.is_get) {
@@ -280,7 +286,7 @@ RunResult RunClusterMixedWorkload(cluster::KvCluster& cluster,
   const std::uint32_t num_shards = cluster.num_shards();
   std::vector<std::vector<std::uint64_t>> stream(num_shards);
   for (std::uint64_t i = 0; i < ops.size(); ++i) {
-    stream[cluster.ShardOf(MixedKeyName(ops[i].key_index))].push_back(i);
+    stream[cluster.ShardOf(SpecKeyName(spec, ops[i].key_index))].push_back(i);
   }
 
   // Common dispatch barrier: every shard starts in the router's frame.
@@ -309,7 +315,7 @@ RunResult RunClusterMixedWorkload(cluster::KvCluster& cluster,
       [&](std::uint32_t s, std::size_t pos) {
         if (failed) return;
         const MixedOp& op = ops[stream[s][pos]];
-        const std::string key = MixedKeyName(op.key_index);
+        const std::string key = SpecKeyName(spec, op.key_index);
         KvSsd& dev = cluster.shard(s);
         const sim::Nanoseconds op_start = dev.Now();
         Status st = Status::Ok();
@@ -345,6 +351,108 @@ RunResult RunClusterMixedWorkload(cluster::KvCluster& cluster,
   result.elapsed_ns = latest_finish - start;
   result.delta = StatsDelta(cluster.GetStats(), before);
   result.delta.elapsed_ns = result.elapsed_ns;
+  return result;
+}
+
+// --- Tenant blends ----------------------------------------------------------
+
+std::vector<std::uint16_t> DrawTenantInterleave(const TenantBlendSpec& spec) {
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> remaining(spec.tenants.size(), 0);
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    remaining[t] = spec.tenants[t].ops;
+    total += remaining[t];
+  }
+  std::vector<std::uint16_t> order;
+  order.reserve(total);
+  Xoshiro256 rng(spec.seed);
+  while (total > 0) {
+    // Weighted draw over REMAINING budgets: pick the tenant owning the
+    // `pick`-th undrawn op. Keeps the blend's mix ratio steady through the
+    // whole run instead of front-loading the heavy tenant.
+    std::uint64_t pick = rng() % total;
+    for (std::uint16_t t = 0; t < remaining.size(); ++t) {
+      if (pick < remaining[t]) {
+        order.push_back(t);
+        --remaining[t];
+        --total;
+        break;
+      }
+      pick -= remaining[t];
+    }
+  }
+  return order;
+}
+
+Status PreloadTenantBlend(cluster::KvCluster& cluster,
+                          const TenantBlendSpec& spec) {
+  // Harness-driven direct shard traffic: PUT each key on its owner shard,
+  // bypassing the router, so the preload is NOT charged to any tenant — it
+  // lands in the attribution plane's untagged residual, exactly like any
+  // other background/setup work.
+  for (const MixedWorkloadSpec& tenant : spec.tenants) {
+    Bytes value(tenant.value_size, 0x5A);
+    for (std::uint64_t i = 0; i < tenant.num_keys; ++i) {
+      StampValue(&value, i);
+      const std::string key = SpecKeyName(tenant, i);
+      BANDSLIM_RETURN_IF_ERROR(
+          cluster.shard(cluster.ShardOf(key)).Put(key, ByteSpan(value)));
+    }
+  }
+  cluster.SyncClockToShards();
+  return cluster.Flush();
+}
+
+BlendRunResult RunTenantBlendWorkload(cluster::KvCluster& cluster,
+                                      const TenantBlendSpec& spec,
+                                      const std::string& config_label) {
+  BlendRunResult result;
+  result.workload = config_label;
+  result.tenants.resize(spec.tenants.size());
+
+  // Each tenant consumes its OWN canonical op sequence in order; the
+  // interleave only decides whose turn the next router slot is.
+  std::vector<std::vector<MixedOp>> ops(spec.tenants.size());
+  std::vector<std::size_t> cursor(spec.tenants.size(), 0);
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    ops[t] = DrawMixedOps(spec.tenants[t]);
+  }
+  const std::vector<std::uint16_t> order = DrawTenantInterleave(spec);
+
+  std::vector<Bytes> values;
+  values.reserve(spec.tenants.size());
+  for (const MixedWorkloadSpec& tenant : spec.tenants) {
+    values.emplace_back(tenant.value_size, 0x5A);
+  }
+  Bytes got;
+
+  const sim::Nanoseconds start = cluster.Now();
+  for (const std::uint16_t t : order) {
+    const MixedOp& op = ops[t][cursor[t]++];
+    const std::string key = SpecKeyName(spec.tenants[t], op.key_index);
+    KvStore& surface = cluster.Tenant(t);
+    const sim::Nanoseconds op_start = cluster.Now();
+    Status st = Status::Ok();
+    if (op.is_get) {
+      st = surface.GetInto(key, &got);
+    } else {
+      StampValue(&values[t], op.key_index);
+      st = surface.Put(key, ByteSpan(values[t]));
+      result.tenants[t].requested_value_bytes += values[t].size();
+    }
+    result.tenants[t].ops += 1;
+    if (st.code() == StatusCode::kBusy) {
+      // QoS shed: the admission throttle rejected the command. Count it and
+      // move on — that back-pressure IS the scenario a blend exercises.
+      result.tenants[t].shed += 1;
+    } else if (!st.ok()) {
+      result.workload += " [FAILED: " + st.ToString() + "]";
+      break;
+    }
+    result.tenants[t].latency_ns.Record(cluster.Now() - op_start);
+  }
+
+  result.elapsed_ns = cluster.Now() - start;
   return result;
 }
 

@@ -88,6 +88,10 @@ struct MixedWorkloadSpec {
   bool zipfian = false;
   double zipf_theta = 0.99;
   std::uint64_t seed = 1;
+  // Prepended to every MixedKeyName — disjoint prefixes give tenants in a
+  // blend disjoint key spaces (and steer which hash ranges they heat up).
+  // "" (the default) reproduces the historical key names byte-for-byte.
+  std::string key_prefix;
 };
 
 // The canonical key name for key-space index `i` ("k" + 8 hex digits).
@@ -114,5 +118,56 @@ RunResult RunMixedWorkload(KvStore& store, const MixedWorkloadSpec& spec,
 RunResult RunClusterMixedWorkload(cluster::KvCluster& cluster,
                                   const MixedWorkloadSpec& spec,
                                   const std::string& config_label);
+
+// --- Tenant blends: several mixed workloads interleaved on one cluster -----
+
+// One mixed spec per cluster tenant (index-paired with ClusterConfig's
+// tenants). Give the specs disjoint key_prefix values so tenants own
+// disjoint key spaces.
+struct TenantBlendSpec {
+  std::vector<MixedWorkloadSpec> tenants;
+  // Seed for the interleaving draw (which tenant issues the next op) —
+  // independent of each tenant's own op-sequence seed.
+  std::uint64_t seed = 7;
+};
+
+// The serial interleaving order: element i names the tenant that issues the
+// i-th client op. Drawn weighted by each tenant's REMAINING op budget, so a
+// 10:1 blend stays 10:1 throughout the run, deterministically for a given
+// seed. Exposed so the pinned-seed regression test can assert blends stay
+// reproducible across refactors.
+std::vector<std::uint16_t> DrawTenantInterleave(const TenantBlendSpec& spec);
+
+// Preloads every tenant's key space by PUTting each key directly on its
+// owner shard (bypassing the router, so the setup work stays UNTAGGED in
+// the attribution plane rather than charged to tenant 0), then syncs the
+// router clock and flushes.
+Status PreloadTenantBlend(cluster::KvCluster& cluster,
+                          const TenantBlendSpec& spec);
+
+// Per-tenant outcome of a blend run. `ops` counts client ops issued
+// (including shed ones); `shed` counts the kBusy rejections among them —
+// sheds are the QoS mechanism working, not a workload failure.
+struct TenantRunResult {
+  std::uint64_t ops = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t requested_value_bytes = 0;
+  stats::Histogram latency_ns;
+};
+
+struct BlendRunResult {
+  std::string workload;  // Carries " [FAILED: ...]" on a non-kBusy error.
+  sim::Nanoseconds elapsed_ns = 0;
+  std::vector<TenantRunResult> tenants;
+};
+
+// Serial blend run: client ops issue back-to-back on the router timeline in
+// DrawTenantInterleave order, each through its tenant's KvStore facade
+// (cluster.Tenant(t)), so QoS credits, tracer tenant stamps, and the
+// attribution plane all see the real tenant. kBusy is counted and skipped;
+// any other failure aborts the run.
+BlendRunResult RunTenantBlendWorkload(cluster::KvCluster& cluster,
+                                      const TenantBlendSpec& spec,
+                                      const std::string& config_label);
 
 }  // namespace bandslim::workload

@@ -357,23 +357,29 @@ TEST(FleetTracingTest, BatchSpansStitchAcrossShardsViaClientOp) {
 
   // Every shard's breakdown rows carry that shard's index and the SAME
   // router-level client op id, so a cross-shard batch reassembles from the
-  // per-shard exports. CSV columns: ...,shard,client_op (last two).
+  // per-shard exports. CSV columns: ...,shard,client_op,tenant (last three).
   std::map<std::string, std::set<std::string>> shards_by_client_op;
   for (std::uint32_t s = 0; s < fleet->num_shards(); ++s) {
     const std::string csv = trace::ToBreakdownCsv(fleet->shard(s).tracer());
     std::istringstream lines(csv);
     std::string line;
     ASSERT_TRUE(std::getline(lines, line));  // Header.
-    EXPECT_NE(line.find(",shard,client_op"), std::string::npos);
+    EXPECT_NE(line.find(",shard,client_op,tenant"), std::string::npos);
     while (std::getline(lines, line)) {
       const std::size_t last = line.rfind(',');
       ASSERT_NE(last, std::string::npos);
-      const std::size_t prev = line.rfind(',', last - 1);
+      const std::size_t mid = line.rfind(',', last - 1);
+      ASSERT_NE(mid, std::string::npos);
+      const std::size_t prev = line.rfind(',', mid - 1);
       ASSERT_NE(prev, std::string::npos);
-      const std::string shard_col = line.substr(prev + 1, last - prev - 1);
-      const std::string client_op = line.substr(last + 1);
+      const std::string shard_col = line.substr(prev + 1, mid - prev - 1);
+      const std::string client_op = line.substr(mid + 1, last - mid - 1);
+      const std::string tenant_col = line.substr(last + 1);
       EXPECT_EQ(shard_col, std::to_string(s));
       ASSERT_NE(client_op, "-");
+      // Cluster ops are always tenant-stamped; the default surface is
+      // tenant 0.
+      EXPECT_EQ(tenant_col, "0");
       shards_by_client_op[client_op].insert(shard_col);
     }
     // Chrome export: shard tag becomes the pid, client op rides in args.

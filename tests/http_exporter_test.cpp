@@ -16,7 +16,7 @@
 namespace bandslim::telemetry {
 namespace {
 
-std::shared_ptr<const PublishedSnapshot> MakeSnapshot(std::uint64_t seq) {
+std::shared_ptr<PublishedSnapshot> MakeSnapshot(std::uint64_t seq) {
   auto snap = std::make_shared<PublishedSnapshot>();
   snap->sample_seq = seq;
   snap->t_ns = seq * 1000;
@@ -79,6 +79,68 @@ TEST(HttpExporterTest, ServesLatestPublishedSnapshot) {
   EXPECT_GE(server.requests_served(), 4u);
   ASSERT_NE(server.Current(), nullptr);
   EXPECT_EQ(server.Current()->sample_seq, 2u);
+  server.Stop();
+}
+
+TEST(HttpExporterTest, HeadMatchesGetHeadersWithoutBody) {
+  HttpExporter server;
+  ASSERT_TRUE(server.Start(0).ok());
+  auto snap = MakeSnapshot(3);
+  snap->slo_jsonl = "{\"tenant\":0}\n";
+  server.Publish(std::move(snap));
+
+  for (const char* path : {"/metrics", "/timeline.jsonl", "/slo.jsonl",
+                           "/healthz"}) {
+    const auto get = HttpRequestRaw(server.port(), "GET", path);
+    const auto head = HttpRequestRaw(server.port(), "HEAD", path);
+    ASSERT_TRUE(get.ok() && head.ok()) << path;
+    // HEAD: status line and every header (Content-Length included) equal
+    // the GET response's, with no body after the blank line.
+    const std::size_t get_hdr_end = get.value().find("\r\n\r\n");
+    ASSERT_NE(get_hdr_end, std::string::npos) << path;
+    EXPECT_EQ(head.value(), get.value().substr(0, get_hdr_end + 4)) << path;
+    EXPECT_NE(head.value().find("Content-Length: "), std::string::npos)
+        << path;
+    EXPECT_GT(get.value().size(), get_hdr_end + 4) << path;  // GET has body.
+  }
+  server.Stop();
+}
+
+TEST(HttpExporterTest, NonGetMethodsAnswer405WithAllow) {
+  HttpExporter server;
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Publish(MakeSnapshot(4));
+  for (const char* method : {"POST", "PUT", "DELETE", "PATCH"}) {
+    const auto resp = HttpRequestRaw(server.port(), method, "/metrics");
+    ASSERT_TRUE(resp.ok()) << method;
+    EXPECT_NE(resp.value().find("405 Method Not Allowed"), std::string::npos)
+        << method;
+    EXPECT_NE(resp.value().find("Allow: GET, HEAD"), std::string::npos)
+        << method;
+  }
+  // A garbage method token is a malformed request, not a 405.
+  const auto bad = HttpRequestRaw(server.port(), "ge t", "/metrics");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_NE(bad.value().find("400 Bad Request"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpExporterTest, SloRouteServesPublishedDocumentOr404) {
+  HttpExporter server;
+  ASSERT_TRUE(server.Start(0).ok());
+  // Snapshot without an SLO document (attribution disabled): 404, so a
+  // scraper can tell "no attribution" from "empty attribution".
+  server.Publish(MakeSnapshot(5));
+  const auto missing = HttpGet(server.port(), "/slo.jsonl");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("404"), std::string::npos);
+
+  auto snap = MakeSnapshot(6);
+  snap->slo_jsonl = "{\"tenant\":0,\"name\":\"frontend\"}\n";
+  server.Publish(std::move(snap));
+  const auto slo = HttpGet(server.port(), "/slo.jsonl");
+  ASSERT_TRUE(slo.ok());
+  EXPECT_EQ(slo.value(), "{\"tenant\":0,\"name\":\"frontend\"}\n");
   server.Stop();
 }
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "workload/key_gen.h"
 #include "workload/runner.h"
@@ -196,6 +198,151 @@ TEST(ZipfianTest, ThetaZeroIsNearUniform) {
     EXPECT_GT(c, 400) << idx;   // ~1000 expected per key.
     EXPECT_LT(c, 2500) << idx;
   }
+}
+
+TEST(KeyGenTest, UniformDrawChiSquareBounded) {
+  // Goodness of fit for the uniform key draw the mixed runner uses
+  // (rng() % num_keys): 64 cells, chi-square against the flat expectation.
+  // 82.53 is the 95th percentile of chi-square with 63 degrees of freedom;
+  // the pinned seeds all sit well under it.
+  constexpr std::uint64_t kCells = 64;
+  constexpr int kDraws = 64000;
+  for (const std::uint64_t seed : {1ull, 11ull, 23ull}) {
+    Xoshiro256 rng(seed);
+    std::vector<int> counts(kCells, 0);
+    for (int i = 0; i < kDraws; ++i) ++counts[rng() % kCells];
+    const double expected = static_cast<double>(kDraws) / kCells;
+    double chi2 = 0.0;
+    for (const int c : counts) {
+      const double d = static_cast<double>(c) - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 82.53) << "seed " << seed;
+    EXPECT_GT(chi2, 1.0) << "seed " << seed;  // A rigged draw fits TOO well.
+  }
+}
+
+TEST(ZipfianTest, RankFrequenciesMatchGeneratorLawWithinChiSquare) {
+  // Goodness of fit against the generator's OWN closed-form law. The Gray
+  // et al. rejection-free generator approximates Zipf(theta) but has an
+  // exact per-rank measure: ranks 0 and 1 own 1/zeta(n) and 0.5^theta /
+  // zeta(n) of the unit interval, and rank k >= 2 owns the slice of u
+  // where floor(n * (eta*u - eta + 1)^(1/(1-theta))) == k. Testing
+  // against that law keeps the bound tight — 31.41 is the 95th percentile
+  // of chi-square with 20 degrees of freedom — while a broken alpha, eta,
+  // or zeta (or a lost skew) overshoots it by orders of magnitude. Testing
+  // against the ideal k^-theta PMF instead would only measure the known
+  // head-rank approximation error (chi2 ~ 500 at these parameters).
+  constexpr std::uint64_t kKeys = 1000;
+  constexpr double kTheta = 0.99;
+  constexpr int kDraws = 200000;
+  constexpr int kTopRanks = 20;
+
+  double zetan = 0.0;
+  for (std::uint64_t k = 1; k <= kKeys; ++k) {
+    zetan += 1.0 / std::pow(static_cast<double>(k), kTheta);
+  }
+  const double zeta2 = 1.0 + std::pow(0.5, kTheta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(kKeys), 1.0 - kTheta)) /
+      (1.0 - zeta2 / zetan);
+  const double u_threshold = zeta2 / zetan;  // Below: the explicit branches.
+  const auto u_at = [&](std::uint64_t rank) {
+    // Inverse of the continuous branch: the u where it starts emitting
+    // `rank`.
+    return (std::pow(static_cast<double>(rank) / static_cast<double>(kKeys),
+                     1.0 - kTheta) -
+            1.0 + eta) /
+           eta;
+  };
+  std::vector<double> pmf(kKeys, 0.0);
+  pmf[0] = 1.0 / zetan;
+  pmf[1] = std::pow(0.5, kTheta) / zetan;
+  for (std::uint64_t k = 2; k < kKeys; ++k) {
+    const double lo = std::max(u_at(k), u_threshold);
+    // The final rank also absorbs the rank == n clamp, i.e. runs to u = 1.
+    const double hi = k + 1 == kKeys ? 1.0 : std::min(u_at(k + 1), 1.0);
+    pmf[k] = std::max(0.0, hi - lo);
+  }
+  std::sort(pmf.rbegin(), pmf.rend());
+
+  for (const std::uint64_t seed : {5ull, 17ull}) {
+    ZipfianKeyChooser zipf(kKeys, kTheta, seed);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < kDraws; ++i) ++counts[zipf.NextIndex()];
+    std::vector<double> observed;
+    for (const auto& [idx, c] : counts) {
+      observed.push_back(static_cast<double>(c));
+    }
+    std::sort(observed.rbegin(), observed.rend());
+
+    // The hottest key's share is where the law and ideal Zipf agree
+    // exactly: p(rank 0) = 1/zeta(n). 10% relative slack is > 10 sigma.
+    EXPECT_NEAR(observed[0] / kDraws, 1.0 / zetan, 0.1 / zetan)
+        << "seed " << seed;
+
+    double chi2 = 0.0, tail_obs = 0.0, tail_exp = 0.0;
+    for (std::uint64_t rank = 0; rank < kKeys; ++rank) {
+      const double expected = kDraws * pmf[rank];
+      const double got = rank < observed.size() ? observed[rank] : 0.0;
+      if (rank < kTopRanks) {
+        chi2 += (got - expected) * (got - expected) / expected;
+      } else {
+        tail_obs += got;
+        tail_exp += expected;
+      }
+    }
+    chi2 += (tail_obs - tail_exp) * (tail_obs - tail_exp) / tail_exp;
+    EXPECT_LT(chi2, 31.41) << "seed " << seed;
+  }
+}
+
+TEST(ZipfianTest, PinnedSeedSequenceRegression) {
+  // Regression pin: Zipf(1000 keys, theta 0.99, seed 5) draws exactly this
+  // index sequence. Any change to the generator, the mixer, or the scatter
+  // hash shows up as a diff here before it silently re-times every mixed
+  // bench.
+  ZipfianKeyChooser zipf(1000, 0.99, 5);
+  const std::uint64_t expected[] = {425, 283, 220, 572, 396, 761, 761, 88};
+  for (const std::uint64_t want : expected) {
+    EXPECT_EQ(zipf.NextIndex(), want);
+  }
+}
+
+TEST(TenantBlendTest, InterleaveIsWeightedExhaustiveAndPinned) {
+  TenantBlendSpec spec;
+  spec.seed = 7;
+  spec.tenants.resize(3);
+  spec.tenants[0].ops = 6;
+  spec.tenants[1].ops = 3;
+  spec.tenants[2].ops = 2;
+  const std::vector<std::uint16_t> order = DrawTenantInterleave(spec);
+  // Exhaustive: every tenant's full op budget appears, nothing more.
+  ASSERT_EQ(order.size(), 11u);
+  std::vector<int> per_tenant(3, 0);
+  for (const std::uint16_t t : order) ++per_tenant[t];
+  EXPECT_EQ(per_tenant[0], 6);
+  EXPECT_EQ(per_tenant[1], 3);
+  EXPECT_EQ(per_tenant[2], 2);
+  // Pinned: the exact weighted draw for this seed. Blend workloads must
+  // stay reproducible across refactors — a diff here re-times every
+  // tenant-attribution bench.
+  const std::vector<std::uint16_t> expected = {0, 0, 0, 1, 2, 1, 1, 0, 0, 0,
+                                               2};
+  EXPECT_EQ(order, expected);
+  // Same seed, same order; different seed, different order.
+  EXPECT_EQ(DrawTenantInterleave(spec), expected);
+  spec.seed = 8;
+  EXPECT_NE(DrawTenantInterleave(spec), expected);
+}
+
+TEST(TenantBlendTest, KeyPrefixKeepsTenantKeySpacesDisjoint) {
+  MixedWorkloadSpec plain;
+  EXPECT_EQ(MixedKeyName(0), "k00000000");
+  EXPECT_EQ(MixedKeyName(0xabcd), "k0000abcd");
+  // The default empty prefix reproduces the historical key names, so every
+  // pre-blend workload and pinned bench is byte-identical.
+  EXPECT_EQ(plain.key_prefix, "");
 }
 }  // namespace
 }  // namespace bandslim::workload
